@@ -1,0 +1,284 @@
+// Package gowatchdog's root benchmark harness regenerates every table and
+// figure of the paper (one benchmark per artifact; see DESIGN.md's
+// per-experiment index) and measures the watchdog's overhead claim (E6).
+//
+//	go test -bench=. -benchmem
+//
+// Experiment benchmarks report domain metrics (detections, false alarms,
+// detection latency) via b.ReportMetric in addition to wall time.
+package gowatchdog
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gowatchdog/internal/autowatchdog"
+	"gowatchdog/internal/experiment"
+	"gowatchdog/internal/kvs"
+	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/watchdog/wdio"
+)
+
+// BenchmarkTable1Matrix regenerates the empirical Table 1: detection matrix
+// of crash FD vs error handler vs watchdog across five fault classes.
+func BenchmarkTable1Matrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunTable1(b.TempDir(), 250*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		detected := 0
+		for _, dets := range res.Matrix {
+			for _, o := range dets {
+				if o == experiment.Detected || o == experiment.DetectedPinpoint {
+					detected++
+				}
+			}
+		}
+		b.ReportMetric(float64(detected), "detections")
+	}
+}
+
+// BenchmarkTable2CheckerTypes regenerates the empirical Table 2:
+// completeness/accuracy/pinpoint of probe, signal and mimic checkers.
+func BenchmarkTable2CheckerTypes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunTable2(b.TempDir(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.DetectedBy["mimic"]), "mimic-detected")
+		b.ReportMetric(float64(res.DetectedBy["signal"]), "signal-detected")
+		b.ReportMetric(float64(res.DetectedBy["probe"]), "probe-detected")
+		b.ReportMetric(float64(res.FalseAlarms["signal"]), "signal-false-alarms")
+	}
+}
+
+// BenchmarkZK2201Detection regenerates the §4.2 case study and reports the
+// watchdog's time-to-detect (scaled parameters; the paper-parameter run is
+// `wdbench -exp zk2201 -paper`).
+func BenchmarkZK2201Detection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunZK2201(b.TempDir(), 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.WatchdogLatency < 0 {
+			b.Fatal("watchdog never detected")
+		}
+		b.ReportMetric(float64(res.WatchdogLatency.Milliseconds()), "detect-ms")
+		b.ReportMetric(boolMetric(res.HeartbeatDetected), "heartbeat-detected")
+		b.ReportMetric(boolMetric(res.AdminDetected), "admin-detected")
+	}
+}
+
+// BenchmarkContextAblation regenerates E7 (§3.1): false alarms with and
+// without one-way context gating on an in-memory kvs.
+func BenchmarkContextAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunContextAblation(b.TempDir(), 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.GatedFalseAlarms), "gated-false-alarms")
+		b.ReportMetric(float64(res.UngatedFalseAlarms), "ungated-false-alarms")
+	}
+}
+
+// BenchmarkValidationChain regenerates E9 (§5.1): probe validation
+// suppressing mimic alarms for impact-free transient faults.
+func BenchmarkValidationChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunValidationChain(b.TempDir(), 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.AlarmsWithoutValidation), "alarms")
+		b.ReportMetric(float64(res.SuppressedByProbe), "suppressed")
+	}
+}
+
+// BenchmarkDiskCheckerGenerations regenerates E8 (§3.3): the v1 vs v2 HDFS
+// disk checker on a partially failed volume.
+func BenchmarkDiskCheckerGenerations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunDiskChecker(b.TempDir(), 150*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v2 := 0
+		for _, cell := range res.Matrix {
+			if cell["v2"] != experiment.Missed {
+				v2++
+			}
+		}
+		b.ReportMetric(float64(v2), "v2-detections")
+	}
+}
+
+// BenchmarkFig2Reduction regenerates E4 (Figures 2–3): AutoWatchdog's
+// program logic reduction over the three target systems, reporting the
+// checker ("region") and vulnerable-op counts of §4.2.
+func BenchmarkFig2Reduction(b *testing.B) {
+	wd, err := filepath.Abs(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	root, err := experiment.FindModuleRoot(wd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunReduction(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		regions, ops := 0, 0
+		for _, row := range res.Systems {
+			regions += row.Regions
+			ops += row.Ops
+		}
+		b.ReportMetric(float64(regions), "checkers")
+		b.ReportMetric(float64(ops), "vulnerable-ops")
+	}
+}
+
+// BenchmarkCheckerCoverage regenerates E10: fault coverage as the mimic
+// suite grows checker by checker.
+func BenchmarkCheckerCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunCheckerCoverage(b.TempDir(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Detected[0]), "coverage-1-checker")
+		b.ReportMetric(float64(res.Detected[len(res.Detected)-1]), "coverage-full-suite")
+	}
+}
+
+// BenchmarkReductionAblation quantifies §4.1's dedup step: vulnerable ops a
+// checker must execute per run with and without "removing similar
+// vulnerable operations", over the three target systems.
+func BenchmarkReductionAblation(b *testing.B) {
+	wd, err := filepath.Abs(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	root, err := experiment.FindModuleRoot(wd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs := []string{"internal/kvs", "internal/coord", "internal/dfs"}
+	for i := 0; i < b.N; i++ {
+		reduced, full := 0, 0
+		for _, pkg := range pkgs {
+			a1, err := autowatchdog.Analyze(autowatchdog.Config{PackageDir: filepath.Join(root, pkg)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			a2, err := autowatchdog.Analyze(autowatchdog.Config{
+				PackageDir: filepath.Join(root, pkg), DisableReduction: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reduced += a1.TotalOps()
+			full += a2.TotalOps()
+		}
+		b.ReportMetric(float64(reduced), "ops-reduced")
+		b.ReportMetric(float64(full), "ops-unreduced")
+	}
+}
+
+// benchmarkKVSWorkload measures the kvs mutation+read path under three
+// watchdog configurations (E6: "without slowing down the main program").
+func benchmarkKVSWorkload(b *testing.B, mode string) {
+	dir := b.TempDir()
+	var factory *watchdog.Factory
+	if mode != "baseline" {
+		factory = watchdog.NewFactory()
+	}
+	store, err := kvs.Open(kvs.Config{
+		Dir:             dir,
+		WatchdogFactory: factory,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	// Run the background flusher/compactor as a deployment would: it keeps
+	// the WAL and memtable bounded, so the fsck-style partition checker
+	// verifies a bounded working set rather than an ever-growing log.
+	store.Start()
+
+	if mode == "full" {
+		shadow, err := wdio.NewFS(filepath.Join(dir, "wd-shadow"), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		driver := watchdog.New(
+			watchdog.WithFactory(factory),
+			watchdog.WithInterval(100*time.Millisecond),
+			watchdog.WithTimeout(2*time.Second),
+		)
+		store.InstallWatchdog(driver, shadow)
+		driver.Start()
+		defer driver.Stop()
+	}
+
+	val := []byte("benchmark-value-0123456789abcdef")
+	keys := make([][]byte, 512)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("bench/key/%04d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		if err := store.Set(k, val); err != nil {
+			b.Fatal(err)
+		}
+		if i%8 == 0 {
+			if _, _, err := store.Get(k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkOverheadKVSBaseline is the kvs write path with no watchdog at all.
+func BenchmarkOverheadKVSBaseline(b *testing.B) { benchmarkKVSWorkload(b, "baseline") }
+
+// BenchmarkOverheadKVSHooksOnly adds the instrumentation hooks (context
+// pushes on the hot path) without a running driver.
+func BenchmarkOverheadKVSHooksOnly(b *testing.B) { benchmarkKVSWorkload(b, "hooks") }
+
+// BenchmarkOverheadKVSFullWatchdog runs the complete checker suite
+// concurrently on a 10ms cadence while the workload runs.
+func BenchmarkOverheadKVSFullWatchdog(b *testing.B) { benchmarkKVSWorkload(b, "full") }
+
+// BenchmarkDetectionLatencyVsInterval sweeps the watchdog check interval
+// (the E5 parameter sweep): detection latency ≈ interval + timeout.
+func BenchmarkDetectionLatencyVsInterval(b *testing.B) {
+	for _, interval := range []time.Duration{20 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond} {
+		b.Run(interval.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunZK2201(b.TempDir(), interval, 4*interval)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.WatchdogLatency < 0 {
+					b.Fatal("never detected")
+				}
+				b.ReportMetric(float64(res.WatchdogLatency.Milliseconds()), "detect-ms")
+			}
+		})
+	}
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

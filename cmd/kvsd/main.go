@@ -1,0 +1,177 @@
+// Command kvsd runs the kvs key-value store (the paper's Figure 1 running
+// example) with its generated watchdog suite, optionally injecting a gray
+// failure after a delay so the watchdog's detection can be observed live.
+//
+// Usage:
+//
+//	kvsd -dir /tmp/kvs -addr :7070 -watchdog
+//	kvsd -dir /tmp/kvs -addr :7070 -watchdog -inject kvs.flusher.write=hang -inject-after 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"gowatchdog/internal/capsule"
+	"gowatchdog/internal/faultinject"
+	"gowatchdog/internal/kvs"
+	"gowatchdog/internal/recovery"
+	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/watchdog/wdio"
+)
+
+func main() {
+	var (
+		dir         = flag.String("dir", "kvs-data", "data directory")
+		addr        = flag.String("addr", "127.0.0.1:7070", "listen address")
+		replica     = flag.String("replica", "", "replica address to stream mutations to")
+		serveRepl   = flag.Bool("serve-replica", false, "run as a replica (apply stream on -addr)")
+		inMemory    = flag.Bool("in-memory", false, "disable WAL and SSTables")
+		useWatchdog = flag.Bool("watchdog", true, "run the generated watchdog suite")
+		interval    = flag.Duration("wd-interval", time.Second, "watchdog check interval")
+		timeout     = flag.Duration("wd-timeout", 6*time.Second, "watchdog liveness timeout")
+		inject      = flag.String("inject", "", "fault to inject: <point>=<hang|error|delay|corrupt>")
+		injectAfter = flag.Duration("inject-after", 5*time.Second, "delay before injecting")
+		capsuleDir  = flag.String("capsules", "", "directory to record failure capsules (§5.2)")
+		autoRecover = flag.Bool("recover", false, "enable cheap recovery on alarms (§5.2)")
+	)
+	flag.Parse()
+
+	factory := watchdog.NewFactory()
+	store, err := kvs.Open(kvs.Config{
+		Dir:             *dir,
+		InMemory:        *inMemory,
+		ReplicaAddr:     *replica,
+		WatchdogFactory: factory,
+	})
+	if err != nil {
+		log.Fatalf("kvsd: %v", err)
+	}
+	defer store.Close()
+	store.Start()
+
+	if *serveRepl {
+		rs, err := kvs.ServeReplica(*addr, store)
+		if err != nil {
+			log.Fatalf("kvsd: %v", err)
+		}
+		defer rs.Close()
+		log.Printf("kvsd: replica applying stream on %s", rs.Addr())
+		waitForSignal()
+		return
+	}
+
+	srv, err := kvs.Serve(*addr, store)
+	if err != nil {
+		log.Fatalf("kvsd: %v", err)
+	}
+	defer srv.Close()
+	log.Printf("kvsd: serving on %s (dir=%s in-memory=%v)", srv.Addr(), *dir, *inMemory)
+
+	if *useWatchdog {
+		shadow, err := wdio.NewFS(kvs.ShadowDirFor(*dir), 0)
+		if err != nil {
+			log.Fatalf("kvsd: shadow fs: %v", err)
+		}
+		driver := watchdog.New(
+			watchdog.WithFactory(factory),
+			watchdog.WithInterval(*interval),
+			watchdog.WithTimeout(*timeout),
+		)
+		store.InstallWatchdog(driver, shadow)
+		driver.OnAlarm(func(a watchdog.Alarm) {
+			log.Printf("WATCHDOG ALARM: %s (consecutive=%d)", a.Report, a.Consecutive)
+			if !a.Report.Site.IsZero() {
+				log.Printf("  pinpoint: %s", a.Report.Site)
+			}
+			for k, v := range a.Report.Payload {
+				log.Printf("  context %s = %v", k, v)
+			}
+		})
+		if *capsuleDir != "" {
+			rec, err := capsule.NewRecorder(*capsuleDir)
+			if err != nil {
+				log.Fatalf("kvsd: capsules: %v", err)
+			}
+			var recMu sync.Mutex
+			driver.OnReport(func(rep watchdog.Report) {
+				recMu.Lock()
+				rec.OnReport(rep)
+				recMu.Unlock()
+			})
+			log.Printf("kvsd: recording failure capsules to %s", *capsuleDir)
+		}
+		if *autoRecover {
+			mgr := recovery.New()
+			mgr.Register(recovery.ForSiteOp("quarantine-corrupt-tables", "sstable.VerifyChecksum",
+				func(rep watchdog.Report) error {
+					total := 0
+					for i := 0; i < store.Partitions(); i++ {
+						n, err := store.RepairPartition(i)
+						if err != nil {
+							return err
+						}
+						total += n
+					}
+					log.Printf("kvsd: recovery quarantined %d corrupt tables", total)
+					return nil
+				}))
+			driver.OnAlarm(mgr.HandleAlarm)
+			log.Print("kvsd: cheap recovery enabled")
+		}
+		driver.Start()
+		defer driver.Stop()
+		log.Printf("kvsd: watchdog running with %d checkers (interval=%v timeout=%v)",
+			len(driver.Checkers()), *interval, *timeout)
+	}
+
+	if *inject != "" {
+		point, kind, err := parseInjection(*inject)
+		if err != nil {
+			log.Fatalf("kvsd: %v", err)
+		}
+		go func() {
+			time.Sleep(*injectAfter)
+			store.Injector().Arm(point, faultinject.Fault{Kind: kind, Delay: 2 * *timeout})
+			log.Printf("kvsd: injected %s at %s", kind, point)
+		}()
+	}
+
+	waitForSignal()
+	log.Print("kvsd: shutting down")
+}
+
+// parseInjection parses "<point>=<kind>".
+func parseInjection(s string) (string, faultinject.Kind, error) {
+	point, kindStr, ok := strings.Cut(s, "=")
+	if !ok {
+		return "", 0, fmt.Errorf("bad -inject %q, want <point>=<kind>", s)
+	}
+	switch kindStr {
+	case "hang":
+		return point, faultinject.Hang, nil
+	case "error":
+		return point, faultinject.Error, nil
+	case "delay":
+		return point, faultinject.Delay, nil
+	case "corrupt":
+		return point, faultinject.Corrupt, nil
+	case "panic":
+		return point, faultinject.Panic, nil
+	default:
+		return "", 0, fmt.Errorf("unknown fault kind %q", kindStr)
+	}
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}

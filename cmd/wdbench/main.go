@@ -1,0 +1,85 @@
+// Command wdbench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index) and prints them. The
+// -paper flag runs the ZK-2201 case study with the paper's original
+// watchdog parameters (1s interval, 6s timeout — detection around seven
+// seconds) instead of the scaled-down defaults.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gowatchdog/internal/experiment"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: table1|table2|zk2201|context|validate|disk|overhead|reduction|all")
+		paper = flag.Bool("paper", false, "use the paper's 1s/6s watchdog parameters for zk2201")
+	)
+	flag.Parse()
+
+	scratch, err := os.MkdirTemp("", "wdbench-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(scratch)
+
+	run := func(name string, fn func() (interface{ Render() string }, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		res, err := fn()
+		if err != nil {
+			log.Fatalf("wdbench: %s: %v", name, err)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table1", func() (interface{ Render() string }, error) {
+		return experiment.RunTable1(filepath.Join(scratch, "t1"), 0)
+	})
+	run("table2", func() (interface{ Render() string }, error) {
+		return experiment.RunTable2(filepath.Join(scratch, "t2"), 0)
+	})
+	run("zk2201", func() (interface{ Render() string }, error) {
+		interval, timeout := time.Duration(0), time.Duration(0)
+		if *paper {
+			interval, timeout = time.Second, 6*time.Second
+			fmt.Println("(running zk2201 with paper parameters: 1s interval / 6s timeout; this takes ~30s)")
+		}
+		return experiment.RunZK2201(filepath.Join(scratch, "zk"), interval, timeout)
+	})
+	run("context", func() (interface{ Render() string }, error) {
+		return experiment.RunContextAblation(filepath.Join(scratch, "ctx"), 0)
+	})
+	run("validate", func() (interface{ Render() string }, error) {
+		return experiment.RunValidationChain(filepath.Join(scratch, "val"), 0)
+	})
+	run("disk", func() (interface{ Render() string }, error) {
+		return experiment.RunDiskChecker(filepath.Join(scratch, "disk"), 0)
+	})
+	run("coverage", func() (interface{ Render() string }, error) {
+		return experiment.RunCheckerCoverage(filepath.Join(scratch, "cov"), 0)
+	})
+	run("overhead", func() (interface{ Render() string }, error) {
+		return experiment.RunOverhead(filepath.Join(scratch, "oh"), 0)
+	})
+	run("reduction", func() (interface{ Render() string }, error) {
+		wd, err := os.Getwd()
+		if err != nil {
+			return nil, err
+		}
+		root, err := experiment.FindModuleRoot(wd)
+		if err != nil {
+			return nil, err
+		}
+		return experiment.RunReduction(root)
+	})
+}

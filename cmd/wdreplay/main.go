@@ -1,0 +1,109 @@
+// Command wdreplay inspects failure capsules recorded by a watchdog (§5.2
+// failure reproduction): it prints the pinpointed site and the captured
+// failure-inducing context, and can restore the context to show exactly
+// what a replaying checker would receive.
+//
+// Usage:
+//
+//	wdreplay failure.json
+//	wdreplay -dir /var/kvs/capsules        # summarize a whole directory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"gowatchdog/internal/capsule"
+)
+
+func main() {
+	dir := flag.String("dir", "", "summarize every capsule in this directory")
+	flag.Parse()
+
+	switch {
+	case *dir != "":
+		if err := summarizeDir(*dir); err != nil {
+			log.Fatalf("wdreplay: %v", err)
+		}
+	case flag.NArg() == 1:
+		if err := show(flag.Arg(0)); err != nil {
+			log.Fatalf("wdreplay: %v", err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func summarizeDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Println("no capsules found")
+		return nil
+	}
+	for _, name := range names {
+		c, err := capsule.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			fmt.Printf("%-40s  (unreadable: %v)\n", name, err)
+			continue
+		}
+		fmt.Printf("%-40s  %-8s  %-12s  %s\n", name, c.Status, c.Checker, c.Site)
+	}
+	return nil
+}
+
+func show(path string) error {
+	c, err := capsule.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checker:  %s\n", c.Checker)
+	fmt.Printf("status:   %s\n", c.Status)
+	if c.Error != "" {
+		fmt.Printf("error:    %s\n", c.Error)
+	}
+	fmt.Printf("site:     %s\n", c.Site)
+	fmt.Printf("time:     %s  (checker latency %v)\n", c.Time, c.Latency)
+	ctx, err := c.RestoreContext()
+	if err != nil {
+		return fmt.Errorf("restore context: %w", err)
+	}
+	keys := make([]string, 0, len(c.Payload))
+	for k := range c.Payload {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("context:  %d captured values (restored, ready=%v)\n", len(keys), ctx.Ready())
+	for _, k := range keys {
+		v, _ := ctx.Get(k)
+		switch tv := v.(type) {
+		case []byte:
+			fmt.Printf("  %-14s = %q (%d bytes)\n", k, truncate(string(tv), 60), len(tv))
+		default:
+			fmt.Printf("  %-14s = %v\n", k, v)
+		}
+	}
+	return nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

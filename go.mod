@@ -1,0 +1,3 @@
+module gowatchdog
+
+go 1.22

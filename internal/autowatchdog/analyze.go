@@ -1,0 +1,409 @@
+package autowatchdog
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// VulnerableOp is one operation retained by the reduction.
+type VulnerableOp struct {
+	// Kind selects the generic mimic.
+	Kind OpKind
+	// Callee is the matched method name (the reduction's dedup key,
+	// together with Kind).
+	Callee string
+	// Call is the rendered source of the call expression.
+	Call string
+	// Func is the enclosing function (receiver-qualified).
+	Func string
+	// File and Line locate the call in the original source.
+	File string
+	Line int
+	// Depth is the call-chain distance from the region root (0 = in the
+	// root function itself).
+	Depth int
+	// Annotated marks //wd:vulnerable-tagged calls.
+	Annotated bool
+}
+
+// Region is one long-running code region with its reduced operation set.
+type Region struct {
+	// Root is the region's entry function (receiver-qualified).
+	Root string
+	// File locates the root function.
+	File string
+	// Line is the root function's declaration line.
+	Line int
+	// Ops is the reduced vulnerable-operation set.
+	Ops []VulnerableOp
+	// TotalCalls counts every call expression seen along the chain before
+	// reduction.
+	TotalCalls int
+	// TotalVulnerable counts vulnerable ops before deduplication.
+	TotalVulnerable int
+	// Statements counts statements along the analyzed chain.
+	Statements int
+	// ChainFuncs lists the functions visited along the call chain.
+	ChainFuncs []string
+}
+
+// ReductionRatio returns retained ops / statements analyzed — how much of
+// the region the checker must execute.
+func (r *Region) ReductionRatio() float64 {
+	if r.Statements == 0 {
+		return 0
+	}
+	return float64(len(r.Ops)) / float64(r.Statements)
+}
+
+// Analysis is the result of analyzing one package.
+type Analysis struct {
+	// Package is the analyzed package name.
+	Package string
+	// Dir is the analyzed directory.
+	Dir string
+	// Regions are the long-running regions with reduced ops, sorted by root.
+	Regions []Region
+
+	cfg    Config
+	fset   *token.FileSet
+	files  map[string]*ast.File     // filename -> parsed file
+	funcs  map[string]*ast.FuncDecl // qualified name -> decl
+	fnFile map[string]string        // qualified name -> filename
+}
+
+// funcName renders a receiver-qualified function name like
+// "(*Leader).syncToFollower" or "WriteRecord".
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	var b strings.Builder
+	switch t := fd.Recv.List[0].Type.(type) {
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			fmt.Fprintf(&b, "(*%s).", id.Name)
+		}
+	case *ast.Ident:
+		fmt.Fprintf(&b, "(%s).", t.Name)
+	}
+	b.WriteString(fd.Name.Name)
+	return b.String()
+}
+
+// Analyze parses the package and runs region extraction plus program logic
+// reduction.
+func Analyze(cfg Config) (*Analysis, error) {
+	cfg.applyDefaults()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(cfg.PackageDir)
+	if err != nil {
+		return nil, fmt.Errorf("autowatchdog: %w", err)
+	}
+	a := &Analysis{
+		Dir:    cfg.PackageDir,
+		cfg:    cfg,
+		fset:   fset,
+		files:  make(map[string]*ast.File),
+		funcs:  make(map[string]*ast.FuncDecl),
+		fnFile: make(map[string]string),
+	}
+	for _, e := range entries {
+		name := e.Name()
+		// Skip tests, previously generated checkers, and the package's own
+		// watchdog extension (the checking execution must not be analyzed
+		// as if it were the normal execution).
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasSuffix(name, "_wd_gen.go") ||
+			name == "watchdog.go" {
+			continue
+		}
+		path := filepath.Join(cfg.PackageDir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("autowatchdog: parse %s: %w", path, err)
+		}
+		if a.Package == "" {
+			a.Package = f.Name.Name
+		}
+		a.files[name] = f
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				qn := funcName(fd)
+				a.funcs[qn] = fd
+				a.fnFile[qn] = name
+			}
+		}
+	}
+	if a.Package == "" {
+		return nil, fmt.Errorf("autowatchdog: no Go files in %s", cfg.PackageDir)
+	}
+	a.extractRegions()
+	return a, nil
+}
+
+// isInitStage reports whether a function is initialization-stage code,
+// excluded from checking (§4.1 "we exclude checking for code execution in
+// the initialization stage").
+func isInitStage(name string) bool {
+	base := name
+	if i := strings.LastIndex(base, "."); i >= 0 {
+		base = base[i+1:]
+	}
+	if base == "init" || base == "main" {
+		return false // main often contains the serve loop; keep it
+	}
+	lower := strings.ToLower(base)
+	return strings.HasPrefix(lower, "new") || strings.HasPrefix(lower, "init") ||
+		strings.HasPrefix(lower, "open") || strings.HasPrefix(lower, "setup")
+}
+
+// hasUnboundedLoop reports whether the function contains a loop that can run
+// indefinitely: `for {}`, `for cond {}`, or `for range ch` over a channel-ish
+// source (we treat any `for range ident` of non-literal as long-running only
+// when combined with select/recv inside; to stay conservative we accept
+// condition-less and condition-only loops).
+func hasUnboundedLoop(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			// for {} and for cond {} are unbounded; three-clause loops are
+			// typically bounded iteration.
+			if l.Init == nil && l.Post == nil {
+				found = true
+			}
+		case *ast.RangeStmt:
+			// range over a channel expression (heuristic: a bare identifier
+			// or selector, not a composite literal or call).
+			switch l.X.(type) {
+			case *ast.Ident, *ast.SelectorExpr:
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// extractRegions finds region roots and reduces each.
+func (a *Analysis) extractRegions() {
+	entryRes := a.cfg.compiledEntries()
+	var roots []string
+	for qn, fd := range a.funcs {
+		if isInitStage(qn) {
+			continue
+		}
+		long := hasUnboundedLoop(fd)
+		for _, re := range entryRes {
+			if re.MatchString(qn) {
+				long = true
+			}
+		}
+		if long {
+			roots = append(roots, qn)
+		}
+	}
+	sort.Strings(roots)
+	for _, root := range roots {
+		region := a.reduceRegion(root)
+		if len(region.Ops) > 0 {
+			a.Regions = append(a.Regions, region)
+		}
+	}
+}
+
+// reduceRegion walks the call chain from root, collecting and reducing
+// vulnerable operations.
+func (a *Analysis) reduceRegion(root string) Region {
+	fd := a.funcs[root]
+	pos := a.fset.Position(fd.Pos())
+	region := Region{Root: root, File: filepath.Base(pos.Filename), Line: pos.Line}
+
+	type key struct {
+		kind   OpKind
+		callee string
+	}
+	seen := make(map[key]bool)
+	visited := make(map[string]bool)
+	patterns := a.cfg.patternIndex()
+
+	var walk func(qn string, depth int)
+	walk = func(qn string, depth int) {
+		if visited[qn] || depth > a.cfg.MaxChainDepth {
+			return
+		}
+		visited[qn] = true
+		fn, ok := a.funcs[qn]
+		if !ok {
+			return
+		}
+		region.ChainFuncs = append(region.ChainFuncs, qn)
+		var callees []string
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if _, isStmt := n.(ast.Stmt); isStmt {
+				region.Statements++
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			region.TotalCalls++
+			callee, kind, matched := a.classifyCall(call, patterns)
+			if ann := a.annotatedVulnerable(call); ann {
+				matched = true
+				if callee == "" {
+					callee = renderCallee(call)
+				}
+				kind = KindGeneric
+			}
+			if matched {
+				region.TotalVulnerable++
+				k := key{kind: kind, callee: callee}
+				if a.cfg.DisableReduction || !seen[k] {
+					// Reduction: keep one representative per distinct
+					// vulnerable callee ("removing similar vulnerable
+					// operations"); with DisableReduction every site is
+					// retained (the ablation).
+					seen[k] = true
+					cp := a.fset.Position(call.Pos())
+					region.Ops = append(region.Ops, VulnerableOp{
+						Kind:   kind,
+						Callee: callee,
+						Call:   a.render(call),
+						Func:   qn,
+						File:   filepath.Base(cp.Filename),
+						Line:   cp.Line,
+						Depth:  depth,
+					})
+				}
+			}
+			// Global reduction along the call chain: follow package-local
+			// callees.
+			callees = append(callees, a.localCalleeNames(call)...)
+			return true
+		})
+		for _, c := range callees {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	sort.Slice(region.Ops, func(i, j int) bool {
+		if region.Ops[i].Depth != region.Ops[j].Depth {
+			return region.Ops[i].Depth < region.Ops[j].Depth
+		}
+		if region.Ops[i].File != region.Ops[j].File {
+			return region.Ops[i].File < region.Ops[j].File
+		}
+		return region.Ops[i].Line < region.Ops[j].Line
+	})
+	return region
+}
+
+// classifyCall matches a call expression against the vulnerable vocabulary.
+func (a *Analysis) classifyCall(call *ast.CallExpr, patterns map[string]OpKind) (string, OpKind, bool) {
+	name := renderCallee(call)
+	if name == "" {
+		return "", 0, false
+	}
+	last := name
+	if i := strings.LastIndex(last, "."); i >= 0 {
+		last = last[i+1:]
+	}
+	kind, ok := patterns[last]
+	if !ok {
+		return "", 0, false
+	}
+	return name, kind, true
+}
+
+// renderCallee renders the callee expression ("conn.Write", "os.OpenFile",
+// "send").
+func renderCallee(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		if x, ok := fn.X.(*ast.Ident); ok {
+			return x.Name + "." + fn.Sel.Name
+		}
+		return "<expr>." + fn.Sel.Name
+	default:
+		return ""
+	}
+}
+
+// localCalleeNames resolves a call to package-local function or method
+// declarations: plain identifiers match free functions; method calls match
+// every method with that name (an approximation without full type
+// information, biased toward over-inclusion, which only widens coverage).
+// The result is sorted so analysis is deterministic across runs.
+func (a *Analysis) localCalleeNames(call *ast.CallExpr) []string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		if _, ok := a.funcs[fn.Name]; ok {
+			return []string{fn.Name}
+		}
+	case *ast.SelectorExpr:
+		// Every receiver-qualified declaration with this method name.
+		var out []string
+		for qn := range a.funcs {
+			if strings.HasSuffix(qn, ")."+fn.Sel.Name) {
+				out = append(out, qn)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	return nil
+}
+
+// annotatedVulnerable reports whether the call's line carries a
+// //wd:vulnerable comment.
+func (a *Analysis) annotatedVulnerable(call *ast.CallExpr) bool {
+	pos := a.fset.Position(call.Pos())
+	f, ok := a.files[filepath.Base(pos.Filename)]
+	if !ok {
+		return false
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			cp := a.fset.Position(c.Pos())
+			if cp.Line == pos.Line && strings.Contains(c.Text, "wd:vulnerable") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// render pretty-prints an AST node.
+func (a *Analysis) render(n ast.Node) string {
+	var b strings.Builder
+	printer.Fprint(&b, a.fset, n)
+	s := b.String()
+	if len(s) > 80 {
+		s = s[:77] + "..."
+	}
+	return s
+}
+
+// TotalOps returns the number of reduced ops across all regions — the
+// number of vulnerable operations the generated watchdog will monitor.
+func (a *Analysis) TotalOps() int {
+	n := 0
+	for _, r := range a.Regions {
+		n += len(r.Ops)
+	}
+	return n
+}

@@ -1,0 +1,180 @@
+// Package autowatchdog implements the paper's §4 AutoWatchdog: automatic
+// generation of mimic-type watchdogs through *program logic reduction*.
+//
+// Given a Go package, the analyzer
+//
+//  1. extracts the code regions that may execute continuously (functions
+//     containing unbounded loops, plus anything matching the configured
+//     entry patterns), excluding initialization-stage code;
+//  2. retains only the operations worth monitoring — those vulnerable to
+//     production faults: I/O, synchronization, resource, and communication
+//     calls, matched by configurable patterns or //wd:vulnerable
+//     annotations;
+//  3. performs a global reduction along call chains, keeping one
+//     representative per distinct vulnerable callee ("if P invoked write()
+//     many times in a loop, W may only need to invoke write() once");
+//  4. generates a checker per region (invoking the reduced operations
+//     through the generic wdruntime mimics) and instruments the original
+//     sources with context hooks before each vulnerable operation.
+//
+// The paper's prototype targets Java bytecode via Soot; this implementation
+// targets Go source via go/ast, as the paper anticipates ("the proposed
+// technique is not Java-specific").
+package autowatchdog
+
+import "regexp"
+
+// OpKind classifies a vulnerable operation, selecting which generic mimic
+// the generated checker runs.
+type OpKind int
+
+const (
+	// KindDiskWrite covers file/disk writes and syncs.
+	KindDiskWrite OpKind = iota
+	// KindDiskRead covers file/disk reads.
+	KindDiskRead
+	// KindNetSend covers network dials and sends.
+	KindNetSend
+	// KindNetRecv covers network receives and accepts.
+	KindNetRecv
+	// KindSync covers lock acquisition and waiting.
+	KindSync
+	// KindChan covers channel sends and receives.
+	KindChan
+	// KindGeneric covers developer-annotated operations with no builtin
+	// mimic.
+	KindGeneric
+)
+
+// String returns the kind name.
+func (k OpKind) String() string {
+	switch k {
+	case KindDiskWrite:
+		return "disk-write"
+	case KindDiskRead:
+		return "disk-read"
+	case KindNetSend:
+		return "net-send"
+	case KindNetRecv:
+		return "net-recv"
+	case KindSync:
+		return "sync"
+	case KindChan:
+		return "chan"
+	default:
+		return "generic"
+	}
+}
+
+// CallPattern marks calls whose final selector matches Method as vulnerable.
+type CallPattern struct {
+	// Method is the method or function name (the last selector component).
+	Method string
+	// Kind classifies matches.
+	Kind OpKind
+}
+
+// DefaultPatterns is the built-in vulnerable-operation vocabulary: the
+// paper's "I/O, synchronization, resource, and communication related method
+// invocations".
+func DefaultPatterns() []CallPattern {
+	return []CallPattern{
+		// Disk / file writes.
+		{Method: "Write", Kind: KindDiskWrite},
+		{Method: "WriteString", Kind: KindDiskWrite},
+		{Method: "WriteFile", Kind: KindDiskWrite},
+		{Method: "WriteRecord", Kind: KindDiskWrite},
+		{Method: "Sync", Kind: KindDiskWrite},
+		{Method: "Flush", Kind: KindDiskWrite},
+		{Method: "Create", Kind: KindDiskWrite},
+		{Method: "OpenFile", Kind: KindDiskWrite},
+		{Method: "MkdirAll", Kind: KindDiskWrite},
+		{Method: "Remove", Kind: KindDiskWrite},
+		{Method: "RemoveAll", Kind: KindDiskWrite},
+		{Method: "Truncate", Kind: KindDiskWrite},
+		{Method: "Append", Kind: KindDiskWrite},
+		// Disk / file reads.
+		{Method: "Read", Kind: KindDiskRead},
+		{Method: "ReadFile", Kind: KindDiskRead},
+		{Method: "ReadFull", Kind: KindDiskRead},
+		{Method: "ReadDir", Kind: KindDiskRead},
+		{Method: "ReadAt", Kind: KindDiskRead},
+		{Method: "Open", Kind: KindDiskRead},
+		{Method: "Stat", Kind: KindDiskRead},
+		// Network.
+		{Method: "Dial", Kind: KindNetSend},
+		{Method: "DialTimeout", Kind: KindNetSend},
+		{Method: "Send", Kind: KindNetSend},
+		{Method: "Accept", Kind: KindNetRecv},
+		{Method: "Listen", Kind: KindNetRecv},
+		// Synchronization.
+		{Method: "Lock", Kind: KindSync},
+		{Method: "RLock", Kind: KindSync},
+		{Method: "Wait", Kind: KindSync},
+	}
+}
+
+// Config configures an analysis/generation run.
+type Config struct {
+	// PackageDir is the directory of the package to analyze.
+	PackageDir string
+	// OutDir receives generated and instrumented files. Generation fails if
+	// empty when Generate/Instrument are called.
+	OutDir string
+	// Patterns is the vulnerable-call vocabulary; nil uses DefaultPatterns.
+	Patterns []CallPattern
+	// EntryPatterns are regexps over function names that force a function
+	// to be treated as a long-running region root even without an unbounded
+	// loop (e.g. "^Serve", "Loop$").
+	EntryPatterns []string
+	// MaxChainDepth bounds the call-chain walk (default 5).
+	MaxChainDepth int
+	// WatchdogImport is the import path of the watchdog package used by
+	// generated code (default "gowatchdog/internal/watchdog").
+	WatchdogImport string
+	// RuntimeImport is the import path of the generic mimic runtime
+	// (default "gowatchdog/internal/autowatchdog/wdruntime").
+	RuntimeImport string
+	// CheckerPrefix prefixes generated checker names (default: package name).
+	CheckerPrefix string
+	// DisableReduction keeps every vulnerable operation instead of one
+	// representative per distinct callee — the ablation of §4.1's "removing
+	// similar vulnerable operations" step, used to quantify how much work
+	// reduction saves the checkers.
+	DisableReduction bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.Patterns == nil {
+		c.Patterns = DefaultPatterns()
+	}
+	if c.MaxChainDepth <= 0 {
+		c.MaxChainDepth = 5
+	}
+	if c.WatchdogImport == "" {
+		c.WatchdogImport = "gowatchdog/internal/watchdog"
+	}
+	if c.RuntimeImport == "" {
+		c.RuntimeImport = "gowatchdog/internal/autowatchdog/wdruntime"
+	}
+}
+
+// compiledEntries compiles the entry patterns, ignoring invalid ones.
+func (c *Config) compiledEntries() []*regexp.Regexp {
+	out := make([]*regexp.Regexp, 0, len(c.EntryPatterns))
+	for _, p := range c.EntryPatterns {
+		if re, err := regexp.Compile(p); err == nil {
+			out = append(out, re)
+		}
+	}
+	return out
+}
+
+// patternIndex maps method name -> kind for quick lookup.
+func (c *Config) patternIndex() map[string]OpKind {
+	idx := make(map[string]OpKind, len(c.Patterns))
+	for _, p := range c.Patterns {
+		idx[p.Method] = p.Kind
+	}
+	return idx
+}

@@ -1,0 +1,35 @@
+// Package wdhooks is the tiny runtime the instrumented main program links
+// against. AutoWatchdog inserts wdhooks.Capture calls before each retained
+// vulnerable operation; Capture pushes the captured values into the named
+// checker's context through the process-wide factory.
+//
+// Until SetFactory is called, Capture is a no-op, so instrumented binaries
+// run unchanged when the watchdog is disabled. Synchronization is strictly
+// one-way: Capture never reads watchdog state.
+package wdhooks
+
+import (
+	"sync/atomic"
+
+	"gowatchdog/internal/watchdog"
+)
+
+var factory atomic.Pointer[watchdog.Factory]
+
+// SetFactory installs the context factory shared with the watchdog driver.
+// Passing nil disables capturing again.
+func SetFactory(f *watchdog.Factory) { factory.Store(f) }
+
+// Factory returns the installed factory, or nil.
+func Factory() *watchdog.Factory { return factory.Load() }
+
+// Capture pushes vals into the named checker's context and marks it ready.
+// It is the single instrumentation entry point and stays allocation-light
+// on the disabled path.
+func Capture(checker string, vals map[string]any) {
+	f := factory.Load()
+	if f == nil {
+		return
+	}
+	f.Context(checker).PutAll(vals)
+}

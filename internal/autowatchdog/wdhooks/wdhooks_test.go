@@ -1,0 +1,86 @@
+package wdhooks
+
+import (
+	"sync"
+	"testing"
+
+	"gowatchdog/internal/watchdog"
+)
+
+func TestCaptureNoopWithoutFactory(t *testing.T) {
+	SetFactory(nil)
+	// Must not panic and must stay cheap.
+	Capture("any", map[string]any{"k": "v"})
+	if Factory() != nil {
+		t.Fatal("Factory() != nil after SetFactory(nil)")
+	}
+}
+
+func TestCapturePushesIntoNamedContext(t *testing.T) {
+	f := watchdog.NewFactory()
+	SetFactory(f)
+	defer SetFactory(nil)
+	Capture("kvs.flusher", map[string]any{"op": "f.Write", "arg0": []byte("payload")})
+	ctx := f.Context("kvs.flusher")
+	if !ctx.Ready() {
+		t.Fatal("context not ready after Capture")
+	}
+	if ctx.GetString("op") != "f.Write" {
+		t.Fatalf("op = %q", ctx.GetString("op"))
+	}
+	if string(ctx.GetBytes("arg0")) != "payload" {
+		t.Fatalf("arg0 = %q", ctx.GetBytes("arg0"))
+	}
+}
+
+func TestCaptureReplicatesValues(t *testing.T) {
+	f := watchdog.NewFactory()
+	SetFactory(f)
+	defer SetFactory(nil)
+	buf := []byte("original")
+	Capture("c", map[string]any{"data": buf})
+	buf[0] = 'X'
+	if got := f.Context("c").GetBytes("data"); string(got) != "original" {
+		t.Fatalf("captured value aliased main-program buffer: %q", got)
+	}
+}
+
+func TestCaptureConcurrent(t *testing.T) {
+	f := watchdog.NewFactory()
+	SetFactory(f)
+	defer SetFactory(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				Capture("hot", map[string]any{"n": int64(j)})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if f.Context("hot").Version() != 1600 {
+		t.Fatalf("version = %d, want 1600", f.Context("hot").Version())
+	}
+}
+
+func BenchmarkCaptureDisabled(b *testing.B) {
+	SetFactory(nil)
+	vals := map[string]any{"op": "f.Write"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Capture("kvs.flusher", vals)
+	}
+}
+
+func BenchmarkCaptureEnabled(b *testing.B) {
+	f := watchdog.NewFactory()
+	SetFactory(f)
+	defer SetFactory(nil)
+	vals := map[string]any{"op": "f.Write"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Capture("kvs.flusher", vals)
+	}
+}

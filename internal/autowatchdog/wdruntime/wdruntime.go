@@ -1,0 +1,148 @@
+// Package wdruntime is the runtime support library for generated watchdogs.
+//
+// AutoWatchdog reduces each long-running region to its vulnerable
+// operations, classified by kind (disk write, disk read, network send, ...).
+// The generated checker invokes MimicOp once per retained operation;
+// MimicOp performs a real operation of that kind — real disk I/O on the
+// shadow filesystem, a real network dial — parameterized by context values
+// captured by the generated hooks:
+//
+//	"wd.payload" ([]byte) — sample payload for disk mimics
+//	"wd.addr"    (string) — remote address for network mimics
+//
+// Kinds with no safe generic mimic (lock acquisition, channel operations)
+// record the visit and return nil: they still contribute pinpoint sites for
+// hang detection when a developer upgrades them to a hand-written mimic.
+package wdruntime
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/watchdog/wdio"
+)
+
+// Kind mirrors autowatchdog.OpKind without importing the analyzer (the
+// generated code only depends on this runtime).
+type Kind int
+
+// Kinds, numerically aligned with autowatchdog.OpKind.
+const (
+	DiskWrite Kind = iota
+	DiskRead
+	NetSend
+	NetRecv
+	Sync
+	Chan
+	Generic
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case DiskWrite:
+		return "disk-write"
+	case DiskRead:
+		return "disk-read"
+	case NetSend:
+		return "net-send"
+	case NetRecv:
+		return "net-recv"
+	case Sync:
+		return "sync"
+	case Chan:
+		return "chan"
+	default:
+		return "generic"
+	}
+}
+
+// MimicOp executes one reduced vulnerable operation of the given kind inside
+// watchdog.Op at the given site.
+func MimicOp(ctx *watchdog.Context, shadow *wdio.FS, site watchdog.Site, kind Kind) error {
+	return watchdog.Op(ctx, site, func() error {
+		switch kind {
+		case DiskWrite:
+			return mimicDiskWrite(ctx, shadow, site)
+		case DiskRead:
+			return mimicDiskRead(ctx, shadow, site)
+		case NetSend, NetRecv:
+			return mimicNet(ctx)
+		case Sync, Chan, Generic:
+			// No safe generic mimic; the site is still registered for
+			// pinpointing, and the visit itself proves the checker runs.
+			return nil
+		default:
+			return fmt.Errorf("wdruntime: unknown kind %d", kind)
+		}
+	})
+}
+
+// payload returns the captured payload or a default probe.
+func payload(ctx *watchdog.Context) []byte {
+	if p := ctx.GetBytes("wd.payload"); len(p) > 0 {
+		return p
+	}
+	return []byte("wdruntime probe payload 0123456789")
+}
+
+// probeName renders a per-site probe filename.
+func probeName(site watchdog.Site) string {
+	return fmt.Sprintf("gen/%s_%d.probe", sanitize(site.Op), site.Line)
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func mimicDiskWrite(ctx *watchdog.Context, shadow *wdio.FS, site watchdog.Site) error {
+	if shadow == nil {
+		return fmt.Errorf("wdruntime: disk mimic without shadow FS")
+	}
+	return shadow.RoundTrip(probeName(site), payload(ctx))
+}
+
+func mimicDiskRead(ctx *watchdog.Context, shadow *wdio.FS, site watchdog.Site) error {
+	if shadow == nil {
+		return fmt.Errorf("wdruntime: disk mimic without shadow FS")
+	}
+	name := probeName(site)
+	if err := shadow.WriteFile(name, payload(ctx)); err != nil {
+		return err
+	}
+	got, err := shadow.ReadFile(name)
+	if err != nil {
+		return err
+	}
+	want := payload(ctx)
+	if len(got) != len(want) {
+		return fmt.Errorf("wdruntime: read back %d bytes, wrote %d", len(got), len(want))
+	}
+	return shadow.Remove(name)
+}
+
+// mimicNet dials the captured remote address. Without a captured address
+// the mimic is skipped — the context has not proven the main program talks
+// to anyone yet.
+func mimicNet(ctx *watchdog.Context) error {
+	addr := ctx.GetString("wd.addr")
+	if addr == "" {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return fmt.Errorf("wdruntime: dial %s: %w", addr, err)
+	}
+	return conn.Close()
+}

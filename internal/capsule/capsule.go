@@ -1,0 +1,258 @@
+// Package capsule implements the paper's §5.2 failure-reproduction
+// opportunity: "since mimic-type watchdogs not only isolate the faulty code
+// regions but also capture the failure-inducing context (e.g., a corrupt
+// message), developers can leverage the recorded information for failure
+// reproduction and postmortem analysis."
+//
+// A Capsule serializes a watchdog report — the checker, the pinpointed
+// site, and the hook-captured payload — to JSON. Replay rebuilds the
+// checker's context from the capsule and re-executes the checker, so a
+// production failure can be reproduced on a developer machine with the
+// exact payload that triggered it.
+package capsule
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"gowatchdog/internal/watchdog"
+)
+
+// Value is one payload entry with a type tag so JSON round trips preserve
+// Go types for the kinds hooks capture.
+type Value struct {
+	// Type is one of "string", "int", "float", "bool", "bytes", "strings",
+	// or "other" (rendered with %v, not replayable precisely).
+	Type string `json:"type"`
+	// Data is the encoded value (base64 for bytes).
+	Data json.RawMessage `json:"data"`
+}
+
+// Capsule is the serialized failure record.
+type Capsule struct {
+	// Checker is the reporting checker's name.
+	Checker string `json:"checker"`
+	// Status is the report status string.
+	Status string `json:"status"`
+	// Error is the report error text.
+	Error string `json:"error,omitempty"`
+	// Site is the pinpointed vulnerable operation.
+	Site watchdog.Site `json:"site"`
+	// Payload is the typed failure-inducing context.
+	Payload map[string]Value `json:"payload"`
+	// Time is when the report was produced.
+	Time time.Time `json:"time"`
+	// Latency is the checker latency in nanoseconds.
+	Latency time.Duration `json:"latency_ns"`
+}
+
+// FromReport captures a report into a capsule.
+func FromReport(rep watchdog.Report) *Capsule {
+	c := &Capsule{
+		Checker: rep.Checker,
+		Status:  rep.Status.String(),
+		Site:    rep.Site,
+		Payload: make(map[string]Value, len(rep.Payload)),
+		Time:    rep.Time,
+		Latency: rep.Latency,
+	}
+	if rep.Err != nil {
+		c.Error = rep.Err.Error()
+	}
+	for k, v := range rep.Payload {
+		c.Payload[k] = encodeValue(v)
+	}
+	return c
+}
+
+func encodeValue(v any) Value {
+	marshal := func(t string, x any) Value {
+		data, err := json.Marshal(x)
+		if err != nil {
+			data, _ = json.Marshal(fmt.Sprint(x))
+			t = "other"
+		}
+		return Value{Type: t, Data: data}
+	}
+	switch x := v.(type) {
+	case string:
+		return marshal("string", x)
+	case []byte:
+		return marshal("bytes", base64.StdEncoding.EncodeToString(x))
+	case bool:
+		return marshal("bool", x)
+	case int:
+		return marshal("int", int64(x))
+	case int8:
+		return marshal("int", int64(x))
+	case int16:
+		return marshal("int", int64(x))
+	case int32:
+		return marshal("int", int64(x))
+	case int64:
+		return marshal("int", x)
+	case uint:
+		return marshal("int", int64(x))
+	case uint8:
+		return marshal("int", int64(x))
+	case uint16:
+		return marshal("int", int64(x))
+	case uint32:
+		return marshal("int", int64(x))
+	case uint64:
+		return marshal("int", int64(x))
+	case float32:
+		return marshal("float", float64(x))
+	case float64:
+		return marshal("float", x)
+	case []string:
+		return marshal("strings", x)
+	default:
+		return marshal("other", fmt.Sprint(x))
+	}
+}
+
+// decodeValue reverses encodeValue.
+func decodeValue(v Value) (any, error) {
+	switch v.Type {
+	case "string", "other":
+		var s string
+		err := json.Unmarshal(v.Data, &s)
+		return s, err
+	case "bytes":
+		var s string
+		if err := json.Unmarshal(v.Data, &s); err != nil {
+			return nil, err
+		}
+		return base64.StdEncoding.DecodeString(s)
+	case "bool":
+		var b bool
+		err := json.Unmarshal(v.Data, &b)
+		return b, err
+	case "int":
+		var n int64
+		err := json.Unmarshal(v.Data, &n)
+		return n, err
+	case "float":
+		var f float64
+		err := json.Unmarshal(v.Data, &f)
+		return f, err
+	case "strings":
+		var ss []string
+		err := json.Unmarshal(v.Data, &ss)
+		return ss, err
+	default:
+		return nil, fmt.Errorf("capsule: unknown value type %q", v.Type)
+	}
+}
+
+// Marshal renders the capsule as indented JSON.
+func (c *Capsule) Marshal() ([]byte, error) {
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// Unmarshal parses a capsule from JSON.
+func Unmarshal(data []byte) (*Capsule, error) {
+	var c Capsule
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("capsule: %w", err)
+	}
+	return &c, nil
+}
+
+// WriteFile stores the capsule at path.
+func (c *Capsule) WriteFile(path string) error {
+	data, err := c.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile loads a capsule from path.
+func ReadFile(path string) (*Capsule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(data)
+}
+
+// RestoreContext rebuilds a ready checker context carrying the capsule's
+// payload — the state the hooks had captured when the failure occurred.
+func (c *Capsule) RestoreContext() (*watchdog.Context, error) {
+	ctx := watchdog.NewContext()
+	vals := make(map[string]any, len(c.Payload))
+	for k, v := range c.Payload {
+		dv, err := decodeValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("capsule: payload %q: %w", k, err)
+		}
+		vals[k] = dv
+	}
+	ctx.PutAll(vals)
+	if len(vals) == 0 {
+		ctx.MarkReady()
+	}
+	return ctx, nil
+}
+
+// Replay re-executes the checker against the capsule's restored context and
+// returns the resulting report. If the fault was environmental and the
+// environment has recovered, Replay comes back healthy — itself a useful
+// postmortem datum.
+func Replay(chk watchdog.Checker, c *Capsule) (watchdog.Report, error) {
+	ctx, err := c.RestoreContext()
+	if err != nil {
+		return watchdog.Report{}, err
+	}
+	d := watchdog.New()
+	d.Register(chk, watchdog.WithContext(ctx))
+	return d.CheckNow(chk.Name())
+}
+
+// Recorder subscribes to a driver's reports and persists a capsule for
+// every abnormal one, named <dir>/<checker>-<seq>.json.
+type Recorder struct {
+	dir string
+	seq int
+}
+
+// NewRecorder creates dir and returns a recorder.
+func NewRecorder(dir string) (*Recorder, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Recorder{dir: dir}, nil
+}
+
+// OnReport implements the driver report-listener signature; wire it with
+// driver.OnReport(rec.OnReport). It is not safe for concurrent use by
+// multiple drivers.
+func (r *Recorder) OnReport(rep watchdog.Report) {
+	if !rep.Status.Abnormal() {
+		return
+	}
+	r.seq++
+	path := fmt.Sprintf("%s/%s-%04d.json", r.dir, sanitizeName(rep.Checker), r.seq)
+	_ = FromReport(rep).WriteFile(path)
+}
+
+// Captured returns how many capsules have been written.
+func (r *Recorder) Captured() int { return r.seq }
+
+func sanitizeName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '-':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

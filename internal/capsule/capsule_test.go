@@ -1,0 +1,252 @@
+package capsule
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gowatchdog/internal/faultinject"
+	"gowatchdog/internal/kvs"
+	"gowatchdog/internal/watchdog"
+)
+
+func sampleReport() watchdog.Report {
+	return watchdog.Report{
+		Checker: "kvs.flusher",
+		Status:  watchdog.StatusError,
+		Err:     errors.New("sstable write: EIO"),
+		Site:    watchdog.Site{Function: "kvs.flush", Op: "sstable.Write", File: "flush.go", Line: 56},
+		Payload: map[string]any{
+			"partition": int64(2),
+			"path":      "/data/p002/000007.sst",
+			"sample":    []byte{0x01, 0x02, 0xFF},
+			"entries":   42,
+			"ratio":     0.5,
+			"forced":    true,
+			"tags":      []string{"a", "b"},
+		},
+		Latency: 120 * time.Millisecond,
+		Time:    time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestCapsuleRoundTrip(t *testing.T) {
+	c := FromReport(sampleReport())
+	data, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Checker != "kvs.flusher" || back.Status != "error" ||
+		back.Error != "sstable write: EIO" {
+		t.Fatalf("capsule = %+v", back)
+	}
+	if back.Site.Op != "sstable.Write" || back.Site.Line != 56 {
+		t.Fatalf("site = %+v", back.Site)
+	}
+	ctx, err := back.RestoreContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.Ready() {
+		t.Fatal("restored context not ready")
+	}
+	if ctx.GetInt("partition") != 2 {
+		t.Fatalf("partition = %d", ctx.GetInt("partition"))
+	}
+	if ctx.GetString("path") != "/data/p002/000007.sst" {
+		t.Fatalf("path = %q", ctx.GetString("path"))
+	}
+	if b := ctx.GetBytes("sample"); len(b) != 3 || b[2] != 0xFF {
+		t.Fatalf("sample = %v", b)
+	}
+	if v, _ := ctx.Get("forced"); v != true {
+		t.Fatalf("forced = %v", v)
+	}
+	if v, _ := ctx.Get("ratio"); v != 0.5 {
+		t.Fatalf("ratio = %v", v)
+	}
+	if v, _ := ctx.Get("tags"); len(v.([]string)) != 2 {
+		t.Fatalf("tags = %v", v)
+	}
+}
+
+func TestCapsuleFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "failure.json")
+	if err := FromReport(sampleReport()).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Checker != "kvs.flusher" {
+		t.Fatalf("checker = %q", back.Checker)
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("not json")); err == nil {
+		t.Fatal("garbage unmarshalled")
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file read")
+	}
+}
+
+func TestRestoreContextUnknownType(t *testing.T) {
+	c := &Capsule{Payload: map[string]Value{
+		"bad": {Type: "alien", Data: []byte(`"x"`)},
+	}}
+	if _, err := c.RestoreContext(); err == nil {
+		t.Fatal("unknown type restored")
+	}
+}
+
+func TestEmptyPayloadStillReady(t *testing.T) {
+	c := FromReport(watchdog.Report{Checker: "c", Status: watchdog.StatusStuck})
+	ctx, err := c.RestoreContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.Ready() {
+		t.Fatal("empty-payload context not ready")
+	}
+}
+
+// TestReplayReproducesEnvironmentalFault is the full §5.2 story: capture a
+// capsule from a failing kvs checker, then replay it — with the fault still
+// present it reproduces; with the environment recovered it comes back
+// healthy.
+func TestReplayReproducesEnvironmentalFault(t *testing.T) {
+	store, err := kvs.Open(kvs.Config{Dir: t.TempDir(), FlushThresholdBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	chk := watchdog.NewChecker("repro.flush", func(ctx *watchdog.Context) error {
+		site := watchdog.Site{Function: "kvs.flush", Op: "sstable.Write"}
+		return watchdog.Op(ctx, site, func() error {
+			return store.Injector().Fire(kvs.FaultFlushWrite)
+		})
+	})
+
+	// Production: the fault fires; the watchdog reports; a capsule is cut.
+	store.Injector().Arm(kvs.FaultFlushWrite, faultinject.Fault{Kind: faultinject.Error})
+	d := watchdog.New()
+	readyCtx := watchdog.NewContext()
+	readyCtx.Put("batch", []byte("the failure-inducing payload"))
+	d.Register(chk, watchdog.WithContext(readyCtx))
+	rep, _ := d.CheckNow("repro.flush")
+	if rep.Status != watchdog.StatusError {
+		t.Fatalf("production report = %v", rep.Status)
+	}
+	c := FromReport(rep)
+
+	// Postmortem, fault still present: replay reproduces.
+	replayed, err := Replay(chk, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.Status != watchdog.StatusError {
+		t.Fatalf("replay with live fault = %v", replayed.Status)
+	}
+	if string(replayed.Payload["batch"].([]byte)) != "the failure-inducing payload" {
+		t.Fatalf("replay lost payload: %v", replayed.Payload)
+	}
+
+	// Environment recovered: replay is healthy.
+	store.Injector().Clear()
+	replayed, err = Replay(chk, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.Status != watchdog.StatusHealthy {
+		t.Fatalf("replay after recovery = %v", replayed.Status)
+	}
+}
+
+func TestRecorderPersistsAbnormalReports(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := NewRecorder(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.OnReport(watchdog.Report{Checker: "ok", Status: watchdog.StatusHealthy})
+	rec.OnReport(watchdog.Report{Checker: "kvs.wal", Status: watchdog.StatusError,
+		Err: errors.New("x"), Payload: map[string]any{"k": "v"}})
+	rec.OnReport(watchdog.Report{Checker: "coord/sync", Status: watchdog.StatusStuck})
+	if rec.Captured() != 2 {
+		t.Fatalf("Captured = %d", rec.Captured())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("files = %d", len(entries))
+	}
+	// Filenames are sanitized and parseable capsules.
+	for _, e := range entries {
+		c, err := ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if c.Status == "healthy" {
+			t.Fatal("healthy report persisted")
+		}
+	}
+}
+
+// Property: payload values of every supported kind survive the round trip.
+func TestPayloadRoundTripProperty(t *testing.T) {
+	f := func(s string, n int64, fl float64, b bool, raw []byte) bool {
+		rep := watchdog.Report{
+			Checker: "p", Status: watchdog.StatusError,
+			Payload: map[string]any{
+				"s": s, "n": n, "f": fl, "b": b, "raw": raw,
+			},
+		}
+		data, err := FromReport(rep).Marshal()
+		if err != nil {
+			return false
+		}
+		back, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		ctx, err := back.RestoreContext()
+		if err != nil {
+			return false
+		}
+		if ctx.GetString("s") != s || ctx.GetInt("n") != n {
+			return false
+		}
+		gotF, _ := ctx.Get("f")
+		if gotF != fl && !(fl != fl && gotF != gotF) { // NaN-tolerant
+			// json cannot encode NaN/Inf; encodeValue falls back to string
+			if _, isStr := gotF.(string); !isStr {
+				return false
+			}
+		}
+		gotRaw := ctx.GetBytes("raw")
+		if len(gotRaw) != len(raw) {
+			return false
+		}
+		for i := range raw {
+			if gotRaw[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,286 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealClockBasics(t *testing.T) {
+	c := Real()
+	start := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Since(start) <= 0 {
+		t.Fatal("Since returned non-positive duration after Sleep")
+	}
+	tm := c.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(time.Second):
+		t.Fatal("real timer did not fire")
+	}
+	tk := c.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(time.Second):
+		t.Fatal("real ticker did not fire")
+	}
+}
+
+func TestVirtualNowAdvance(t *testing.T) {
+	v := NewVirtual()
+	start := v.Now()
+	v.Advance(5 * time.Second)
+	if got := v.Since(start); got != 5*time.Second {
+		t.Fatalf("Since = %v, want 5s", got)
+	}
+	v.AdvanceTo(start.Add(10 * time.Second))
+	if got := v.Since(start); got != 10*time.Second {
+		t.Fatalf("Since after AdvanceTo = %v, want 10s", got)
+	}
+}
+
+func TestVirtualAfterFiresAtDeadline(t *testing.T) {
+	v := NewVirtual()
+	ch := v.After(3 * time.Second)
+	v.Advance(2 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before deadline")
+	default:
+	}
+	v.Advance(time.Second)
+	select {
+	case ts := <-ch:
+		if want := v.Now(); !ts.Equal(want) {
+			t.Fatalf("fired with time %v, want %v", ts, want)
+		}
+	default:
+		t.Fatal("After did not fire at deadline")
+	}
+}
+
+func TestVirtualSleepBlocksUntilAdvance(t *testing.T) {
+	v := NewVirtual()
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(time.Second)
+		close(done)
+	}()
+	v.BlockUntil(1)
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before Advance")
+	default:
+	}
+	v.Advance(time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep did not return after Advance")
+	}
+}
+
+func TestVirtualSleepZeroReturnsImmediately(t *testing.T) {
+	v := NewVirtual()
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(0)
+		v.Sleep(-time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep(<=0) blocked")
+	}
+}
+
+func TestVirtualTimerStop(t *testing.T) {
+	v := NewVirtual()
+	tm := v.NewTimer(time.Second)
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	v.Advance(2 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+func TestVirtualTimerReset(t *testing.T) {
+	v := NewVirtual()
+	tm := v.NewTimer(time.Second)
+	tm.Reset(5 * time.Second)
+	v.Advance(time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("reset timer fired at original deadline")
+	default:
+	}
+	v.Advance(4 * time.Second)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("reset timer did not fire at new deadline")
+	}
+}
+
+func TestVirtualTickerFiresRepeatedly(t *testing.T) {
+	v := NewVirtual()
+	tk := v.NewTicker(time.Second)
+	defer tk.Stop()
+	for i := 0; i < 3; i++ {
+		v.Advance(time.Second)
+		select {
+		case <-tk.C():
+		default:
+			t.Fatalf("tick %d not delivered", i)
+		}
+	}
+}
+
+func TestVirtualTickerCoalescesWhenNotDrained(t *testing.T) {
+	v := NewVirtual()
+	tk := v.NewTicker(time.Second)
+	defer tk.Stop()
+	// Advance across 5 periods without draining: only one tick is buffered,
+	// matching time.Ticker's drop behaviour.
+	v.Advance(5 * time.Second)
+	n := 0
+	for {
+		select {
+		case <-tk.C():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Fatalf("buffered ticks = %d, want 1", n)
+	}
+}
+
+func TestVirtualTickerStop(t *testing.T) {
+	v := NewVirtual()
+	tk := v.NewTicker(time.Second)
+	tk.Stop()
+	v.Advance(3 * time.Second)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker fired")
+	default:
+	}
+}
+
+func TestVirtualFiringOrderIsDeterministic(t *testing.T) {
+	v := NewVirtual()
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	durations := []time.Duration{3 * time.Second, time.Second, 2 * time.Second}
+	for i, d := range durations {
+		wg.Add(1)
+		go func(i int, d time.Duration) {
+			defer wg.Done()
+			v.Sleep(d)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}(i, d)
+	}
+	v.BlockUntil(3)
+	// Advance step by step so the completion order is observable.
+	for i := 0; i < 3; i++ {
+		v.Advance(time.Second)
+		time.Sleep(10 * time.Millisecond) // let the released goroutine record itself
+	}
+	wg.Wait()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("firing order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestVirtualTieBreakByCreationOrder(t *testing.T) {
+	v := NewVirtual()
+	a := v.After(time.Second)
+	b := v.After(time.Second)
+	v.Advance(time.Second)
+	ta := <-a
+	tb := <-b
+	if ta.After(tb) {
+		t.Fatalf("earlier-created waiter fired later: %v > %v", ta, tb)
+	}
+}
+
+func TestVirtualWaitersCount(t *testing.T) {
+	v := NewVirtual()
+	if got := v.Waiters(); got != 0 {
+		t.Fatalf("Waiters = %d, want 0", got)
+	}
+	tm := v.NewTimer(time.Second)
+	tk := v.NewTicker(time.Second)
+	if got := v.Waiters(); got != 2 {
+		t.Fatalf("Waiters = %d, want 2", got)
+	}
+	tm.Stop()
+	tk.Stop()
+	if got := v.Waiters(); got != 0 {
+		t.Fatalf("Waiters after stop = %d, want 0", got)
+	}
+}
+
+func TestVirtualNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewVirtual().Advance(-time.Second)
+}
+
+func TestVirtualNonPositiveTickerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTicker(0) did not panic")
+		}
+	}()
+	NewVirtual().NewTicker(0)
+}
+
+func TestVirtualConcurrentAdvanceAndRegister(t *testing.T) {
+	v := NewVirtual()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				v.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			v.Advance(time.Millisecond)
+		}
+	}
+}

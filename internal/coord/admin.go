@@ -1,0 +1,125 @@
+package coord
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// AdminServer serves ZooKeeper-style four-letter admin commands ("ruok",
+// "stat") from a dedicated listener that shares no state with the write
+// pipeline — which is why, as in the paper's case study, it reports the
+// leader healthy throughout ZK-2201.
+type AdminServer struct {
+	ln     net.Listener
+	leader *Leader
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	stop   bool
+}
+
+// ServeAdmin starts the admin listener on addr.
+func ServeAdmin(addr string, leader *Leader) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a := &AdminServer{ln: ln, leader: leader, conns: make(map[net.Conn]struct{})}
+	a.wg.Add(1)
+	go a.acceptLoop()
+	return a, nil
+}
+
+// Addr returns the admin listener address.
+func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the admin server.
+func (a *AdminServer) Close() error {
+	a.mu.Lock()
+	a.stop = true
+	for c := range a.conns {
+		c.Close()
+	}
+	a.mu.Unlock()
+	err := a.ln.Close()
+	a.wg.Wait()
+	return err
+}
+
+func (a *AdminServer) acceptLoop() {
+	defer a.wg.Done()
+	for {
+		conn, err := a.ln.Accept()
+		if err != nil {
+			return
+		}
+		a.mu.Lock()
+		if a.stop {
+			a.mu.Unlock()
+			conn.Close()
+			return
+		}
+		a.conns[conn] = struct{}{}
+		a.mu.Unlock()
+		a.wg.Add(1)
+		go a.handle(conn)
+	}
+}
+
+func (a *AdminServer) handle(conn net.Conn) {
+	defer a.wg.Done()
+	defer func() {
+		a.mu.Lock()
+		delete(a.conns, conn)
+		a.mu.Unlock()
+		conn.Close()
+	}()
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		cmd := strings.TrimSpace(strings.ToLower(sc.Text()))
+		var resp string
+		switch cmd {
+		case "ruok":
+			// "Are you ok?" — answered from this dedicated thread using no
+			// pipeline state: the answer is yes as long as the process and
+			// this listener are alive.
+			resp = "imok\n"
+		case "stat":
+			assigned, committed := a.leader.Zxids()
+			resp = fmt.Sprintf(
+				"Mode: leader\nZxid: %d\nCommitted: %d\nSessions: %d\nNodes: %d\nHeartbeats: %d\n",
+				assigned, committed, a.leader.Sessions().Len(),
+				a.leader.Tree().Count(),
+				a.leader.Metrics().Counter("coord.heartbeats").Value())
+		default:
+			resp = "unknown command\n"
+		}
+		if _, err := conn.Write([]byte(resp)); err != nil {
+			return
+		}
+	}
+}
+
+// AdminRuok issues a "ruok" probe to an admin server and reports whether it
+// answered "imok" — the external admin monitoring command from §4.2.
+func AdminRuok(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ruok\n")); err != nil {
+		return err
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(line) != "imok" {
+		return fmt.Errorf("coord: admin answered %q", strings.TrimSpace(line))
+	}
+	return nil
+}

@@ -1,0 +1,304 @@
+package coord
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Server exposes the leader over a line-based client protocol:
+//
+//	CREATE <path> <data>   -> OK | ERR <msg>
+//	SET <path> <data>      -> OK | ERR <msg>
+//	DEL <path>             -> OK | ERR <msg>
+//	GET <path>             -> DATA <ver> <data> | ERR <msg>
+//	CHILDREN <path>        -> COUNT <n> then n name lines | ERR <msg>
+//	SESSION                -> SESSION <id>
+//	PING <session-id>      -> PONG | ERR expired
+//
+// Writes go through the request pipeline (and thus wedge during ZK-2201);
+// reads are served directly from the data tree (and thus keep working).
+type Server struct {
+	ln     net.Listener
+	leader *Leader
+	// WriteTimeout bounds how long a client write waits on the pipeline.
+	writeTimeout time.Duration
+
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	stop  bool
+}
+
+// ServeClients starts the client listener on addr.
+func ServeClients(addr string, leader *Leader, writeTimeout time.Duration) (*Server, error) {
+	if writeTimeout <= 0 {
+		writeTimeout = 10 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, leader: leader, writeTimeout: writeTimeout,
+		conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the client listener address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.stop = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.stop {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		resp := s.dispatch(sc.Text())
+		if _, err := w.WriteString(resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(line string) string {
+	cmd, rest, _ := strings.Cut(line, " ")
+	switch strings.ToUpper(cmd) {
+	case "CREATE", "SET":
+		path, data, ok := strings.Cut(rest, " ")
+		if !ok && rest == "" {
+			return "ERR usage: " + cmd + " <path> <data>\n"
+		}
+		if !ok {
+			path = rest
+		}
+		op := OpCreate
+		if strings.EqualFold(cmd, "SET") {
+			op = OpSet
+		}
+		if err := s.leader.SubmitWait(op, path, []byte(data), s.writeTimeout); err != nil {
+			return "ERR " + err.Error() + "\n"
+		}
+		return "OK\n"
+	case "DEL":
+		if rest == "" {
+			return "ERR usage: DEL <path>\n"
+		}
+		if err := s.leader.SubmitWait(OpDelete, rest, nil, s.writeTimeout); err != nil {
+			return "ERR " + err.Error() + "\n"
+		}
+		return "OK\n"
+	case "GET":
+		if rest == "" {
+			return "ERR usage: GET <path>\n"
+		}
+		data, ver, err := s.leader.Tree().Get(rest)
+		if err != nil {
+			return "ERR " + err.Error() + "\n"
+		}
+		return fmt.Sprintf("DATA %d %s\n", ver, data)
+	case "CHILDREN":
+		if rest == "" {
+			return "ERR usage: CHILDREN <path>\n"
+		}
+		kids, err := s.leader.Tree().Children(rest)
+		if err != nil {
+			return "ERR " + err.Error() + "\n"
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "COUNT %d\n", len(kids))
+		for _, k := range kids {
+			b.WriteString(k + "\n")
+		}
+		return b.String()
+	case "SESSION":
+		id := s.leader.Sessions().Open()
+		return fmt.Sprintf("SESSION %d\n", id)
+	case "PING":
+		var id int64
+		if _, err := fmt.Sscanf(rest, "%d", &id); err != nil {
+			return "ERR usage: PING <session-id>\n"
+		}
+		if !s.leader.Sessions().Touch(id) {
+			return "ERR session expired\n"
+		}
+		return "PONG\n"
+	default:
+		return "ERR unknown command\n"
+	}
+}
+
+// Client is a synchronous client for the coord client protocol. Not safe
+// for concurrent use.
+type Client struct {
+	conn    net.Conn
+	r       *bufio.Reader
+	timeout time.Duration
+	session int64
+}
+
+// DialClient connects to a coord client server.
+func DialClient(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), timeout: timeout}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(line string) (string, error) {
+	c.conn.SetDeadline(time.Now().Add(c.timeout))
+	if _, err := fmt.Fprintf(c.conn, "%s\n", line); err != nil {
+		return "", err
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSuffix(resp, "\n"), nil
+}
+
+func coordExpectOK(resp string, err error) error {
+	if err != nil {
+		return err
+	}
+	if resp == "OK" {
+		return nil
+	}
+	return fmt.Errorf("coord: %s", strings.TrimPrefix(resp, "ERR "))
+}
+
+// Create creates a node.
+func (c *Client) Create(path, data string) error {
+	return coordExpectOK(c.roundTrip("CREATE " + path + " " + data))
+}
+
+// Set replaces a node's data.
+func (c *Client) Set(path, data string) error {
+	return coordExpectOK(c.roundTrip("SET " + path + " " + data))
+}
+
+// Del deletes a node.
+func (c *Client) Del(path string) error {
+	return coordExpectOK(c.roundTrip("DEL " + path))
+}
+
+// Get reads a node.
+func (c *Client) Get(path string) (data string, version int64, err error) {
+	resp, err := c.roundTrip("GET " + path)
+	if err != nil {
+		return "", 0, err
+	}
+	if strings.HasPrefix(resp, "ERR ") {
+		return "", 0, fmt.Errorf("coord: %s", strings.TrimPrefix(resp, "ERR "))
+	}
+	var ver int64
+	rest := strings.TrimPrefix(resp, "DATA ")
+	verStr, data, _ := strings.Cut(rest, " ")
+	if _, err := fmt.Sscanf(verStr, "%d", &ver); err != nil {
+		return "", 0, fmt.Errorf("coord: bad response %q", resp)
+	}
+	return data, ver, nil
+}
+
+// Children lists a node's children.
+func (c *Client) Children(path string) ([]string, error) {
+	resp, err := c.roundTrip("CHILDREN " + path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasPrefix(resp, "ERR ") {
+		return nil, fmt.Errorf("coord: %s", strings.TrimPrefix(resp, "ERR "))
+	}
+	var n int
+	if _, err := fmt.Sscanf(resp, "COUNT %d", &n); err != nil {
+		return nil, fmt.Errorf("coord: bad response %q", resp)
+	}
+	kids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, strings.TrimSuffix(line, "\n"))
+	}
+	return kids, nil
+}
+
+// OpenSession opens a session and remembers its ID for Ping.
+func (c *Client) OpenSession() (int64, error) {
+	resp, err := c.roundTrip("SESSION")
+	if err != nil {
+		return 0, err
+	}
+	var id int64
+	if _, err := fmt.Sscanf(resp, "SESSION %d", &id); err != nil {
+		return 0, fmt.Errorf("coord: bad response %q", resp)
+	}
+	c.session = id
+	return id, nil
+}
+
+// Ping touches the client's session.
+func (c *Client) Ping() error {
+	resp, err := c.roundTrip(fmt.Sprintf("PING %d", c.session))
+	if err != nil {
+		return err
+	}
+	if resp != "PONG" {
+		return fmt.Errorf("coord: %s", strings.TrimPrefix(resp, "ERR "))
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package coord
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gowatchdog/internal/faultinject"
+)
+
+func clientServer(t *testing.T) (*Client, *Leader) {
+	t.Helper()
+	l := standaloneLeader(t, nil)
+	srv, err := ServeClients("127.0.0.1:0", l, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := DialClient(srv.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, l
+}
+
+func TestClientCreateGetSetDel(t *testing.T) {
+	c, _ := clientServer(t)
+	if err := c.Create("/svc", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	data, ver, err := c.Get("/svc")
+	if err != nil || data != "v1" || ver != 0 {
+		t.Fatalf("Get = %q v%d %v", data, ver, err)
+	}
+	if err := c.Set("/svc", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	data, ver, _ = c.Get("/svc")
+	if data != "v2" || ver != 1 {
+		t.Fatalf("after Set: %q v%d", data, ver)
+	}
+	if err := c.Del("/svc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get("/svc"); err == nil {
+		t.Fatal("Get after Del succeeded")
+	}
+}
+
+func TestClientChildren(t *testing.T) {
+	c, _ := clientServer(t)
+	c.Create("/app", "")
+	c.Create("/app/b", "")
+	c.Create("/app/a", "")
+	kids, err := c.Children("/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kids) != 2 || kids[0] != "a" || kids[1] != "b" {
+		t.Fatalf("kids = %v", kids)
+	}
+	if _, err := c.Children("/missing"); err == nil {
+		t.Fatal("Children of missing node succeeded")
+	}
+}
+
+func TestClientSessionPing(t *testing.T) {
+	c, l := clientServer(t)
+	id, err := c.OpenSession()
+	if err != nil || id == 0 {
+		t.Fatalf("OpenSession = %d, %v", id, err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	l.Sessions().Close(id)
+	if err := c.Ping(); err == nil || !strings.Contains(err.Error(), "expired") {
+		t.Fatalf("Ping on closed session: %v", err)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	c, _ := clientServer(t)
+	if err := c.Create("relative", "x"); err == nil {
+		t.Fatal("bad path accepted")
+	}
+	if err := c.Set("/missing", "x"); err == nil {
+		t.Fatal("Set on missing node accepted")
+	}
+	resp, err := c.roundTrip("WAT")
+	if err != nil || !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("unknown command: %q %v", resp, err)
+	}
+	resp, _ = c.roundTrip("PING abc")
+	if !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("bad ping: %q", resp)
+	}
+}
+
+func TestClientWritesTimeOutDuringZK2201ButReadsServe(t *testing.T) {
+	f, err := NewFollower("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	l := standaloneLeader(t, func(cfg *LeaderConfig) { cfg.FollowerAddr = f.Addr() })
+	srv, err := ServeClients("127.0.0.1:0", l, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := DialClient(srv.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	if err := c.Create("/app", "x"); err != nil {
+		t.Fatal(err)
+	}
+	l.Injector().Arm(FaultSyncSend, faultinject.Fault{Kind: faultinject.Hang})
+	defer l.Injector().Clear()
+
+	// Client-visible symptom: writes time out...
+	if err := c.Create("/app/hung", "x"); err == nil ||
+		!strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("write during black hole: %v", err)
+	}
+	// ...while reads keep answering on the same connection.
+	data, _, err := c.Get("/app")
+	if err != nil || data != "x" {
+		t.Fatalf("read during black hole = %q, %v", data, err)
+	}
+}

@@ -1,0 +1,127 @@
+package coord
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gowatchdog/internal/clock"
+	"gowatchdog/internal/faultinject"
+	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/watchdog/wdio"
+)
+
+func TestSnapshotServicePeriodicAndPruned(t *testing.T) {
+	v := clock.NewVirtual()
+	l := NewLeader(LeaderConfig{Clock: v})
+	l.Start()
+	t.Cleanup(l.Close)
+	l.tree.Create("/data", []byte("x"))
+
+	dir := t.TempDir()
+	svc, err := l.StartSnapshotService(dir, 10*time.Second, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+
+	// Wait for both background waiters (heartbeat ticker + snapshot ticker).
+	v.BlockUntil(2)
+	for i := 0; i < 5; i++ {
+		v.Advance(10 * time.Second)
+		// Give the goroutine wall time to consume the tick.
+		waitFor(t, time.Second, func() bool {
+			return l.Metrics().Counter("coord.snapshots").Value() >= int64(i+1)
+		})
+	}
+	snaps, err := svc.Snapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots kept = %d, want 2 (pruned)", len(snaps))
+	}
+
+	// The newest snapshot restores the tree.
+	tree, ok, err := RestoreLatest(dir)
+	if err != nil || !ok {
+		t.Fatalf("RestoreLatest: %v ok=%v", err, ok)
+	}
+	if data, _, err := tree.Get("/data"); err != nil || string(data) != "x" {
+		t.Fatalf("restored Get = %q, %v", data, err)
+	}
+}
+
+func TestSnapshotServiceFaultCountsError(t *testing.T) {
+	v := clock.NewVirtual()
+	l := NewLeader(LeaderConfig{Clock: v})
+	l.Start()
+	t.Cleanup(l.Close)
+	l.Injector().Arm(FaultSnapshotWrite, faultinject.Fault{Kind: faultinject.Error})
+	t.Cleanup(l.Injector().Clear)
+
+	svc, err := l.StartSnapshotService(t.TempDir(), 10*time.Second, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	v.BlockUntil(2)
+	v.Advance(10 * time.Second)
+	waitFor(t, time.Second, func() bool {
+		return l.Metrics().Counter("coord.snapshot.errors").Value() >= 1
+	})
+	snaps, _ := svc.Snapshots()
+	// The failed snapshot file may exist partially; the success counter must
+	// stay zero.
+	if l.Metrics().Counter("coord.snapshots").Value() != 0 {
+		t.Fatalf("snapshots succeeded under fault: %v", snaps)
+	}
+}
+
+func TestSnapshotServiceFeedsWatchdogContext(t *testing.T) {
+	factory := watchdog.NewFactory()
+	l := NewLeader(LeaderConfig{WatchdogFactory: factory})
+	l.Start()
+	t.Cleanup(l.Close)
+	l.tree.Create("/hooked", []byte("payload"))
+
+	shadow, _ := wdio.NewFS(filepath.Join(t.TempDir(), "shadow"), 0)
+	d := watchdog.New(watchdog.WithFactory(factory))
+	l.InstallWatchdog(d, shadow)
+
+	// Before any snapshot, the checker is gated.
+	rep, _ := d.CheckNow("coord.snapshot")
+	if rep.Status != watchdog.StatusContextPending {
+		t.Fatalf("pre-snapshot = %v", rep.Status)
+	}
+	svc, err := l.StartSnapshotService(t.TempDir(), time.Hour, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	if err := svc.SnapshotOnce(1); err != nil {
+		t.Fatal(err)
+	}
+	rep, _ = d.CheckNow("coord.snapshot")
+	if rep.Status != watchdog.StatusHealthy {
+		t.Fatalf("post-snapshot = %v err=%v", rep.Status, rep.Err)
+	}
+}
+
+func TestRestoreLatestEmptyDir(t *testing.T) {
+	_, ok, err := RestoreLatest(t.TempDir())
+	if err != nil || ok {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never satisfied")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

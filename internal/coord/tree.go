@@ -1,0 +1,178 @@
+// Package coord implements a miniature coordination service with the
+// structure of ZooKeeper's write path, built to reproduce the paper's §4.2
+// case study (ZOOKEEPER-2201) and the Figure 2–3 snapshot-serialization
+// example.
+//
+// A Leader runs a request-processor pipeline (prep → sync → final). The sync
+// stage replicates each committed write to a follower over TCP *while
+// holding the commit lock*; a network fault that blocks that send therefore
+// wedges every subsequent write — while the heartbeat thread and the admin
+// command keep answering, exactly the gray failure of ZK-2201.
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Tree errors.
+var (
+	// ErrNodeExists is returned by Create for an existing path.
+	ErrNodeExists = errors.New("coord: node exists")
+	// ErrNoNode is returned for operations on absent paths.
+	ErrNoNode = errors.New("coord: no such node")
+	// ErrNotEmpty is returned by Delete when the node has children.
+	ErrNotEmpty = errors.New("coord: node has children")
+	// ErrBadPath is returned for paths that are not clean absolute paths.
+	ErrBadPath = errors.New("coord: bad path")
+)
+
+// znode is one node in the data tree.
+type znode struct {
+	data     []byte
+	children map[string]struct{}
+	version  int64
+}
+
+// DataTree is the hierarchical namespace (the paper's DataTree class). It is
+// safe for concurrent use.
+type DataTree struct {
+	mu     sync.RWMutex
+	nodes  map[string]*znode
+	scount int64 // serialized-node counter, mirroring Figure 2's scount
+}
+
+// NewDataTree returns a tree containing only the root node "/".
+func NewDataTree() *DataTree {
+	return &DataTree{nodes: map[string]*znode{
+		"/": {children: make(map[string]struct{})},
+	}}
+}
+
+// validatePath checks that p is a clean absolute path.
+func validatePath(p string) error {
+	if p == "" || p[0] != '/' || (p != "/" && strings.HasSuffix(p, "/")) || path.Clean(p) != p {
+		return fmt.Errorf("%w: %q", ErrBadPath, p)
+	}
+	return nil
+}
+
+// Create adds a node. The parent must exist.
+func (t *DataTree) Create(p string, data []byte) error {
+	if err := validatePath(p); err != nil {
+		return err
+	}
+	if p == "/" {
+		return fmt.Errorf("%w: /", ErrNodeExists)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.nodes[p]; ok {
+		return fmt.Errorf("%w: %s", ErrNodeExists, p)
+	}
+	parent := path.Dir(p)
+	pn, ok := t.nodes[parent]
+	if !ok {
+		return fmt.Errorf("%w: parent %s", ErrNoNode, parent)
+	}
+	t.nodes[p] = &znode{data: append([]byte(nil), data...), children: make(map[string]struct{})}
+	pn.children[path.Base(p)] = struct{}{}
+	return nil
+}
+
+// Set replaces a node's data and bumps its version.
+func (t *DataTree) Set(p string, data []byte) error {
+	if err := validatePath(p); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, ok := t.nodes[p]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoNode, p)
+	}
+	n.data = append([]byte(nil), data...)
+	n.version++
+	return nil
+}
+
+// Get returns a copy of a node's data and its version.
+func (t *DataTree) Get(p string) ([]byte, int64, error) {
+	if err := validatePath(p); err != nil {
+		return nil, 0, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, ok := t.nodes[p]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNoNode, p)
+	}
+	return append([]byte(nil), n.data...), n.version, nil
+}
+
+// Delete removes a childless node.
+func (t *DataTree) Delete(p string) error {
+	if err := validatePath(p); err != nil {
+		return err
+	}
+	if p == "/" {
+		return fmt.Errorf("%w: cannot delete root", ErrBadPath)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, ok := t.nodes[p]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoNode, p)
+	}
+	if len(n.children) > 0 {
+		return fmt.Errorf("%w: %s", ErrNotEmpty, p)
+	}
+	delete(t.nodes, p)
+	if pn, ok := t.nodes[path.Dir(p)]; ok {
+		delete(pn.children, path.Base(p))
+	}
+	return nil
+}
+
+// Children returns the sorted child names of a node.
+func (t *DataTree) Children(p string) ([]string, error) {
+	if err := validatePath(p); err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, ok := t.nodes[p]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoNode, p)
+	}
+	out := make([]string, 0, len(n.children))
+	for c := range n.children {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Count returns the number of nodes including the root.
+func (t *DataTree) Count() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.nodes)
+}
+
+// Paths returns every path in the tree, sorted; used by snapshot
+// serialization for a deterministic walk.
+func (t *DataTree) Paths() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.nodes))
+	for p := range t.nodes {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

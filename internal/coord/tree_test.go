@@ -1,0 +1,175 @@
+package coord
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTreeCreateGetSetDelete(t *testing.T) {
+	tr := NewDataTree()
+	if err := tr.Create("/a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ver, err := tr.Get("/a")
+	if err != nil || string(v) != "1" || ver != 0 {
+		t.Fatalf("Get = %q v%d %v", v, ver, err)
+	}
+	if err := tr.Set("/a", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	v, ver, _ = tr.Get("/a")
+	if string(v) != "2" || ver != 1 {
+		t.Fatalf("after Set: %q v%d", v, ver)
+	}
+	if err := tr.Delete("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tr.Get("/a"); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("Get after Delete: %v", err)
+	}
+}
+
+func TestTreeHierarchyRules(t *testing.T) {
+	tr := NewDataTree()
+	if err := tr.Create("/a/b", nil); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("orphan create: %v", err)
+	}
+	tr.Create("/a", nil)
+	if err := tr.Create("/a", nil); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	tr.Create("/a/b", nil)
+	if err := tr.Delete("/a"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("delete non-empty: %v", err)
+	}
+	kids, err := tr.Children("/a")
+	if err != nil || len(kids) != 1 || kids[0] != "b" {
+		t.Fatalf("Children = %v, %v", kids, err)
+	}
+	if err := tr.Delete("/"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("delete root: %v", err)
+	}
+}
+
+func TestTreeBadPaths(t *testing.T) {
+	tr := NewDataTree()
+	for _, p := range []string{"", "relative", "/trailing/", "//double", "/a/../b"} {
+		if err := tr.Create(p, nil); !errors.Is(err, ErrBadPath) {
+			t.Errorf("Create(%q) = %v, want ErrBadPath", p, err)
+		}
+	}
+}
+
+func TestTreeChildrenSorted(t *testing.T) {
+	tr := NewDataTree()
+	for _, n := range []string{"/c", "/a", "/b"} {
+		tr.Create(n, nil)
+	}
+	kids, _ := tr.Children("/")
+	if !sort.StringsAreSorted(kids) {
+		t.Fatalf("children unsorted: %v", kids)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	tr := NewDataTree()
+	tr.Create("/app", []byte("root"))
+	tr.Create("/app/config", []byte("c=1"))
+	tr.Create("/app/locks", nil)
+	tr.Create("/app/locks/l1", []byte("holder"))
+
+	var buf bytes.Buffer
+	if err := tr.SerializeSnapshot(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.SerializedCount() != int64(tr.Count()) {
+		t.Fatalf("scount = %d, nodes = %d", tr.SerializedCount(), tr.Count())
+	}
+	restored, err := RestoreSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count() != tr.Count() {
+		t.Fatalf("restored %d nodes, want %d", restored.Count(), tr.Count())
+	}
+	v, _, err := restored.Get("/app/locks/l1")
+	if err != nil || string(v) != "holder" {
+		t.Fatalf("restored Get = %q, %v", v, err)
+	}
+}
+
+func TestSnapshotRestoreRejectsGarbage(t *testing.T) {
+	_, err := RestoreSnapshot(strings.NewReader("\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+	if !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSnapshotToFileAndBack(t *testing.T) {
+	tr := NewDataTree()
+	tr.Create("/x", []byte("data"))
+	path := t.TempDir() + "/snap.bin"
+	if err := tr.SnapshotToFile(path, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := openFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	restored, err := RestoreSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ := restored.Get("/x")
+	if string(v) != "data" {
+		t.Fatalf("restored = %q", v)
+	}
+}
+
+// Property: snapshot round trip preserves every node and its data.
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	f := func(names []uint8, blobs [][]byte) bool {
+		tr := NewDataTree()
+		model := map[string][]byte{}
+		for i, n := range names {
+			p := fmt.Sprintf("/n%03d", n)
+			var data []byte
+			if i < len(blobs) {
+				data = blobs[i]
+			}
+			if err := tr.Create(p, data); err == nil {
+				model[p] = data
+			}
+		}
+		var buf bytes.Buffer
+		if tr.SerializeSnapshot(&buf, nil, nil) != nil {
+			return false
+		}
+		restored, err := RestoreSnapshot(&buf)
+		if err != nil {
+			return false
+		}
+		if restored.Count() != tr.Count() {
+			return false
+		}
+		for p, want := range model {
+			got, _, err := restored.Get(p)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func openFile(path string) (*os.File, error) { return os.Open(path) }

@@ -1,0 +1,210 @@
+package coord
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gowatchdog/internal/faultinject"
+	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/watchdog/wdio"
+)
+
+func TestTxnCodecRoundTrip(t *testing.T) {
+	cases := []struct {
+		op   byte
+		path string
+		data []byte
+		zxid int64
+	}{
+		{proposalCreate, "/a", []byte("data"), 1},
+		{proposalSet, "/a/b/c", nil, 42},
+		{proposalDelete, "/gone", []byte{}, 1 << 40},
+	}
+	for _, c := range cases {
+		op, path, data, zxid, err := decodeTxn(encodeTxn(c.op, c.path, c.data, c.zxid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op != c.op || path != c.path || !bytes.Equal(data, c.data) || zxid != c.zxid {
+			t.Fatalf("round trip %+v -> op=%d path=%q data=%q zxid=%d", c, op, path, data, zxid)
+		}
+	}
+}
+
+func TestTxnCodecRejectsMalformed(t *testing.T) {
+	for i, bad := range [][]byte{nil, {1}, {1, 0xFF, 0, 0, 0, 0, 0, 0, 0, 0}} {
+		if _, _, _, _, err := decodeTxn(bad); err == nil {
+			t.Errorf("case %d decoded", i)
+		}
+	}
+}
+
+// Property: the txn codec round-trips arbitrary inputs.
+func TestTxnCodecProperty(t *testing.T) {
+	f := func(opRaw uint8, path string, data []byte, zxid int64) bool {
+		op := []byte{proposalCreate, proposalSet, proposalDelete}[int(opRaw)%3]
+		gotOp, gotPath, gotData, gotZxid, err := decodeTxn(encodeTxn(op, path, data, zxid))
+		return err == nil && gotOp == op && gotPath == path &&
+			bytes.Equal(gotData, data) && gotZxid == zxid
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxnLogDurabilityAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	l := NewLeader(LeaderConfig{})
+	if err := l.OpenTxnLog(dir); err != nil {
+		t.Fatal(err)
+	}
+	l.Start()
+	if err := l.SubmitWait(OpCreate, "/durable", []byte("v1"), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SubmitWait(OpCreate, "/gone", []byte("x"), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SubmitWait(OpDelete, "/gone", nil, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SubmitWait(OpSet, "/durable", []byte("v2"), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if l.TxnLogRecords() != 4 {
+		t.Fatalf("log records = %d", l.TxnLogRecords())
+	}
+	l.Close() // simulated crash+restart boundary
+
+	l2 := NewLeader(LeaderConfig{})
+	if err := l2.OpenTxnLog(dir); err != nil {
+		t.Fatal(err)
+	}
+	l2.Start()
+	t.Cleanup(l2.Close)
+	v, _, err := l2.Tree().Get("/durable")
+	if err != nil || string(v) != "v2" {
+		t.Fatalf("recovered Get = %q, %v", v, err)
+	}
+	if _, _, err := l2.Tree().Get("/gone"); err == nil {
+		t.Fatal("deleted node resurrected")
+	}
+	// Recovery advanced the zxid so new writes don't reuse IDs.
+	assigned, _ := l2.Zxids()
+	if assigned < 4 {
+		t.Fatalf("zxid after recovery = %d", assigned)
+	}
+	if err := l2.SubmitWait(OpCreate, "/after", nil, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	newAssigned, _ := l2.Zxids()
+	if newAssigned != assigned+1 {
+		t.Fatalf("zxid progression %d -> %d", assigned, newAssigned)
+	}
+}
+
+func TestTxnLogDoubleOpenRejected(t *testing.T) {
+	l := NewLeader(LeaderConfig{})
+	t.Cleanup(l.Close)
+	if err := l.OpenTxnLog(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.OpenTxnLog(t.TempDir()); err == nil {
+		t.Fatal("double OpenTxnLog succeeded")
+	}
+}
+
+func TestTxnLogFaultFailsWrites(t *testing.T) {
+	l := NewLeader(LeaderConfig{})
+	if err := l.OpenTxnLog(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	l.Start()
+	t.Cleanup(l.Close)
+	l.Injector().Arm(FaultLogAppend, faultinject.Fault{Kind: faultinject.Error})
+	t.Cleanup(l.Injector().Clear)
+	if err := l.SubmitWait(OpCreate, "/x", nil, time.Second); err == nil {
+		t.Fatal("write succeeded with failing txn log")
+	}
+	// The failed transaction must not be applied to the tree.
+	if _, _, err := l.Tree().Get("/x"); err == nil {
+		t.Fatal("unlogged transaction applied")
+	}
+}
+
+func TestSnapshotTruncatesTxnLog(t *testing.T) {
+	l := NewLeader(LeaderConfig{})
+	if err := l.OpenTxnLog(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	l.Start()
+	t.Cleanup(l.Close)
+	l.SubmitWait(OpCreate, "/a", nil, time.Second)
+	l.SubmitWait(OpCreate, "/b", nil, time.Second)
+	if l.TxnLogRecords() != 2 {
+		t.Fatalf("records = %d", l.TxnLogRecords())
+	}
+	svc, err := l.StartSnapshotService(t.TempDir(), time.Hour, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	if err := svc.SnapshotOnce(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TruncateTxnLog(); err != nil {
+		t.Fatal(err)
+	}
+	if l.TxnLogRecords() != 0 {
+		t.Fatalf("records after snapshot+truncate = %d", l.TxnLogRecords())
+	}
+}
+
+func TestTxnLogCheckerDetectsLogVolumeFault(t *testing.T) {
+	factory := watchdog.NewFactory()
+	l := NewLeader(LeaderConfig{WatchdogFactory: factory})
+	if err := l.OpenTxnLog(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	l.Start()
+	t.Cleanup(l.Close)
+	shadow, _ := wdio.NewFS(filepath.Join(t.TempDir(), "shadow"), 0)
+	d := watchdog.New(watchdog.WithFactory(factory), watchdog.WithTimeout(time.Second))
+	l.InstallWatchdog(d, shadow)
+
+	// Healthy traffic feeds the hook; the checker passes.
+	if err := l.SubmitWait(OpCreate, "/hooked", nil, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.CheckNow("coord.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != watchdog.StatusHealthy {
+		t.Fatalf("healthy = %v err=%v", rep.Status, rep.Err)
+	}
+
+	// Log volume starts erroring: the mimic checker detects with pinpoint.
+	l.Injector().Arm(FaultLogAppend, faultinject.Fault{Kind: faultinject.Error})
+	t.Cleanup(l.Injector().Clear)
+	rep, _ = d.CheckNow("coord.log")
+	if rep.Status != watchdog.StatusError || rep.Site.Op != "wal.Append" {
+		t.Fatalf("fault = %v site=%v", rep.Status, rep.Site)
+	}
+}
+
+func TestTxnLogWithoutLogIsNoop(t *testing.T) {
+	l := standaloneLeader(t, nil)
+	if l.TxnLogRecords() != 0 {
+		t.Fatal("records without log")
+	}
+	if err := l.TruncateTxnLog(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SubmitWait(OpCreate, "/nolog", nil, time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

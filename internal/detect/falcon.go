@@ -1,0 +1,118 @@
+package detect
+
+import (
+	"sync"
+	"time"
+
+	"gowatchdog/internal/clock"
+)
+
+// LayerStatus is one spy layer's view of its target.
+type LayerStatus int
+
+const (
+	// LayerUnknown means the spy has no evidence yet.
+	LayerUnknown LayerStatus = iota
+	// LayerUp means the layer's liveness signal is current.
+	LayerUp
+	// LayerDown means the layer's liveness signal expired.
+	LayerDown
+)
+
+// String returns the status name.
+func (s LayerStatus) String() string {
+	switch s {
+	case LayerUp:
+		return "up"
+	case LayerDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// Falcon is a simplified Falcon-style (SOSP '11) spy network: a chain of
+// layered spies (application, process, OS), each watching its target's
+// liveness signal at its own layer. The composite verdict is DOWN as soon
+// as any layer is down — layer-specific evidence beats a generic timeout —
+// which makes detection faster than end-to-end timeouts for fail-stop
+// failures.
+//
+// Like the other extrinsic detectors, every layer's signal can be perfectly
+// healthy while part of the process is wedged: Falcon shares the
+// limitation the paper notes ("hierarchical spies ... has similar
+// limitations"), which experiment E5 demonstrates.
+type Falcon struct {
+	clk clock.Clock
+
+	mu     sync.Mutex
+	layers []*falconLayer
+}
+
+type falconLayer struct {
+	name    string
+	timeout time.Duration
+	last    time.Time
+	seen    bool
+}
+
+// NewFalcon returns an empty spy chain.
+func NewFalcon(clk clock.Clock) *Falcon {
+	return &Falcon{clk: clk}
+}
+
+// AddLayer registers a spy layer (e.g. "app", "process", "os") whose signal
+// must recur within timeout. It returns the feed function the layer's
+// liveness source calls.
+func (f *Falcon) AddLayer(name string, timeout time.Duration) func() {
+	layer := &falconLayer{name: name, timeout: timeout}
+	f.mu.Lock()
+	f.layers = append(f.layers, layer)
+	f.mu.Unlock()
+	return func() {
+		f.mu.Lock()
+		layer.last = f.clk.Now()
+		layer.seen = true
+		f.mu.Unlock()
+	}
+}
+
+// LayerStatuses returns each layer's current status, in registration order.
+func (f *Falcon) LayerStatuses() map[string]LayerStatus {
+	now := f.clk.Now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]LayerStatus, len(f.layers))
+	for _, l := range f.layers {
+		switch {
+		case !l.seen:
+			out[l.name] = LayerUnknown
+		case now.Sub(l.last) > l.timeout:
+			out[l.name] = LayerDown
+		default:
+			out[l.name] = LayerUp
+		}
+	}
+	return out
+}
+
+// Suspect reports whether any layer with evidence is down.
+func (f *Falcon) Suspect() bool {
+	for _, st := range f.LayerStatuses() {
+		if st == LayerDown {
+			return true
+		}
+	}
+	return false
+}
+
+// DownLayers returns the names of layers currently down.
+func (f *Falcon) DownLayers() []string {
+	var out []string
+	for name, st := range f.LayerStatuses() {
+		if st == LayerDown {
+			out = append(out, name)
+		}
+	}
+	return out
+}

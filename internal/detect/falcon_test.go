@@ -1,0 +1,90 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"gowatchdog/internal/clock"
+)
+
+func TestFalconUnknownBeforeEvidence(t *testing.T) {
+	v := clock.NewVirtual()
+	f := NewFalcon(v)
+	f.AddLayer("app", time.Second)
+	if f.Suspect() {
+		t.Fatal("suspect with no evidence")
+	}
+	if got := f.LayerStatuses()["app"]; got != LayerUnknown {
+		t.Fatalf("status = %v", got)
+	}
+}
+
+func TestFalconLayerDownAfterTimeout(t *testing.T) {
+	v := clock.NewVirtual()
+	f := NewFalcon(v)
+	appFeed := f.AddLayer("app", time.Second)
+	procFeed := f.AddLayer("process", 5*time.Second)
+	appFeed()
+	procFeed()
+	v.Advance(500 * time.Millisecond)
+	if f.Suspect() {
+		t.Fatal("suspect while all layers fresh")
+	}
+	// The app layer times out first; the process layer is still fresh — a
+	// layered detector localizes the dead layer.
+	v.Advance(time.Second)
+	if !f.Suspect() {
+		t.Fatal("not suspect after app-layer timeout")
+	}
+	down := f.DownLayers()
+	if len(down) != 1 || down[0] != "app" {
+		t.Fatalf("down = %v", down)
+	}
+	if f.LayerStatuses()["process"] != LayerUp {
+		t.Fatal("process layer should still be up")
+	}
+}
+
+func TestFalconRecovers(t *testing.T) {
+	v := clock.NewVirtual()
+	f := NewFalcon(v)
+	feed := f.AddLayer("app", time.Second)
+	feed()
+	v.Advance(2 * time.Second)
+	if !f.Suspect() {
+		t.Fatal("not suspect")
+	}
+	feed()
+	if f.Suspect() {
+		t.Fatal("still suspect after fresh signal")
+	}
+}
+
+func TestFalconMissesPartialFailure(t *testing.T) {
+	// The paper's point about hierarchical spies: all layer signals keep
+	// flowing while a component inside the process is wedged.
+	v := clock.NewVirtual()
+	f := NewFalcon(v)
+	appFeed := f.AddLayer("app", time.Second)
+	procFeed := f.AddLayer("process", time.Second)
+	osFeed := f.AddLayer("os", time.Second)
+	for i := 0; i < 100; i++ {
+		appFeed() // the serving thread answers...
+		procFeed()
+		osFeed()
+		v.Advance(500 * time.Millisecond)
+		// ...while (hypothetically) the write pipeline is wedged.
+	}
+	if f.Suspect() {
+		t.Fatal("falcon suspected a process with live layer signals")
+	}
+}
+
+func TestLayerStatusStrings(t *testing.T) {
+	want := map[LayerStatus]string{LayerUnknown: "unknown", LayerUp: "up", LayerDown: "down"}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("LayerStatus(%d) = %q", int(s), s.String())
+		}
+	}
+}

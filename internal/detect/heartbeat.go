@@ -1,0 +1,135 @@
+// Package detect implements the extrinsic failure detectors the paper
+// compares watchdogs against (Table 1, §6): heartbeat-based crash failure
+// detectors (simple timeout and φ-accrual), an external ping prober, and a
+// Panorama-style requester-side observer with verdict aggregation.
+//
+// These detectors treat the monitored software as a coarse-grained node: a
+// process is assumed healthy as long as it does *something* periodically.
+// The experiments show exactly where that assumption breaks — a process
+// whose heartbeat thread is alive while its request pipeline is wedged
+// (ZOOKEEPER-2201) stays "healthy" forever under every detector in this
+// package.
+package detect
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"gowatchdog/internal/clock"
+	"gowatchdog/internal/gauge"
+)
+
+// Heartbeat is a simple timeout-based crash failure detector. The monitored
+// process calls Beat periodically; the detector suspects the process once no
+// beat has arrived within the timeout.
+type Heartbeat struct {
+	clk     clock.Clock
+	timeout time.Duration
+
+	mu    sync.Mutex
+	last  time.Time
+	beats int64
+}
+
+// NewHeartbeat returns a detector that suspects the subject after timeout
+// without a beat.
+func NewHeartbeat(clk clock.Clock, timeout time.Duration) *Heartbeat {
+	return &Heartbeat{clk: clk, timeout: timeout}
+}
+
+// Beat records a heartbeat from the monitored process.
+func (h *Heartbeat) Beat() {
+	h.mu.Lock()
+	h.last = h.clk.Now()
+	h.beats++
+	h.mu.Unlock()
+}
+
+// Suspect reports whether the subject has missed its heartbeat deadline.
+// Before the first beat the subject is not suspected (it may still be
+// starting up).
+func (h *Heartbeat) Suspect() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.beats == 0 {
+		return false
+	}
+	return h.clk.Since(h.last) > h.timeout
+}
+
+// LastBeat returns the time of the most recent beat and whether any beat has
+// been received.
+func (h *Heartbeat) LastBeat() (time.Time, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.last, h.beats > 0
+}
+
+// Beats returns the total number of beats received.
+func (h *Heartbeat) Beats() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.beats
+}
+
+// PhiAccrual is the φ-accrual failure detector: instead of a binary timeout
+// it outputs a suspicion level φ = -log10(P(beat still pending)), assuming
+// inter-arrival times are normally distributed over a sliding window.
+type PhiAccrual struct {
+	clk clock.Clock
+
+	mu        sync.Mutex
+	last      time.Time
+	intervals *gauge.Window
+	beats     int64
+	minStdDev time.Duration
+}
+
+// NewPhiAccrual returns a φ-accrual detector with a window of the last n
+// inter-arrival samples. minStdDev guards against a zero variance when
+// beats are perfectly regular (as on a virtual clock).
+func NewPhiAccrual(clk clock.Clock, n int, minStdDev time.Duration) *PhiAccrual {
+	if minStdDev <= 0 {
+		minStdDev = 10 * time.Millisecond
+	}
+	return &PhiAccrual{clk: clk, intervals: gauge.NewWindow(n), minStdDev: minStdDev}
+}
+
+// Beat records a heartbeat arrival.
+func (p *PhiAccrual) Beat() {
+	p.mu.Lock()
+	now := p.clk.Now()
+	if p.beats > 0 {
+		p.intervals.Observe(float64(now.Sub(p.last)))
+	}
+	p.last = now
+	p.beats++
+	p.mu.Unlock()
+}
+
+// Phi returns the current suspicion level. 0 means just heard from the
+// subject; conventionally φ ≥ 8 is treated as failed.
+func (p *PhiAccrual) Phi() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.beats < 2 || p.intervals.Len() == 0 {
+		return 0
+	}
+	mean := p.intervals.Mean()
+	std := p.intervals.Std()
+	if std < float64(p.minStdDev) {
+		std = float64(p.minStdDev)
+	}
+	elapsed := float64(p.clk.Since(p.last))
+	// P(no beat yet) under N(mean, std); φ = -log10 of the tail probability.
+	y := (elapsed - mean) / std
+	tail := 0.5 * math.Erfc(y/math.Sqrt2)
+	if tail < 1e-12 {
+		tail = 1e-12
+	}
+	return -math.Log10(tail)
+}
+
+// Suspect reports whether φ exceeds the given threshold.
+func (p *PhiAccrual) Suspect(threshold float64) bool { return p.Phi() >= threshold }

@@ -1,0 +1,168 @@
+package detect
+
+import (
+	"sync"
+	"time"
+
+	"gowatchdog/internal/clock"
+)
+
+// ObsStatus is the health status carried by one observation.
+type ObsStatus int
+
+const (
+	// ObsHealthy is positive evidence: a request to the subject succeeded.
+	ObsHealthy ObsStatus = iota
+	// ObsUnhealthy is negative evidence: a request failed or timed out.
+	ObsUnhealthy
+)
+
+// String returns the status name.
+func (s ObsStatus) String() string {
+	if s == ObsHealthy {
+		return "healthy"
+	}
+	return "unhealthy"
+}
+
+// Observation is one piece of evidence captured on a requester's path, in
+// the style of Panorama (OSDI '18): any component that makes a request to
+// the subject becomes a logical observer and reports what it saw, tagged
+// with the interaction context (e.g. "get", "replicate").
+type Observation struct {
+	// Observer identifies who saw the evidence.
+	Observer string
+	// Subject identifies the monitored component.
+	Subject string
+	// Context is the interaction type the evidence came from.
+	Context string
+	// Status is the evidence polarity.
+	Status ObsStatus
+	// Time is when the evidence was captured.
+	Time time.Time
+}
+
+// Verdict is the aggregated health decision for a subject.
+type Verdict int
+
+const (
+	// VerdictPending means no evidence has been seen.
+	VerdictPending Verdict = iota
+	// VerdictHealthy means recent evidence is positive in every context.
+	VerdictHealthy
+	// VerdictUnhealthy means recent negative evidence dominates in some
+	// context.
+	VerdictUnhealthy
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictHealthy:
+		return "healthy"
+	case VerdictUnhealthy:
+		return "unhealthy"
+	default:
+		return "pending"
+	}
+}
+
+// Panorama aggregates requester-side observations into per-subject verdicts
+// with a bounded look-back: within the look-back window, negative evidence
+// in any (observer, context) pair dominates positive evidence, because a
+// failing interaction is a stronger signal than a succeeding one.
+type Panorama struct {
+	clk      clock.Clock
+	lookback time.Duration
+
+	mu sync.Mutex
+	// latest negative and positive evidence per subject/observer/context
+	neg map[string]map[string]time.Time // subject -> observer|context -> time
+	pos map[string]map[string]time.Time
+}
+
+// NewPanorama returns an aggregator with the given evidence look-back.
+func NewPanorama(clk clock.Clock, lookback time.Duration) *Panorama {
+	return &Panorama{
+		clk:      clk,
+		lookback: lookback,
+		neg:      make(map[string]map[string]time.Time),
+		pos:      make(map[string]map[string]time.Time),
+	}
+}
+
+// Report submits an observation.
+func (p *Panorama) Report(o Observation) {
+	key := o.Observer + "|" + o.Context
+	if o.Time.IsZero() {
+		o.Time = p.clk.Now()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := p.pos
+	if o.Status == ObsUnhealthy {
+		m = p.neg
+	}
+	sub := m[o.Subject]
+	if sub == nil {
+		sub = make(map[string]time.Time)
+		m[o.Subject] = sub
+	}
+	if o.Time.After(sub[key]) {
+		sub[key] = o.Time
+	}
+	// Newer positive evidence on the same observer/context supersedes older
+	// negative evidence (the interaction works again).
+	if o.Status == ObsHealthy {
+		if nm := p.neg[o.Subject]; nm != nil {
+			if t, ok := nm[key]; ok && o.Time.After(t) {
+				delete(nm, key)
+			}
+		}
+	}
+}
+
+// VerdictFor returns the current verdict for subject.
+func (p *Panorama) VerdictFor(subject string) Verdict {
+	now := p.clk.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	anyEvidence := false
+	for _, t := range p.neg[subject] {
+		if now.Sub(t) <= p.lookback {
+			return VerdictUnhealthy
+		}
+		anyEvidence = true
+	}
+	for _, t := range p.pos[subject] {
+		if now.Sub(t) <= p.lookback {
+			return VerdictHealthy
+		}
+		anyEvidence = true
+	}
+	if anyEvidence {
+		// All evidence is stale; without fresh interactions Panorama cannot
+		// decide, which is precisely its blind spot for idle-path failures.
+		return VerdictPending
+	}
+	return VerdictPending
+}
+
+// Evidence returns the number of live (within look-back) negative and
+// positive evidence entries for subject.
+func (p *Panorama) Evidence(subject string) (neg, pos int) {
+	now := p.clk.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, t := range p.neg[subject] {
+		if now.Sub(t) <= p.lookback {
+			neg++
+		}
+	}
+	for _, t := range p.pos[subject] {
+		if now.Sub(t) <= p.lookback {
+			pos++
+		}
+	}
+	return neg, pos
+}

@@ -1,0 +1,86 @@
+package detect
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"gowatchdog/internal/clock"
+)
+
+// ErrProbeTimeout is recorded when a probe does not complete within its
+// timeout.
+var ErrProbeTimeout = errors.New("detect: probe timed out")
+
+// Prober is an external ping/request prober: it periodically invokes a
+// client-visible operation (a ping, an admin "stat" command, a GET) and
+// suspects the subject after K consecutive failures or timeouts. This models
+// both the classic ping detector and the paper's "admin monitoring command"
+// that kept reporting the faulty ZooKeeper leader as healthy.
+type Prober struct {
+	clk     clock.Clock
+	probe   func() error
+	timeout time.Duration
+	k       int
+
+	mu          sync.Mutex
+	consecutive int
+	attempts    int64
+	failures    int64
+}
+
+// NewProber returns a prober that runs probe with the given timeout and
+// suspects the subject after k consecutive failures.
+func NewProber(clk clock.Clock, timeout time.Duration, k int, probe func() error) *Prober {
+	if k <= 0 {
+		k = 1
+	}
+	return &Prober{clk: clk, probe: probe, timeout: timeout, k: k}
+}
+
+// ProbeOnce runs a single probe, applying the timeout, and returns the
+// probe's error (ErrProbeTimeout if it did not finish in time). A timed-out
+// probe goroutine is abandoned.
+func (p *Prober) ProbeOnce() error {
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- errors.New("probe panicked")
+			}
+		}()
+		done <- p.probe()
+	}()
+	timer := p.clk.NewTimer(p.timeout)
+	defer timer.Stop()
+	var err error
+	select {
+	case err = <-done:
+	case <-timer.C():
+		err = ErrProbeTimeout
+	}
+	p.mu.Lock()
+	p.attempts++
+	if err != nil {
+		p.failures++
+		p.consecutive++
+	} else {
+		p.consecutive = 0
+	}
+	p.mu.Unlock()
+	return err
+}
+
+// Suspect reports whether the last K probes all failed.
+func (p *Prober) Suspect() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.consecutive >= p.k
+}
+
+// Stats returns total attempts and failures.
+func (p *Prober) Stats() (attempts, failures int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.attempts, p.failures
+}

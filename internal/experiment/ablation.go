@@ -1,0 +1,225 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gowatchdog/internal/faultinject"
+	"gowatchdog/internal/kvs"
+	"gowatchdog/internal/watchdog"
+)
+
+// ContextAblationResult is E7: what happens to the disk-flusher checker on
+// an in-memory kvs with and without the one-way context gating of §3.1.
+type ContextAblationResult struct {
+	// Rounds is the number of checker executions per variant.
+	Rounds int
+	// GatedFalseAlarms / UngatedFalseAlarms count spurious abnormal reports.
+	GatedFalseAlarms   int
+	UngatedFalseAlarms int
+	// GatedSkips counts context-pending skips for the gated variant.
+	GatedSkips int
+}
+
+// Render formats the ablation outcome.
+func (r *ContextAblationResult) Render() string {
+	t := Table{
+		Title:  "§3.1 context-sync ablation (E7): disk-flusher checker on in-memory kvs",
+		Header: []string{"variant", "false alarms", "skipped (context pending)"},
+	}
+	t.AddRow("with context gating", fmt.Sprintf("%d/%d", r.GatedFalseAlarms, r.Rounds),
+		fmt.Sprintf("%d/%d", r.GatedSkips, r.Rounds))
+	t.AddRow("without context gating", fmt.Sprintf("%d/%d", r.UngatedFalseAlarms, r.Rounds), "0")
+	return t.Render()
+}
+
+// RunContextAblation runs E7. The ungated variant executes the same reduced
+// flush mimic but with whatever (zero-valued) arguments the absent context
+// yields — the Figure-3 "uninitialized variables or parameters" problem —
+// and so reports disk faults a memory-only deployment cannot have.
+func RunContextAblation(scratch string, rounds int) (*ContextAblationResult, error) {
+	if rounds <= 0 {
+		rounds = 10
+	}
+	res := &ContextAblationResult{Rounds: rounds}
+
+	factory := watchdog.NewFactory()
+	store, err := kvs.Open(kvs.Config{InMemory: true, WatchdogFactory: factory})
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+
+	driver := watchdog.New(watchdog.WithFactory(factory), watchdog.WithTimeout(time.Second))
+
+	// Gated: the real generated checker, bound to the hook-fed context that
+	// never becomes ready in memory-only mode.
+	driver.Register(ungatedFlushMimic(store, "flusher.gated"))
+
+	// Ungated: same checker body, but registered with an always-ready
+	// context, as if the generator skipped the context-readiness guard.
+	ready := watchdog.NewContext()
+	ready.MarkReady()
+	driver.Register(ungatedFlushMimic(store, "flusher.ungated"), watchdog.WithContext(ready))
+
+	// Drive in-memory traffic: hooks for the indexer fire, but the flusher
+	// hook never does (FlushPartition is a no-op in memory mode).
+	for i := 0; i < 64; i++ {
+		if err := store.Set([]byte{byte(i * 4)}, []byte("v")); err != nil {
+			return nil, err
+		}
+	}
+	store.FlushAll(true)
+
+	for r := 0; r < rounds; r++ {
+		repG, err := driver.CheckNow("flusher.gated")
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case repG.Status == watchdog.StatusContextPending:
+			res.GatedSkips++
+		case repG.Status.Abnormal():
+			res.GatedFalseAlarms++
+		}
+		repU, err := driver.CheckNow("flusher.ungated")
+		if err != nil {
+			return nil, err
+		}
+		if repU.Status.Abnormal() {
+			res.UngatedFalseAlarms++
+		}
+	}
+	return res, nil
+}
+
+// ungatedFlushMimic mimics the flush-to-SSTable write using the
+// context-supplied target directory — exactly what hooks would provide.
+// With no context the directory is "", and the open fails spuriously.
+func ungatedFlushMimic(store *kvs.Store, name string) watchdog.Checker {
+	return watchdog.NewChecker(name, func(ctx *watchdog.Context) error {
+		dir := ctx.GetString("dir")
+		site := watchdog.Site{Function: "kvs.(*Store).FlushPartition", Op: "sstable.Write"}
+		return watchdog.Op(ctx, site, func() error {
+			// The hook supplies the partition directory; with no context the
+			// path degenerates to a nonexistent relative directory and the
+			// open fails — a disk fault this memory-only deployment cannot
+			// actually have.
+			if dir == "" {
+				dir = "partition-000"
+			}
+			probe := filepath.Join(dir, "wd-flush-probe.sst")
+			f, err := os.OpenFile(probe, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+			if err != nil {
+				return err
+			}
+			f.Close()
+			return os.Remove(probe)
+		})
+	})
+}
+
+// ValidationResult is E9: alarm counts for transient faults with and
+// without the mimic→probe validation chain of §5.1.
+type ValidationResult struct {
+	// TransientFaults is how many one-shot faults were injected.
+	TransientFaults int
+	// AlarmsWithoutValidation / AlarmsValidatedImpactful count raised vs
+	// confirmed alarms.
+	AlarmsWithoutValidation  int
+	AlarmsValidatedImpactful int
+	// SuppressedByProbe counts alarms the probe validator dismissed.
+	SuppressedByProbe int
+}
+
+// Render formats the validation-chain outcome.
+func (r *ValidationResult) Render() string {
+	t := Table{
+		Title:  "§5.1 validation chain (E9): mimic alarms on transient faults",
+		Header: []string{"policy", "alarms raised", "confirmed impactful"},
+	}
+	t.AddRow("mimic alone", fmt.Sprintf("%d/%d", r.AlarmsWithoutValidation, r.TransientFaults), "—")
+	t.AddRow("mimic + probe validation", fmt.Sprintf("%d/%d", r.AlarmsWithoutValidation, r.TransientFaults),
+		fmt.Sprintf("%d (suppressed %d)", r.AlarmsValidatedImpactful, r.SuppressedByProbe))
+	return t.Render()
+}
+
+// RunValidationChain runs E9: transient (Count=1) faults trip the mimic
+// checker once; a probe validator then assesses client-visible impact and
+// dismisses alarms for faults the main program absorbed.
+func RunValidationChain(scratch string, faults int) (*ValidationResult, error) {
+	if faults <= 0 {
+		faults = 5
+	}
+	res := &ValidationResult{TransientFaults: faults}
+
+	factory := watchdog.NewFactory()
+	store, err := kvs.Open(kvs.Config{Dir: scratch, FlushThresholdBytes: 1 << 30,
+		WatchdogFactory: factory})
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+	srv, err := kvs.Serve("127.0.0.1:0", store)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	addr := srv.Addr()
+
+	probeValidator := func(watchdog.Report) bool {
+		c, err := kvs.Dial(addr, time.Second)
+		if err != nil {
+			return true // cannot even connect: impact confirmed
+		}
+		defer c.Close()
+		if err := c.Set("__validate__", "x"); err != nil {
+			return true
+		}
+		_, err = c.Get("__validate__")
+		return err != nil
+	}
+
+	driver := watchdog.New(watchdog.WithFactory(factory), watchdog.WithTimeout(time.Second))
+	mimic := watchdog.NewChecker("mimic.flush", func(ctx *watchdog.Context) error {
+		site := watchdog.Site{Function: "kvs.(*Store).FlushPartition", Op: "sstable.Write"}
+		return watchdog.Op(ctx, site, func() error {
+			return store.Injector().Fire(kvs.FaultFlushWrite)
+		})
+	})
+	readyCtx := watchdog.NewContext()
+	readyCtx.MarkReady()
+	driver.Register(mimic, watchdog.WithContext(readyCtx),
+		watchdog.ValidateWith(probeValidator))
+
+	var alarms []watchdog.Alarm
+	driver.OnAlarm(func(a watchdog.Alarm) { alarms = append(alarms, a) })
+
+	for i := 0; i < faults; i++ {
+		// Transient environment fault: errors exactly once, then clears —
+		// the main program retries successfully, so there is no lasting
+		// client-visible impact.
+		store.Injector().Arm(kvs.FaultFlushWrite, faultinject.Fault{
+			Kind: faultinject.Error, Count: 1,
+		})
+		if _, err := driver.CheckNow("mimic.flush"); err != nil {
+			return nil, err
+		}
+		store.Injector().Disarm(kvs.FaultFlushWrite)
+		// Healthy run resets the alarm latch.
+		if _, err := driver.CheckNow("mimic.flush"); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range alarms {
+		res.AlarmsWithoutValidation++
+		if a.Validated != nil && *a.Validated {
+			res.AlarmsValidatedImpactful++
+		} else if a.Validated != nil {
+			res.SuppressedByProbe++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,144 @@
+package experiment
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"gowatchdog/internal/kvs"
+	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/watchdog/wdio"
+)
+
+// CoverageResult is E10: fault coverage as a function of mimic-suite size —
+// the "comprehensiveness" axis of §3.1 ("a watchdog can execute as many
+// checkers as necessary to catch faults comprehensively"), quantified.
+type CoverageResult struct {
+	// Scenarios is the fault sweep size.
+	Scenarios int
+	// Detected[k] is the number of scenarios detected with the first k+1
+	// checkers registered.
+	Detected []int
+	// CheckerNames is the registration order.
+	CheckerNames []string
+}
+
+// Render formats the coverage series.
+func (r *CoverageResult) Render() string {
+	t := Table{
+		Title:  "§3.1 comprehensiveness (E10): fault coverage vs mimic-suite size",
+		Header: []string{"checkers registered", "suite", fmt.Sprintf("faults detected (of %d)", r.Scenarios)},
+	}
+	for k, det := range r.Detected {
+		t.AddRow(fmt.Sprint(k+1), r.CheckerNames[k], fmt.Sprintf("%d/%d", det, r.Scenarios))
+	}
+	return t.Render()
+}
+
+// RunCheckerCoverage runs the Table-2 fault sweep against growing subsets
+// of the kvs mimic suite.
+func RunCheckerCoverage(scratch string, settle time.Duration) (*CoverageResult, error) {
+	if settle <= 0 {
+		settle = 250 * time.Millisecond
+	}
+	scenarios := table2Scenarios()
+	res := &CoverageResult{Scenarios: len(scenarios)}
+
+	// Discover the suite order once.
+	probeStore, err := kvs.Open(kvs.Config{Dir: filepath.Join(scratch, "probe")})
+	if err != nil {
+		return nil, err
+	}
+	probeShadow, err := wdio.NewFS(filepath.Join(scratch, "probe-shadow"), 0)
+	if err != nil {
+		probeStore.Close()
+		return nil, err
+	}
+	suite := probeStore.MimicCheckers(probeShadow)
+	for _, c := range suite {
+		res.CheckerNames = append(res.CheckerNames, c.Checker.Name())
+	}
+	probeStore.Close()
+
+	for k := 1; k <= len(suite); k++ {
+		detected := 0
+		for i := range scenarios {
+			sc := &scenarios[i]
+			dir := filepath.Join(scratch, fmt.Sprintf("k%d-s%d", k, i))
+			hit, err := runCoverageOnce(dir, k, sc, settle)
+			if err != nil {
+				return nil, fmt.Errorf("k=%d %s: %w", k, sc.name, err)
+			}
+			if hit {
+				detected++
+			}
+		}
+		res.Detected = append(res.Detected, detected)
+	}
+	return res, nil
+}
+
+func runCoverageOnce(dir string, k int, sc *table2Scenario, settle time.Duration) (bool, error) {
+	factory := watchdog.NewFactory()
+	store, err := kvs.Open(kvs.Config{
+		Dir:                 dir,
+		FlushThresholdBytes: 1 << 30,
+		WatchdogFactory:     factory,
+	})
+	if err != nil {
+		return false, err
+	}
+	defer store.Close()
+	shadow, err := wdio.NewFS(filepath.Join(dir, "shadow"), 0)
+	if err != nil {
+		return false, err
+	}
+	driver := watchdog.New(
+		watchdog.WithFactory(factory),
+		watchdog.WithTimeout(settle/2),
+	)
+	for i, c := range store.MimicCheckers(shadow) {
+		if i >= k {
+			break
+		}
+		if c.HookGated {
+			driver.Register(c.Checker)
+		} else {
+			ready := watchdog.NewContext()
+			ready.MarkReady()
+			driver.Register(c.Checker, watchdog.WithContext(ready))
+		}
+	}
+	var abnormal atomic.Int64
+	driver.OnReport(func(rep watchdog.Report) {
+		if rep.Status.Abnormal() {
+			abnormal.Add(1)
+		}
+	})
+
+	// Warmup so hooks fire and tables exist, then plant the fault.
+	for i := 0; i < 24; i++ {
+		if err := store.Set([]byte(fmt.Sprintf("warm%03d", i)), []byte("v")); err != nil {
+			return false, err
+		}
+	}
+	store.FlushAll(true)
+	if err := sc.plant(store); err != nil {
+		return false, err
+	}
+	defer store.Injector().Clear()
+
+	for r := 0; r < 2; r++ {
+		done := make(chan struct{})
+		go func() {
+			driver.CheckAll()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(settle):
+		}
+	}
+	return abnormal.Load() > 0, nil
+}

@@ -1,0 +1,92 @@
+// Package experiment implements the paper-reproduction harness: one
+// function per table/figure of the paper (see DESIGN.md's per-experiment
+// index), each returning a structured result that renders as the same kind
+// of table or series the paper reports.
+//
+// The harness is exercised three ways: unit tests (fast, scaled-down
+// parameters), the root bench_test.go (go test -bench), and cmd/wdbench
+// (human-readable report, optionally with the paper's original 1s/6s
+// watchdog parameters).
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Outcome is one cell of a detection matrix.
+type Outcome int
+
+const (
+	// Missed means the detector never flagged the fault.
+	Missed Outcome = iota
+	// Detected means the detector flagged the fault.
+	Detected
+	// DetectedPinpoint means the detector flagged the fault and localized
+	// the faulty operation.
+	DetectedPinpoint
+	// NotApplicable means the detector cannot be used in this scenario.
+	NotApplicable
+)
+
+// String renders the cell the way the paper's tables mark capabilities.
+func (o Outcome) String() string {
+	switch o {
+	case Detected:
+		return "detected"
+	case DetectedPinpoint:
+		return "detected+pinpoint"
+	case NotApplicable:
+		return "n/a"
+	default:
+		return "MISSED"
+	}
+}
+
+// Table is a simple row/column result container with fixed-width rendering.
+type Table struct {
+	// Title names the reproduced artifact, e.g. "Table 1 (empirical)".
+	Title string
+	// Header holds the column names; Rows the cells (first cell = row name).
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render pretty-prints the table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s ===\n", t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,278 @@
+package experiment
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := Table{Title: "demo", Header: []string{"a", "long-column"}}
+	tab.AddRow("x", "y")
+	out := tab.Render()
+	for _, want := range []string{"=== demo ===", "a", "long-column", "x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	cases := map[Outcome]string{
+		Missed: "MISSED", Detected: "detected",
+		DetectedPinpoint: "detected+pinpoint", NotApplicable: "n/a",
+	}
+	for o, want := range cases {
+		if o.String() != want {
+			t.Errorf("Outcome(%d) = %q, want %q", int(o), o.String(), want)
+		}
+	}
+}
+
+func TestTable1MatchesPaperShape(t *testing.T) {
+	res, err := RunTable1(t.TempDir(), 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shape the paper claims (Table 1): the crash FD catches only the
+	// crash; the watchdog catches every partial fault with pinpointing; the
+	// error handler catches only faults with explicit error signals.
+	expect := map[string]map[string]Outcome{
+		"process-crash":     {"crash-fd": Detected, "error-handler": NotApplicable, "watchdog": NotApplicable},
+		"partial-hang":      {"crash-fd": Missed, "error-handler": Missed, "watchdog": DetectedPinpoint},
+		"fail-slow":         {"crash-fd": Missed, "error-handler": Missed, "watchdog": DetectedPinpoint},
+		"explicit-error":    {"crash-fd": Missed, "error-handler": Detected, "watchdog": DetectedPinpoint},
+		"silent-corruption": {"crash-fd": Missed, "error-handler": Missed, "watchdog": DetectedPinpoint},
+	}
+	for fault, dets := range expect {
+		for det, want := range dets {
+			if got := res.Matrix[fault][det]; got != want {
+				t.Errorf("%s/%s = %v, want %v", fault, det, got, want)
+			}
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Table 1") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestTable2MatchesPaperShape(t *testing.T) {
+	res, err := RunTable2(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mimic, signal, probe := res.DetectedBy["mimic"], res.DetectedBy["signal"], res.DetectedBy["probe"]
+	// Table 2's ordering: mimic has the strongest completeness; probe the
+	// weakest.
+	if !(mimic > signal && signal >= probe) {
+		t.Errorf("completeness ordering violated: mimic=%d signal=%d probe=%d",
+			mimic, signal, probe)
+	}
+	if mimic < res.Scenarios-1 {
+		t.Errorf("mimic completeness %d/%d too weak", mimic, res.Scenarios)
+	}
+	// Accuracy: probe is perfect, mimic near-perfect, signal weak.
+	if res.FalseAlarms["probe"] != 0 {
+		t.Errorf("probe false alarms = %d, want 0", res.FalseAlarms["probe"])
+	}
+	if res.FalseAlarms["mimic"] != 0 {
+		t.Errorf("mimic false alarms = %d, want 0", res.FalseAlarms["mimic"])
+	}
+	if res.FalseAlarms["signal"] == 0 {
+		t.Errorf("signal false alarms = 0; idle workload should trip progress heuristics")
+	}
+	// Pinpointing: probes cannot; mimics pinpoint every detection.
+	if res.Pinpointed["probe"] != 0 {
+		t.Errorf("probe pinpointed %d detections", res.Pinpointed["probe"])
+	}
+	if mimic > 0 && res.Pinpointed["mimic"] != mimic {
+		t.Errorf("mimic pinpointed %d of %d detections", res.Pinpointed["mimic"], mimic)
+	}
+	if !strings.Contains(res.Render(), "Table 2") {
+		t.Fatal("render title")
+	}
+}
+
+func TestZK2201MatchesPaperStory(t *testing.T) {
+	res, err := RunZK2201(t.TempDir(), 30*time.Millisecond, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WritesHung {
+		t.Error("writes did not hang")
+	}
+	if !res.ReadsHealthy {
+		t.Error("reads broke (should be partial failure)")
+	}
+	if res.HeartbeatDetected {
+		t.Error("heartbeat FD detected (paper: it reports healthy)")
+	}
+	if res.AdminDetected {
+		t.Error("admin command detected (paper: it reports healthy)")
+	}
+	if res.FalconDetected {
+		t.Error("layered spies detected (their layer signals all stay live)")
+	}
+	if res.WatchdogLatency < 0 {
+		t.Fatal("watchdog never detected")
+	}
+	maxLatency := 4 * (30*time.Millisecond + 150*time.Millisecond)
+	if res.WatchdogLatency > maxLatency {
+		t.Errorf("watchdog latency %v > %v", res.WatchdogLatency, maxLatency)
+	}
+	if res.Site.Op != "net.Write" {
+		t.Errorf("pinpoint = %v", res.Site)
+	}
+	if !strings.Contains(res.Render(), "ZOOKEEPER-2201") {
+		t.Fatal("render title")
+	}
+}
+
+func TestContextAblation(t *testing.T) {
+	res, err := RunContextAblation(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GatedFalseAlarms != 0 {
+		t.Errorf("gated checker raised %d false alarms", res.GatedFalseAlarms)
+	}
+	if res.GatedSkips != res.Rounds {
+		t.Errorf("gated skips = %d, want %d", res.GatedSkips, res.Rounds)
+	}
+	if res.UngatedFalseAlarms != res.Rounds {
+		t.Errorf("ungated false alarms = %d, want %d (every run spurious)",
+			res.UngatedFalseAlarms, res.Rounds)
+	}
+	if !strings.Contains(res.Render(), "context-sync ablation") {
+		t.Fatal("render title")
+	}
+}
+
+func TestValidationChain(t *testing.T) {
+	res, err := RunValidationChain(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AlarmsWithoutValidation != res.TransientFaults {
+		t.Errorf("raised %d alarms for %d transient faults",
+			res.AlarmsWithoutValidation, res.TransientFaults)
+	}
+	if res.SuppressedByProbe != res.TransientFaults {
+		t.Errorf("probe suppressed %d of %d (transient faults have no impact)",
+			res.SuppressedByProbe, res.TransientFaults)
+	}
+	if res.AlarmsValidatedImpactful != 0 {
+		t.Errorf("impactful = %d, want 0", res.AlarmsValidatedImpactful)
+	}
+	if !strings.Contains(res.Render(), "validation chain") {
+		t.Fatal("render title")
+	}
+}
+
+func TestDiskCheckerGenerations(t *testing.T) {
+	res, err := RunDiskChecker(t.TempDir(), 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := res.Matrix["none (healthy)"]
+	if healthy["v1"] != Missed || healthy["v2"] != Missed {
+		t.Errorf("healthy volume produced detections: %v", healthy)
+	}
+	errs := res.Matrix["write errors"]
+	if errs["v1"] != Missed {
+		t.Errorf("v1 detected write errors (it only checks permissions): %v", errs["v1"])
+	}
+	if errs["v2"] != DetectedPinpoint {
+		t.Errorf("v2 on write errors = %v, want detected+pinpoint", errs["v2"])
+	}
+	hangs := res.Matrix["write hangs"]
+	if hangs["v1"] != Missed {
+		t.Errorf("v1 detected hangs: %v", hangs["v1"])
+	}
+	if hangs["v2"] == Missed {
+		t.Errorf("v2 missed the hanging volume")
+	}
+	if !strings.Contains(res.Render(), "disk-checker generations") {
+		t.Fatal("render title")
+	}
+}
+
+func TestCheckerCoverageMonotone(t *testing.T) {
+	res, err := RunCheckerCoverage(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Detected) < 5 {
+		t.Fatalf("suite sizes = %d", len(res.Detected))
+	}
+	for i := 1; i < len(res.Detected); i++ {
+		if res.Detected[i] < res.Detected[i-1] {
+			t.Fatalf("coverage not monotone: %v", res.Detected)
+		}
+	}
+	last := res.Detected[len(res.Detected)-1]
+	if last != res.Scenarios {
+		t.Errorf("full suite detected %d/%d", last, res.Scenarios)
+	}
+	if res.Detected[0] >= last {
+		t.Errorf("single checker already covers everything: %v", res.Detected)
+	}
+	if !strings.Contains(res.Render(), "comprehensiveness") {
+		t.Fatal("render title")
+	}
+}
+
+func TestOverheadShape(t *testing.T) {
+	res, err := RunOverhead(t.TempDir(), 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"baseline", "hooks", "full"} {
+		if res.PacedNs[m] <= 0 || res.SaturationNs[m] <= 0 {
+			t.Fatalf("non-positive measurements: %+v", res)
+		}
+	}
+	// The paper's claim: checking does not slow fault-free execution at a
+	// realistic service rate. Allow generous CI noise; the paced full-
+	// watchdog run must not, say, double the per-op latency.
+	if res.PacedNs["full"] > 2.0*res.PacedNs["baseline"] {
+		t.Errorf("paced full watchdog = %.0f ns/op vs baseline %.0f (> 100%% overhead)",
+			res.PacedNs["full"], res.PacedNs["baseline"])
+	}
+	if !strings.Contains(res.Render(), "overhead") {
+		t.Fatal("render title")
+	}
+}
+
+func TestReductionOverTargetSystems(t *testing.T) {
+	wd, _ := os.Getwd()
+	root, err := FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunReduction(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Systems) != 3 {
+		t.Fatalf("systems = %d", len(res.Systems))
+	}
+	total := 0
+	for _, row := range res.Systems {
+		if row.Regions == 0 || row.Ops == 0 {
+			t.Errorf("%s: regions=%d ops=%d", row.Package, row.Regions, row.Ops)
+		}
+		if row.MeanRatio <= 0 || row.MeanRatio >= 1 {
+			t.Errorf("%s: reduction ratio %v out of (0,1)", row.Package, row.MeanRatio)
+		}
+		total += row.Regions
+	}
+	if total < 10 {
+		t.Errorf("total regions %d; paper reports tens of checkers", total)
+	}
+	if !strings.Contains(res.Render(), "program logic reduction") {
+		t.Fatal("render title")
+	}
+}

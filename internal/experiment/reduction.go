@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gowatchdog/internal/autowatchdog"
+)
+
+// ReductionResult is E4: the Figure 2–3 reproduction. AutoWatchdog analyzes
+// the three target systems; per system we report regions (= generated
+// checkers), retained vulnerable operations, and reduction ratios — the
+// "tens of checkers" scale claim of §4.2.
+type ReductionResult struct {
+	// Systems holds one row per analyzed package.
+	Systems []ReductionRow
+}
+
+// ReductionRow summarizes one package's analysis.
+type ReductionRow struct {
+	Package    string
+	Regions    int
+	Ops        int
+	Statements int
+	// MeanRatio is the mean per-region reduction ratio (ops/statements).
+	MeanRatio float64
+}
+
+// Render formats the reduction summary.
+func (r *ReductionResult) Render() string {
+	t := Table{
+		Title:  "Figures 2–3 (E4): program logic reduction over the target systems",
+		Header: []string{"package", "regions (=checkers)", "vulnerable ops retained", "statements analyzed", "mean reduction ratio"},
+	}
+	total := ReductionRow{Package: "TOTAL"}
+	for _, row := range r.Systems {
+		t.AddRow(row.Package, fmt.Sprint(row.Regions), fmt.Sprint(row.Ops),
+			fmt.Sprint(row.Statements), fmt.Sprintf("%.3f", row.MeanRatio))
+		total.Regions += row.Regions
+		total.Ops += row.Ops
+		total.Statements += row.Statements
+	}
+	t.AddRow(total.Package, fmt.Sprint(total.Regions), fmt.Sprint(total.Ops),
+		fmt.Sprint(total.Statements), "")
+	return t.Render()
+}
+
+// RunReduction analyzes the three target systems under moduleRoot.
+func RunReduction(moduleRoot string) (*ReductionResult, error) {
+	res := &ReductionResult{}
+	for _, pkg := range []string{"internal/kvs", "internal/coord", "internal/dfs"} {
+		dir := filepath.Join(moduleRoot, pkg)
+		if _, err := os.Stat(dir); err != nil {
+			return nil, fmt.Errorf("reduction: %w", err)
+		}
+		a, err := autowatchdog.Analyze(autowatchdog.Config{PackageDir: dir})
+		if err != nil {
+			return nil, err
+		}
+		row := ReductionRow{Package: a.Package, Regions: len(a.Regions), Ops: a.TotalOps()}
+		var ratioSum float64
+		for _, reg := range a.Regions {
+			row.Statements += reg.Statements
+			ratioSum += reg.ReductionRatio()
+		}
+		if len(a.Regions) > 0 {
+			row.MeanRatio = ratioSum / float64(len(a.Regions))
+		}
+		res.Systems = append(res.Systems, row)
+	}
+	return res, nil
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("experiment: go.mod not found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,282 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"gowatchdog/internal/faultinject"
+	"gowatchdog/internal/kvs"
+	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/watchdog/checkers"
+	"gowatchdog/internal/watchdog/wdio"
+)
+
+// Table2Result is the empirical reproduction of the paper's Table 2: the
+// three checker styles scored on completeness, accuracy, and pinpointing.
+type Table2Result struct {
+	// Scenarios is the number of fault scenarios in the completeness sweep.
+	Scenarios int
+	// DetectedBy maps style -> number of scenarios detected.
+	DetectedBy map[string]int
+	// FalseAlarms maps style -> alarms raised across the fault-free runs.
+	FalseAlarms map[string]int
+	// FaultFreeRuns is the number of fault-free checker rounds per style.
+	FaultFreeRuns int
+	// Pinpointed maps style -> detections that carried a site.
+	Pinpointed map[string]int
+}
+
+// Styles in reporting order.
+var table2Styles = []string{"probe", "signal", "mimic"}
+
+// Render formats the result like Table 2.
+func (r *Table2Result) Render() string {
+	t := Table{
+		Title: "Table 2 (empirical): probe vs signal vs mimic checkers on kvs",
+		Header: []string{"style", "completeness", "accuracy", "pinpoint",
+			fmt.Sprintf("(n=%d faults, %d fault-free rounds)", r.Scenarios, r.FaultFreeRuns)},
+	}
+	for _, s := range table2Styles {
+		det := r.DetectedBy[s]
+		completeness := fmt.Sprintf("%d/%d", det, r.Scenarios)
+		accuracy := fmt.Sprintf("%d false alarms", r.FalseAlarms[s])
+		pin := "0/0"
+		if det > 0 {
+			pin = fmt.Sprintf("%d/%d", r.Pinpointed[s], det)
+		}
+		t.AddRow(s, completeness, accuracy, pin, "")
+	}
+	return t.Render()
+}
+
+// table2Scenario plants one fault in a running store.
+type table2Scenario struct {
+	name  string
+	plant func(store *kvs.Store) error
+}
+
+// armFault returns a plant function arming one fault point.
+func armFault(point string, f faultinject.Fault) func(*kvs.Store) error {
+	return func(s *kvs.Store) error {
+		s.Injector().Arm(point, f)
+		return nil
+	}
+}
+
+// corruptFirstTable flips a data byte in the newest SSTable of the first
+// partition that has one.
+func corruptFirstTable(s *kvs.Store) error {
+	for i := 0; i < s.Partitions(); i++ {
+		paths := s.TablePaths(i)
+		if len(paths) == 0 {
+			continue
+		}
+		data, err := os.ReadFile(paths[0])
+		if err != nil {
+			return err
+		}
+		data[9] ^= 0x40
+		return os.WriteFile(paths[0], data, 0o644)
+	}
+	return fmt.Errorf("no SSTable to corrupt")
+}
+
+// table2Scenarios is the fault sweep: foreground and background faults of
+// the kinds the paper motivates (§1), including one with no error signal at
+// all (silent corruption).
+func table2Scenarios() []table2Scenario {
+	return []table2Scenario{
+		{"flusher-hang", armFault(kvs.FaultFlushWrite, faultinject.Fault{Kind: faultinject.Hang})},
+		{"flusher-error", armFault(kvs.FaultFlushWrite, faultinject.Fault{Kind: faultinject.Error})},
+		{"compaction-hang", armFault(kvs.FaultCompactMerge, faultinject.Fault{Kind: faultinject.Hang})},
+		{"wal-error", armFault(kvs.FaultWALAppend, faultinject.Fault{Kind: faultinject.Error})},
+		{"indexer-read-error", armFault(kvs.FaultIndexerGet, faultinject.Fault{Kind: faultinject.Error})},
+		{"silent-corruption", corruptFirstTable},
+	}
+}
+
+// RunTable2 scores the three checker styles. scratch is a work directory;
+// settle bounds each scenario (0 = default 250ms).
+func RunTable2(scratch string, settle time.Duration) (*Table2Result, error) {
+	if settle <= 0 {
+		settle = 250 * time.Millisecond
+	}
+	scenarios := table2Scenarios()
+	res := &Table2Result{
+		Scenarios:   len(scenarios),
+		DetectedBy:  map[string]int{},
+		FalseAlarms: map[string]int{},
+		Pinpointed:  map[string]int{},
+	}
+
+	// Completeness: each scenario runs each style once.
+	for i := range scenarios {
+		sc := &scenarios[i]
+		for _, style := range table2Styles {
+			dir := filepath.Join(scratch, fmt.Sprintf("s%d-%s", i, style))
+			detected, pinpointed, _, err := runTable2Once(dir, style, sc, settle, 3)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", sc.name, style, err)
+			}
+			if detected {
+				res.DetectedBy[style]++
+				if pinpointed {
+					res.Pinpointed[style]++
+				}
+			}
+		}
+	}
+
+	// Accuracy: fault-free runs with a bursty-then-idle workload; signal
+	// checkers' progress heuristics fire spuriously during idle.
+	const faultFreeRounds = 6
+	res.FaultFreeRuns = faultFreeRounds
+	for _, style := range table2Styles {
+		dir := filepath.Join(scratch, "ff-"+style)
+		_, _, alarms, err := runTable2Once(dir, style, nil, settle, faultFreeRounds)
+		if err != nil {
+			return nil, fmt.Errorf("fault-free/%s: %w", style, err)
+		}
+		res.FalseAlarms[style] = alarms
+	}
+	return res, nil
+}
+
+// runTable2Once runs one style against one (optional) fault and reports
+// (detected, pinpointed, abnormalReports).
+func runTable2Once(dir, style string, sc *table2Scenario, settle time.Duration, rounds int) (bool, bool, int, error) {
+	factory := watchdog.NewFactory()
+	store, err := kvs.Open(kvs.Config{
+		Dir:                 dir,
+		FlushThresholdBytes: 1 << 30,
+		WatchdogFactory:     factory,
+	})
+	if err != nil {
+		return false, false, 0, err
+	}
+	defer store.Close()
+	srv, err := kvs.Serve("127.0.0.1:0", store)
+	if err != nil {
+		return false, false, 0, err
+	}
+	defer srv.Close()
+
+	driver := watchdog.New(
+		watchdog.WithFactory(factory),
+		watchdog.WithTimeout(settle/2),
+	)
+	if err := registerStyle(driver, style, store, srv.Addr(), dir); err != nil {
+		return false, false, 0, err
+	}
+
+	var abnormal, pinpoints atomic.Int64
+	driver.OnReport(func(rep watchdog.Report) {
+		if rep.Status.Abnormal() {
+			abnormal.Add(1)
+			if !rep.Site.IsZero() {
+				pinpoints.Add(1)
+			}
+		}
+	})
+
+	// Warmup traffic (populates hooks, tables, and signal baselines).
+	client, err := kvs.Dial(srv.Addr(), 2*time.Second)
+	if err != nil {
+		return false, false, 0, err
+	}
+	defer client.Close()
+	for i := 0; i < 24; i++ {
+		if err := client.Set(fmt.Sprintf("warm%03d", i), "v"); err != nil {
+			return false, false, 0, err
+		}
+	}
+	store.FlushAll(true)
+	driver.CheckAll() // seed stateful (progress) signal checkers
+
+	if sc != nil {
+		if err := sc.plant(store); err != nil {
+			return false, false, 0, err
+		}
+		defer store.Injector().Clear()
+	}
+
+	// Checker rounds interleaved with the main program's ongoing work, so
+	// progress counters advance whenever the respective component is
+	// actually healthy. A stuck checker run is abandoned after its timeout
+	// (the driver has already recorded the liveness report). Activity runs
+	// on its own goroutines because it may wedge under hang faults.
+	var seq atomic.Int64
+	activity := func() {
+		n := seq.Add(1)
+		store.Set([]byte(fmt.Sprintf("work%04d", n)), []byte("x"))
+		store.FlushAll(true)
+		store.CompactAll()
+	}
+	for r := 0; r < rounds; r++ {
+		if sc != nil || r < rounds/2 {
+			go activity()
+		}
+		// Fault-free accuracy workload goes idle in later rounds.
+		time.Sleep(settle / 8)
+		done := make(chan struct{})
+		go func() {
+			driver.CheckAll()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(settle):
+		}
+	}
+	return abnormal.Load() > 0, pinpoints.Load() > 0, int(abnormal.Load()), nil
+}
+
+// registerStyle installs the checkers for one style.
+func registerStyle(driver *watchdog.Driver, style string, store *kvs.Store,
+	addr, dir string) error {
+	switch style {
+	case "probe":
+		// A client-like probe exercising the public API end to end with
+		// pre-supplied input.
+		driver.Register(checkers.Probe("probe.setget", func() error {
+			c, err := kvs.Dial(addr, time.Second)
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			if err := c.Set("__probe__", "ping"); err != nil {
+				return err
+			}
+			v, err := c.Get("__probe__")
+			if err != nil {
+				return err
+			}
+			if v != "ping" {
+				return fmt.Errorf("probe read back %q", v)
+			}
+			return nil
+		}), watchdog.WithContext(checkers.ProbeContext()))
+	case "signal":
+		m := store.Metrics()
+		driver.Register(checkers.CounterStalled("signal.flush-progress", "flushes",
+			m.Counter("kvs.flushes")), watchdog.WithContext(checkers.ProbeContext()))
+		driver.Register(checkers.CounterStalled("signal.mutation-progress", "mutations",
+			m.Counter("kvs.mutations")), watchdog.WithContext(checkers.ProbeContext()))
+		driver.Register(checkers.CounterRising("signal.error-rate", "errors",
+			m.Counter("kvs.errors")), watchdog.WithContext(checkers.ProbeContext()))
+		driver.Register(checkers.GaugeAbove("signal.repl-queue", "repl-queue",
+			m.Gauge("kvs.repl.queue"), 512), watchdog.WithContext(checkers.ProbeContext()))
+	case "mimic":
+		shadow, err := wdio.NewFS(filepath.Join(dir, "wd-shadow"), 0)
+		if err != nil {
+			return err
+		}
+		store.InstallWatchdog(driver, shadow)
+	default:
+		return fmt.Errorf("unknown style %q", style)
+	}
+	return nil
+}

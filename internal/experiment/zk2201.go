@@ -1,0 +1,196 @@
+package experiment
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"gowatchdog/internal/clock"
+	"gowatchdog/internal/coord"
+	"gowatchdog/internal/detect"
+	"gowatchdog/internal/faultinject"
+	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/watchdog/wdio"
+)
+
+// ZK2201Result is the reproduction of the paper's §4.2 case study: a
+// network issue blocks a remote sync inside a critical section, hanging all
+// write request processing; heartbeat detection and the admin command show
+// the leader healthy; the generated watchdog detects and pinpoints.
+type ZK2201Result struct {
+	// Interval and Timeout are the watchdog parameters used.
+	Interval, Timeout time.Duration
+	// Horizon is how long each extrinsic detector was given.
+	Horizon time.Duration
+	// HeartbeatDetected / AdminDetected / FalconDetected report whether the
+	// extrinsic detectors flagged the leader within the horizon.
+	HeartbeatDetected bool
+	AdminDetected     bool
+	FalconDetected    bool
+	// WritesHung confirms the gray failure manifested (write wedged, reads
+	// fine).
+	WritesHung   bool
+	ReadsHealthy bool
+	// WatchdogLatency is time-to-detect from fault injection; negative
+	// means never detected.
+	WatchdogLatency time.Duration
+	// Site is the pinpointed blocked call.
+	Site watchdog.Site
+	// PaperEquivalent extrapolates the latency to the paper's 1s/6s
+	// parameters (detection ≈ interval + timeout).
+	PaperEquivalent time.Duration
+}
+
+// Render formats the case study outcome.
+func (r *ZK2201Result) Render() string {
+	t := Table{
+		Title:  "§4.2 case study (ZOOKEEPER-2201): detection comparison",
+		Header: []string{"detector", "outcome", "time-to-detect"},
+	}
+	mark := func(b bool) string {
+		if b {
+			return "detected"
+		}
+		return "healthy (MISSED)"
+	}
+	t.AddRow("heartbeat FD", mark(r.HeartbeatDetected), fmt.Sprintf("— (horizon %v)", r.Horizon))
+	t.AddRow("admin command (ruok)", mark(r.AdminDetected), fmt.Sprintf("— (horizon %v)", r.Horizon))
+	t.AddRow("Falcon-style layered spies", mark(r.FalconDetected), fmt.Sprintf("— (horizon %v)", r.Horizon))
+	wd := "MISSED"
+	lat := "—"
+	if r.WatchdogLatency >= 0 {
+		wd = "detected+pinpoint @ " + r.Site.String()
+		lat = r.WatchdogLatency.String()
+	}
+	t.AddRow(fmt.Sprintf("mimic watchdog (%v/%v)", r.Interval, r.Timeout), wd, lat)
+	out := t.Render()
+	out += fmt.Sprintf("writes hung: %v, reads healthy: %v\n", r.WritesHung, r.ReadsHealthy)
+	out += fmt.Sprintf("extrapolated to paper parameters (1s interval / 6s timeout): ≈%v (paper: ~7s)\n",
+		r.PaperEquivalent)
+	return out
+}
+
+// RunZK2201 reproduces the case study with the given watchdog parameters
+// (zero values use the scaled defaults: 50ms interval, 300ms timeout).
+func RunZK2201(scratch string, interval, timeout time.Duration) (*ZK2201Result, error) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	if timeout <= 0 {
+		timeout = 300 * time.Millisecond
+	}
+	res := &ZK2201Result{Interval: interval, Timeout: timeout, WatchdogLatency: -1}
+
+	follower, err := coord.NewFollower("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer follower.Close()
+
+	factory := watchdog.NewFactory()
+	leader := coord.NewLeader(coord.LeaderConfig{
+		FollowerAddr:      follower.Addr(),
+		HeartbeatInterval: interval / 2,
+		WatchdogFactory:   factory,
+	})
+	hb := detect.NewHeartbeat(clock.Real(), timeout)
+	leader.OnHeartbeat(hb.Beat)
+	// Falcon-style layers: the app layer feeds from the leader's heartbeat
+	// thread, the process layer from a liveness goroutine (the process is
+	// alive, after all).
+	falcon := detect.NewFalcon(clock.Real())
+	appFeed := falcon.AddLayer("app", timeout)
+	procFeed := falcon.AddLayer("process", timeout)
+	leader.OnHeartbeat(appFeed)
+	procStop := make(chan struct{})
+	defer close(procStop)
+	go func() {
+		tick := time.NewTicker(interval / 2)
+		defer tick.Stop()
+		for {
+			select {
+			case <-procStop:
+				return
+			case <-tick.C:
+				procFeed()
+			}
+		}
+	}()
+	leader.Start()
+	defer leader.Close()
+
+	admin, err := coord.ServeAdmin("127.0.0.1:0", leader)
+	if err != nil {
+		return nil, err
+	}
+	defer admin.Close()
+
+	shadow, err := wdio.NewFS(filepath.Join(scratch, "shadow"), 0)
+	if err != nil {
+		return nil, err
+	}
+	driver := watchdog.New(
+		watchdog.WithFactory(factory),
+		watchdog.WithInterval(interval),
+		watchdog.WithTimeout(timeout),
+	)
+	leader.InstallWatchdog(driver, shadow)
+	detected := make(chan watchdog.Report, 16)
+	driver.OnReport(func(rep watchdog.Report) {
+		if rep.Checker == "coord.sync" && rep.Status == watchdog.StatusStuck {
+			select {
+			case detected <- rep:
+			default:
+			}
+		}
+	})
+
+	// Healthy traffic proves the path and populates hooks.
+	if err := leader.SubmitWait(coord.OpCreate, "/app", []byte("x"), 5*time.Second); err != nil {
+		return nil, err
+	}
+	driver.Start()
+	defer driver.Stop()
+
+	// Fault: the network to the follower black-holes.
+	faultStart := time.Now()
+	leader.Injector().Arm(coord.FaultSyncSend, faultinject.Fault{Kind: faultinject.Hang})
+	defer leader.Injector().Clear()
+
+	// The write pipeline wedges...
+	writeDone := leader.Submit(coord.OpCreate, "/app/hung", nil)
+	horizon := timeout * 4
+	res.Horizon = horizon
+	select {
+	case <-writeDone:
+		res.WritesHung = false
+	case <-time.After(timeout):
+		res.WritesHung = true
+	}
+	// ...while reads keep working.
+	if _, _, err := leader.Tree().Get("/app"); err == nil {
+		res.ReadsHealthy = true
+	}
+
+	// Wait for the watchdog to detect.
+	select {
+	case rep := <-detected:
+		res.WatchdogLatency = time.Since(faultStart)
+		res.Site = rep.Site
+	case <-time.After(horizon):
+	}
+
+	// Give the extrinsic detectors the full horizon before judging them.
+	if remaining := horizon - time.Since(faultStart); remaining > 0 {
+		time.Sleep(remaining)
+	}
+	res.HeartbeatDetected = hb.Suspect()
+	res.AdminDetected = coord.AdminRuok(admin.Addr()) != nil
+	res.FalconDetected = falcon.Suspect()
+
+	// Extrapolate to paper parameters: detection ≈ check interval + timeout.
+	if res.WatchdogLatency >= 0 {
+		res.PaperEquivalent = time.Second + 6*time.Second
+	}
+	return res, nil
+}

@@ -1,0 +1,224 @@
+package gauge
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestGaugeSetAndValue(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("queue.len")
+	if g.Value() != 0 {
+		t.Fatalf("fresh gauge = %v, want 0", g.Value())
+	}
+	g.Set(42.5)
+	if g.Value() != 42.5 {
+		t.Fatalf("gauge = %v, want 42.5", g.Value())
+	}
+	g.Add(-2.5)
+	if g.Value() != 40 {
+		t.Fatalf("gauge after Add = %v, want 40", g.Value())
+	}
+}
+
+func TestGaugeSameNameSameInstance(t *testing.T) {
+	r := NewRegistry()
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Fatal("same name returned different gauges")
+	}
+	if r.Counter("x") == nil || r.Window("x", 8) == nil {
+		t.Fatal("counter/window with same name should coexist")
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("hot")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 8000 {
+		t.Fatalf("concurrent adds lost updates: %v", g.Value())
+	}
+}
+
+func TestCounterMonotonic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterNegativeAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	NewRegistry().Counter("c").Add(-1)
+}
+
+func TestWindowMeanMax(t *testing.T) {
+	w := NewWindow(4)
+	if w.Mean() != 0 || w.Max() != 0 || w.Len() != 0 {
+		t.Fatal("empty window stats not zero")
+	}
+	for _, v := range []float64{1, 2, 3} {
+		w.Observe(v)
+	}
+	if w.Mean() != 2 {
+		t.Fatalf("mean = %v, want 2", w.Mean())
+	}
+	if w.Max() != 3 {
+		t.Fatalf("max = %v, want 3", w.Max())
+	}
+	// Overflow evicts the oldest.
+	w.Observe(4)
+	w.Observe(5)
+	if w.Len() != 4 {
+		t.Fatalf("len = %d, want 4", w.Len())
+	}
+	if w.Mean() != (2+3+4+5)/4.0 {
+		t.Fatalf("mean after wrap = %v", w.Mean())
+	}
+}
+
+func TestWindowQuantile(t *testing.T) {
+	w := NewWindow(10)
+	for i := 1; i <= 10; i++ {
+		w.Observe(float64(i))
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{{0, 1}, {0.5, 5}, {0.9, 9}, {1, 10}}
+	for _, c := range cases {
+		if got := w.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestWindowQuantileOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile(2) did not panic")
+		}
+	}()
+	NewWindow(4).Quantile(2)
+}
+
+func TestWindowDefaultCapacity(t *testing.T) {
+	w := NewWindow(0)
+	for i := 0; i < 100; i++ {
+		w.Observe(1)
+	}
+	if w.Len() != 64 {
+		t.Fatalf("default capacity = %d, want 64", w.Len())
+	}
+}
+
+func TestRegistryNamesAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("b").Set(2)
+	r.Counter("a").Add(3)
+	r.Window("c", 4).Observe(7)
+	names := r.Names()
+	want := []string{"a", "b", "c"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+	snap := r.Snapshot()
+	if snap["a"] != 3 || snap["b"] != 2 || snap["c"] != 7 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestRegistryLookupMissing(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.LookupGauge("nope"); ok {
+		t.Fatal("LookupGauge found missing metric")
+	}
+	if _, ok := r.LookupCounter("nope"); ok {
+		t.Fatal("LookupCounter found missing metric")
+	}
+	if _, ok := r.LookupWindow("nope"); ok {
+		t.Fatal("LookupWindow found missing metric")
+	}
+	r.Gauge("g")
+	if _, ok := r.LookupGauge("g"); !ok {
+		t.Fatal("LookupGauge missed existing metric")
+	}
+}
+
+// Property: a window's mean always lies within [min, max] of its inputs, and
+// max equals the true max over the last `cap` observations.
+func TestWindowMeanBoundedProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		w := NewWindow(8)
+		live := make([]float64, 0, 8)
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue // keep the sum well inside float64 range
+			}
+			w.Observe(v)
+			live = append(live, v)
+			if len(live) > 8 {
+				live = live[1:]
+			}
+		}
+		if len(live) == 0 {
+			return w.Mean() == 0
+		}
+		lo, hi := live[0], live[0]
+		for _, v := range live {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		m := w.Mean()
+		const eps = 1e-6
+		return m >= lo-eps-math.Abs(lo)*eps && m <= hi+eps+math.Abs(hi)*eps && w.Max() == hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: counter value equals the sum of its Adds.
+func TestCounterSumProperty(t *testing.T) {
+	f := func(deltas []uint8) bool {
+		r := NewRegistry()
+		c := r.Counter("p")
+		var want int64
+		for _, d := range deltas {
+			c.Add(int64(d))
+			want += int64(d)
+		}
+		return c.Value() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

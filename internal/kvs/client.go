@@ -1,0 +1,188 @@
+package kvs
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrNotFound is returned by Client.Get for absent keys.
+var ErrNotFound = errors.New("kvs: key not found")
+
+// Client is a synchronous client for the kvs text protocol. It is not safe
+// for concurrent use; open one client per goroutine.
+type Client struct {
+	conn    net.Conn
+	r       *bufio.Reader
+	timeout time.Duration
+}
+
+// Dial connects to a kvs server. timeout bounds each request round trip
+// (0 means 5s).
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), timeout: timeout}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one line and reads one response line.
+func (c *Client) roundTrip(line string) (string, error) {
+	c.conn.SetDeadline(time.Now().Add(c.timeout))
+	if _, err := fmt.Fprintf(c.conn, "%s\n", line); err != nil {
+		return "", err
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSuffix(resp, "\n"), nil
+}
+
+// expectOK parses an OK/ERR response.
+func expectOK(resp string) error {
+	if resp == "OK" {
+		return nil
+	}
+	if strings.HasPrefix(resp, "ERR ") {
+		return errors.New(strings.TrimPrefix(resp, "ERR "))
+	}
+	return fmt.Errorf("kvs: unexpected response %q", resp)
+}
+
+// Set stores value under key.
+func (c *Client) Set(key, value string) error {
+	resp, err := c.roundTrip("SET " + key + " " + value)
+	if err != nil {
+		return err
+	}
+	return expectOK(resp)
+}
+
+// Append appends value to key.
+func (c *Client) Append(key, value string) error {
+	resp, err := c.roundTrip("APPEND " + key + " " + value)
+	if err != nil {
+		return err
+	}
+	return expectOK(resp)
+}
+
+// Get fetches the value of key.
+func (c *Client) Get(key string) (string, error) {
+	resp, err := c.roundTrip("GET " + key)
+	if err != nil {
+		return "", err
+	}
+	switch {
+	case strings.HasPrefix(resp, "VALUE "):
+		return strings.TrimPrefix(resp, "VALUE "), nil
+	case resp == "NOT_FOUND":
+		return "", ErrNotFound
+	case strings.HasPrefix(resp, "ERR "):
+		return "", errors.New(strings.TrimPrefix(resp, "ERR "))
+	default:
+		return "", fmt.Errorf("kvs: unexpected response %q", resp)
+	}
+}
+
+// Del removes key.
+func (c *Client) Del(key string) error {
+	resp, err := c.roundTrip("DEL " + key)
+	if err != nil {
+		return err
+	}
+	return expectOK(resp)
+}
+
+// Ping checks liveness of the request path.
+func (c *Client) Ping() error {
+	resp, err := c.roundTrip("PING")
+	if err != nil {
+		return err
+	}
+	if resp != "PONG" {
+		return fmt.Errorf("kvs: unexpected ping response %q", resp)
+	}
+	return nil
+}
+
+// readCountBlock reads a COUNT-prefixed multi-line response.
+func (c *Client) readCountBlock(first string) ([]string, error) {
+	if strings.HasPrefix(first, "ERR ") {
+		return nil, errors.New(strings.TrimPrefix(first, "ERR "))
+	}
+	if !strings.HasPrefix(first, "COUNT ") {
+		return nil, fmt.Errorf("kvs: unexpected response %q", first)
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(first, "COUNT "))
+	if err != nil {
+		return nil, fmt.Errorf("kvs: bad count in %q", first)
+	}
+	lines := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		lines = append(lines, strings.TrimSuffix(line, "\n"))
+	}
+	return lines, nil
+}
+
+// Scan lists up to limit keys in [start, end); pass "" for unbounded ends.
+func (c *Client) Scan(start, end string, limit int) (map[string]string, error) {
+	if start == "" {
+		start = "-"
+	}
+	if end == "" {
+		end = "-"
+	}
+	first, err := c.roundTrip(fmt.Sprintf("SCAN %s %s %d", start, end, limit))
+	if err != nil {
+		return nil, err
+	}
+	lines, err := c.readCountBlock(first)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(lines))
+	for _, l := range lines {
+		k, v, _ := strings.Cut(l, " ")
+		out[k] = v
+	}
+	return out, nil
+}
+
+// Stats returns the server's metric snapshot.
+func (c *Client) Stats() (map[string]float64, error) {
+	first, err := c.roundTrip("STATS")
+	if err != nil {
+		return nil, err
+	}
+	lines, err := c.readCountBlock(first)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(lines))
+	for _, l := range lines {
+		k, v, _ := strings.Cut(l, " ")
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("kvs: bad stat line %q", l)
+		}
+		out[k] = f
+	}
+	return out, nil
+}

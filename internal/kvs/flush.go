@@ -1,0 +1,270 @@
+package kvs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gowatchdog/internal/memtable"
+	"gowatchdog/internal/sstable"
+	"gowatchdog/internal/wal"
+)
+
+// FlushAll flushes every partition whose memtable crossed the threshold
+// (or all non-empty memtables when force is true).
+func (s *Store) FlushAll(force bool) {
+	for i := range s.parts {
+		if err := s.FlushPartition(i, force); err != nil {
+			s.mets.Counter("kvs.flush.errors").Inc()
+		}
+	}
+}
+
+// FlushPartition drains partition i's memtable into a new SSTable, then
+// resets the WAL. It is a no-op in in-memory mode — which is why the
+// flusher's watchdog hook never fires there, keeping the disk-flusher
+// checker's context unready instead of producing spurious reports (§3.1).
+func (s *Store) FlushPartition(i int, force bool) error {
+	p := s.parts[i]
+	if p.dir == "" {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !force && p.mem.ApproxBytes() < s.cfg.FlushThresholdBytes {
+		return nil
+	}
+	entries := p.mem.Entries()
+	if len(entries) == 0 {
+		return nil
+	}
+	path := filepath.Join(p.dir, fmt.Sprintf("%06d.sst", p.nextID))
+
+	// Watchdog hook: capture the flush arguments — partition, target path,
+	// and a bounded sample of the batch — immediately before the vulnerable
+	// disk write (the instrumentation point from Figure 2).
+	s.hook("kvs.flusher", map[string]any{
+		"partition": p.id,
+		"dir":       p.dir,
+		"path":      path,
+		"entries":   len(entries),
+		"sample":    sampleEntry(entries),
+	})
+
+	// Vulnerable operation: the SSTable write hits the disk. The fault
+	// point models the volume, so any code writing this volume (including
+	// the mimic checker's shadow write) shares its fate.
+	if err := s.inj.Fire(FaultFlushWrite); err != nil {
+		return fmt.Errorf("flush p%d: %w", p.id, err)
+	}
+	if err := sstable.Write(path, entries); err != nil {
+		return fmt.Errorf("flush p%d: %w", p.id, err)
+	}
+	rdr, err := sstable.Open(path)
+	if err != nil {
+		return fmt.Errorf("flush p%d reopen: %w", p.id, err)
+	}
+	p.tables = append([]*sstable.Reader{rdr}, p.tables...)
+	p.nextID++
+	if p.log != nil {
+		if err := p.log.Reset(); err != nil {
+			return fmt.Errorf("flush p%d wal reset: %w", p.id, err)
+		}
+	}
+	p.mem = memtable.New()
+	s.mets.Counter("kvs.flushes").Inc()
+	s.tableGauges[p.id].Set(float64(len(p.tables)))
+	s.memBytesGauges[p.id].Set(0)
+	return nil
+}
+
+// sampleEntry returns a bounded key/value sample for checker payloads.
+func sampleEntry(entries []memtable.Entry) []byte {
+	if len(entries) == 0 {
+		return nil
+	}
+	e := entries[0]
+	sample := make([]byte, 0, 64)
+	sample = append(sample, e.Key...)
+	sample = append(sample, '=')
+	v := e.Value
+	if len(v) > 32 {
+		v = v[:32]
+	}
+	sample = append(sample, v...)
+	return sample
+}
+
+// CompactAll compacts every partition that accumulated enough SSTables.
+func (s *Store) CompactAll() {
+	for i := range s.parts {
+		if err := s.CompactPartition(i); err != nil {
+			s.mets.Counter("kvs.compaction.errors").Inc()
+		}
+	}
+}
+
+// CompactPartition merges partition i's SSTable stack into one table when
+// it has at least CompactionMinTables tables. The merge itself runs outside
+// the partition lock (tables are immutable), mirroring how a real
+// compaction background task can wedge silently without blocking writes —
+// the paper's canonical internal gray failure.
+func (s *Store) CompactPartition(i int) error {
+	p := s.parts[i]
+	if p.dir == "" {
+		return nil
+	}
+	p.mu.Lock()
+	if p.compacting || len(p.tables) < s.cfg.CompactionMinTables {
+		p.mu.Unlock()
+		return nil
+	}
+	// Serialize compactions per partition: the merge runs outside the lock,
+	// so a second concurrent compaction would merge tables the first one is
+	// about to remove.
+	p.compacting = true
+	defer func() {
+		p.mu.Lock()
+		p.compacting = false
+		p.mu.Unlock()
+	}()
+	victims := append([]*sstable.Reader(nil), p.tables...)
+	outPath := filepath.Join(p.dir, fmt.Sprintf("%06d.sst", p.nextID))
+	p.nextID++
+	p.mu.Unlock()
+
+	inputs := make([]string, len(victims))
+	for j, v := range victims {
+		inputs[j] = v.Path()
+	}
+	s.hook("kvs.compaction", map[string]any{
+		"partition": p.id,
+		"inputs":    inputs,
+		"output":    outPath,
+	})
+
+	// Vulnerable operation: the bulk merge I/O.
+	if err := s.inj.Fire(FaultCompactMerge); err != nil {
+		return fmt.Errorf("compact p%d: %w", p.id, err)
+	}
+	if err := sstable.Merge(outPath, victims, true); err != nil {
+		return fmt.Errorf("compact p%d: %w", p.id, err)
+	}
+	merged, err := sstable.Open(outPath)
+	if err != nil {
+		return fmt.Errorf("compact p%d reopen: %w", p.id, err)
+	}
+
+	p.mu.Lock()
+	// Flushes may have prepended newer tables while we merged; replace only
+	// the suffix we actually merged.
+	keep := len(p.tables) - len(victims)
+	if keep < 0 {
+		keep = 0
+	}
+	newTables := append([]*sstable.Reader(nil), p.tables[:keep]...)
+	newTables = append(newTables, merged)
+	old := p.tables[keep:]
+	p.tables = newTables
+	tableCount := len(p.tables)
+	p.mu.Unlock()
+
+	for _, t := range old {
+		t.Close()
+		os.Remove(t.Path())
+	}
+	s.mets.Counter("kvs.compactions").Inc()
+	s.tableGauges[p.id].Set(float64(tableCount))
+	return nil
+}
+
+// RepairPartition is the cheap-recovery path (§5.2 of the paper): guided by
+// a watchdog alarm that localized corruption to this partition, it
+// quarantines SSTables that fail checksum validation (renaming them with a
+// .corrupt suffix and dropping them from the read path) and truncates a
+// corrupt WAL back to its intact prefix. It returns how many tables were
+// quarantined. Data covered by surviving tables and the memtable remains
+// served throughout — no process restart.
+func (s *Store) RepairPartition(i int) (int, error) {
+	p := s.parts[i]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	quarantined := 0
+	var kept []*sstable.Reader
+	for _, t := range p.tables {
+		if err := t.VerifyChecksum(); err != nil {
+			path := t.Path()
+			t.Close()
+			if renameErr := os.Rename(path, path+".corrupt"); renameErr != nil {
+				return quarantined, fmt.Errorf("repair p%d: %w", p.id, renameErr)
+			}
+			quarantined++
+			continue
+		}
+		kept = append(kept, t)
+	}
+	p.tables = kept
+	if p.log != nil {
+		if err := p.log.Verify(); err != nil {
+			// Reopen: wal.Open truncates everything past the last intact
+			// frame. The memtable already holds the applied records.
+			path := p.log.Path()
+			p.log.Close()
+			fresh, err := wal.Open(path)
+			if err != nil {
+				return quarantined, fmt.Errorf("repair p%d wal: %w", p.id, err)
+			}
+			p.log = fresh
+		}
+	}
+	s.mets.Counter("kvs.repairs").Inc()
+	s.tableGauges[p.id].Set(float64(len(p.tables)))
+	return quarantined, nil
+}
+
+// TablePaths returns the file paths of partition i's SSTables, newest
+// first; fault-injection experiments use it to corrupt tables in place.
+func (s *Store) TablePaths(i int) []string {
+	p := s.parts[i]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, len(p.tables))
+	for j, t := range p.tables {
+		out[j] = t.Path()
+	}
+	return out
+}
+
+// TableCount returns the number of SSTables in partition i.
+func (s *Store) TableCount(i int) int {
+	p := s.parts[i]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.tables)
+}
+
+// VerifyPartition runs the fsck-style partition check (§2, §3.3): it
+// validates the WAL frames and every SSTable checksum in partition i. This
+// is the heavyweight check the watchdog runs concurrently rather than
+// in-place.
+func (s *Store) VerifyPartition(i int) error {
+	p := s.parts[i]
+	p.mu.Lock()
+	log := p.log
+	tables := append([]*sstable.Reader(nil), p.tables...)
+	p.mu.Unlock()
+	if err := s.inj.Fire(FaultSSTableRead); err != nil {
+		return fmt.Errorf("verify p%d: %w", p.id, err)
+	}
+	if log != nil {
+		if err := log.Verify(); err != nil {
+			return fmt.Errorf("verify p%d wal: %w", p.id, err)
+		}
+	}
+	for _, t := range tables {
+		if err := t.VerifyChecksum(); err != nil {
+			return fmt.Errorf("verify p%d: %w", p.id, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+package kvs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"gowatchdog/internal/memtable"
+	"gowatchdog/internal/sstable"
+	"gowatchdog/internal/wal"
+)
+
+// partition is one key range [lo, hi) with its own memtable, write-ahead
+// log, and SSTable stack (newest first). The partition manager keeps
+// partitions sorted by range.
+type partition struct {
+	id  int
+	lo  []byte // inclusive; nil = no lower bound
+	hi  []byte // exclusive; nil = no upper bound
+	dir string // empty in in-memory mode
+
+	mu         sync.Mutex
+	mem        *memtable.Table
+	log        *wal.Log // nil in in-memory mode
+	tables     []*sstable.Reader
+	nextID     int
+	compacting bool // at most one compaction per partition at a time
+}
+
+// newPartition opens or recovers a partition rooted at dir (or in memory
+// when dir is empty).
+func newPartition(id int, lo, hi []byte, dir string) (*partition, error) {
+	p := &partition{id: id, lo: lo, hi: hi, dir: dir, mem: memtable.New(), nextID: 1}
+	if dir == "" {
+		return p, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kvs: partition %d: %w", id, err)
+	}
+	if err := p.loadTables(); err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		return nil, err
+	}
+	p.log = log
+	// Recover unflushed mutations.
+	if err := log.Replay(func(payload []byte) error {
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return err
+		}
+		p.applyToMem(rec)
+		return nil
+	}); err != nil {
+		log.Close()
+		return nil, fmt.Errorf("kvs: partition %d replay: %w", id, err)
+	}
+	return p, nil
+}
+
+// loadTables opens existing SSTables newest-first.
+func (p *partition) loadTables() error {
+	entries, err := os.ReadDir(p.dir)
+	if err != nil {
+		return err
+	}
+	type numbered struct {
+		id   int
+		path string
+	}
+	var found []numbered
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".sst") {
+			continue
+		}
+		id, err := strconv.Atoi(strings.TrimSuffix(name, ".sst"))
+		if err != nil {
+			continue
+		}
+		found = append(found, numbered{id: id, path: filepath.Join(p.dir, name)})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].id > found[j].id }) // newest first
+	for _, f := range found {
+		r, err := sstable.Open(f.path)
+		if err != nil {
+			return fmt.Errorf("kvs: open %s: %w", f.path, err)
+		}
+		p.tables = append(p.tables, r)
+		if f.id >= p.nextID {
+			p.nextID = f.id + 1
+		}
+	}
+	return nil
+}
+
+// applyToMem applies rec to the memtable without logging.
+func (p *partition) applyToMem(rec record) {
+	if rec.op == opDel {
+		p.mem.Delete(rec.key)
+	} else {
+		p.mem.Put(rec.key, rec.value)
+	}
+}
+
+// owns reports whether key falls in this partition's range.
+func (p *partition) owns(key []byte) bool {
+	if p.lo != nil && bytes.Compare(key, p.lo) < 0 {
+		return false
+	}
+	if p.hi != nil && bytes.Compare(key, p.hi) >= 0 {
+		return false
+	}
+	return true
+}
+
+// get resolves key through the memtable and the SSTable stack.
+func (p *partition) get(key []byte) ([]byte, bool, error) {
+	p.mu.Lock()
+	mem := p.mem
+	tables := append([]*sstable.Reader(nil), p.tables...)
+	p.mu.Unlock()
+	if v, tomb, ok := mem.Get(key); ok {
+		if tomb {
+			return nil, false, nil
+		}
+		return v, true, nil
+	}
+	for _, t := range tables {
+		v, tomb, ok, err := t.Get(key)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			if tomb {
+				return nil, false, nil
+			}
+			return v, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// scan merges live entries in [start, end) across the memtable and tables,
+// newest shadowing oldest, up to limit results (0 = unlimited).
+func (p *partition) scan(start, end []byte, limit int) ([]memtable.Entry, error) {
+	p.mu.Lock()
+	mem := p.mem
+	tables := append([]*sstable.Reader(nil), p.tables...)
+	p.mu.Unlock()
+
+	merged := make(map[string]memtable.Entry)
+	inRange := func(k []byte) bool {
+		if start != nil && bytes.Compare(k, start) < 0 {
+			return false
+		}
+		if end != nil && bytes.Compare(k, end) >= 0 {
+			return false
+		}
+		return true
+	}
+	// Oldest tables first so newer entries overwrite.
+	for i := len(tables) - 1; i >= 0; i-- {
+		err := tables[i].Iterate(func(e memtable.Entry) bool {
+			if inRange(e.Key) {
+				merged[string(e.Key)] = e
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	mem.Iterate(func(e memtable.Entry) bool {
+		if inRange(e.Key) {
+			merged[string(e.Key)] = e
+		}
+		return true
+	})
+	keys := make([]string, 0, len(merged))
+	for k, e := range merged {
+		if e.Tombstone {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if limit > 0 && len(keys) > limit {
+		keys = keys[:limit]
+	}
+	out := make([]memtable.Entry, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, merged[k])
+	}
+	return out, nil
+}
+
+// close releases the WAL and table readers.
+func (p *partition) close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var firstErr error
+	if p.log != nil {
+		if err := p.log.Close(); err != nil {
+			firstErr = err
+		}
+		p.log = nil
+	}
+	for _, t := range p.tables {
+		if err := t.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	p.tables = nil
+	return firstErr
+}

@@ -1,0 +1,236 @@
+package kvs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"gowatchdog/internal/clock"
+	"gowatchdog/internal/faultinject"
+	"gowatchdog/internal/gauge"
+	"gowatchdog/internal/watchdog"
+)
+
+const replAck = 0x06
+
+// replicator streams mutation records from the primary to a replica over
+// TCP: 4-byte length-prefixed frames, one ACK byte per frame.
+type replicator struct {
+	addr    string
+	clk     clock.Clock
+	inj     *faultinject.Injector
+	mets    *gauge.Registry
+	factory *watchdog.Factory
+
+	queue   chan []byte
+	started bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+func newReplicator(addr string, clk clock.Clock, inj *faultinject.Injector,
+	mets *gauge.Registry, factory *watchdog.Factory) *replicator {
+	return &replicator{
+		addr:    addr,
+		clk:     clk,
+		inj:     inj,
+		mets:    mets,
+		factory: factory,
+		queue:   make(chan []byte, 1024),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+func (r *replicator) start() {
+	if r.started {
+		return
+	}
+	r.started = true
+	go r.run()
+}
+
+func (r *replicator) close() {
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	if r.started {
+		select {
+		case <-r.done:
+		case <-time.After(2 * time.Second):
+		}
+	}
+}
+
+// enqueue hands a record to the sender without blocking the write path; a
+// full queue drops the record and counts it (visible to signal checkers).
+func (r *replicator) enqueue(rec []byte) {
+	select {
+	case r.queue <- rec:
+		r.mets.Gauge("kvs.repl.queue").Set(float64(len(r.queue)))
+	default:
+		r.mets.Counter("kvs.repl.dropped").Inc()
+	}
+}
+
+func (r *replicator) run() {
+	defer close(r.done)
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case rec := <-r.queue:
+			r.mets.Gauge("kvs.repl.queue").Set(float64(len(r.queue)))
+			if r.factory != nil {
+				r.factory.Context("kvs.repl").PutAll(map[string]any{
+					"addr":   r.addr,
+					"record": rec,
+				})
+			}
+			if conn == nil {
+				c, err := net.DialTimeout("tcp", r.addr, 2*time.Second)
+				if err != nil {
+					r.mets.Counter("kvs.repl.errors").Inc()
+					continue
+				}
+				conn = c
+			}
+			if err := r.sendOne(conn, rec); err != nil {
+				r.mets.Counter("kvs.repl.errors").Inc()
+				conn.Close()
+				conn = nil
+				continue
+			}
+			r.mets.Counter("kvs.repl.acks").Inc()
+		}
+	}
+}
+
+// sendOne ships one frame and waits for its ACK. The fault point models the
+// network path to the replica.
+func (r *replicator) sendOne(conn net.Conn, rec []byte) error {
+	if err := r.inj.Fire(FaultReplSend); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(rec)))
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := conn.Write(rec); err != nil {
+		return err
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		return err
+	}
+	if ack[0] != replAck {
+		return fmt.Errorf("kvs: bad replication ack %#x", ack[0])
+	}
+	return nil
+}
+
+// ReplicaServer applies a primary's replication stream to a local store.
+type ReplicaServer struct {
+	ln    net.Listener
+	store *Store
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	stop  bool
+}
+
+// ServeReplica listens on addr (e.g. "127.0.0.1:0") and applies incoming
+// records to store.
+func ServeReplica(addr string, store *Store) (*ReplicaServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	rs := &ReplicaServer{ln: ln, store: store, conns: make(map[net.Conn]struct{})}
+	rs.wg.Add(1)
+	go rs.acceptLoop()
+	return rs, nil
+}
+
+// Addr returns the bound listen address.
+func (rs *ReplicaServer) Addr() string { return rs.ln.Addr().String() }
+
+// Close stops accepting and closes live connections.
+func (rs *ReplicaServer) Close() error {
+	rs.mu.Lock()
+	rs.stop = true
+	for c := range rs.conns {
+		c.Close()
+	}
+	rs.mu.Unlock()
+	err := rs.ln.Close()
+	rs.wg.Wait()
+	return err
+}
+
+func (rs *ReplicaServer) acceptLoop() {
+	defer rs.wg.Done()
+	for {
+		conn, err := rs.ln.Accept()
+		if err != nil {
+			return
+		}
+		rs.mu.Lock()
+		if rs.stop {
+			rs.mu.Unlock()
+			conn.Close()
+			return
+		}
+		rs.conns[conn] = struct{}{}
+		rs.mu.Unlock()
+		rs.wg.Add(1)
+		go rs.handle(conn)
+	}
+}
+
+func (rs *ReplicaServer) handle(conn net.Conn) {
+	defer rs.wg.Done()
+	defer func() {
+		rs.mu.Lock()
+		delete(rs.conns, conn)
+		rs.mu.Unlock()
+		conn.Close()
+	}()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > 1<<26 {
+			return
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		if err := rs.store.ApplyReplicated(payload); err != nil {
+			if !errors.Is(err, errBadRecord) {
+				return
+			}
+			// Malformed records are dropped; the stream continues.
+		}
+		if _, err := conn.Write([]byte{replAck}); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package kvs
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Server exposes a Store over a line-based TCP protocol:
+//
+//	SET <key> <value>      -> OK | ERR <msg>
+//	GET <key>              -> VALUE <value> | NOT_FOUND | ERR <msg>
+//	DEL <key>              -> OK | ERR <msg>
+//	APPEND <key> <value>   -> OK | ERR <msg>
+//	SCAN <start> <end> <n> -> COUNT <k> followed by k "<key> <value>" lines
+//	                          ("-" means unbounded start/end, n=0 unlimited)
+//	PING                   -> PONG
+//	STATS                  -> COUNT <k> followed by k "<name> <value>" lines
+//
+// Keys must not contain spaces; values run to end of line.
+type Server struct {
+	ln    net.Listener
+	store *Store
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	stop  bool
+}
+
+// Serve listens on addr and dispatches requests against store.
+func Serve(addr string, store *Store) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, store: store, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and closes live connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.stop = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.stop {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.store.mets.Gauge("kvs.conns").Set(float64(len(s.conns)))
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.store.mets.Gauge("kvs.conns").Set(float64(len(s.conns)))
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := sc.Text()
+		resp := s.dispatch(line)
+		if _, err := w.WriteString(resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one request line and returns the full response
+// (newline-terminated, possibly multi-line).
+func (s *Server) dispatch(line string) string {
+	s.store.mets.Counter("kvs.requests").Inc()
+	s.store.hook("kvs.listener", map[string]any{"last_command": line})
+	if err := s.store.inj.Fire(FaultListenerHandle); err != nil {
+		return "ERR " + err.Error() + "\n"
+	}
+	cmd, rest, _ := strings.Cut(line, " ")
+	switch strings.ToUpper(cmd) {
+	case "PING":
+		return "PONG\n"
+	case "SET":
+		key, val, ok := strings.Cut(rest, " ")
+		if !ok || key == "" {
+			return "ERR usage: SET <key> <value>\n"
+		}
+		if err := s.store.Set([]byte(key), []byte(val)); err != nil {
+			return "ERR " + err.Error() + "\n"
+		}
+		return "OK\n"
+	case "APPEND":
+		key, val, ok := strings.Cut(rest, " ")
+		if !ok || key == "" {
+			return "ERR usage: APPEND <key> <value>\n"
+		}
+		if err := s.store.Append([]byte(key), []byte(val)); err != nil {
+			return "ERR " + err.Error() + "\n"
+		}
+		return "OK\n"
+	case "GET":
+		if rest == "" {
+			return "ERR usage: GET <key>\n"
+		}
+		v, ok, err := s.store.Get([]byte(rest))
+		if err != nil {
+			return "ERR " + err.Error() + "\n"
+		}
+		if !ok {
+			return "NOT_FOUND\n"
+		}
+		return "VALUE " + string(v) + "\n"
+	case "DEL":
+		if rest == "" {
+			return "ERR usage: DEL <key>\n"
+		}
+		if err := s.store.Del([]byte(rest)); err != nil {
+			return "ERR " + err.Error() + "\n"
+		}
+		return "OK\n"
+	case "SCAN":
+		fields := strings.Fields(rest)
+		if len(fields) != 3 {
+			return "ERR usage: SCAN <start|-> <end|-> <limit>\n"
+		}
+		var start, end []byte
+		if fields[0] != "-" {
+			start = []byte(fields[0])
+		}
+		if fields[1] != "-" {
+			end = []byte(fields[1])
+		}
+		limit, err := strconv.Atoi(fields[2])
+		if err != nil || limit < 0 {
+			return "ERR bad limit\n"
+		}
+		entries, err := s.store.Scan(start, end, limit)
+		if err != nil {
+			return "ERR " + err.Error() + "\n"
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "COUNT %d\n", len(entries))
+		for _, e := range entries {
+			fmt.Fprintf(&b, "%s %s\n", e.Key, e.Value)
+		}
+		return b.String()
+	case "STATS":
+		snap := s.store.mets.Snapshot()
+		names := s.store.mets.Names()
+		var b strings.Builder
+		fmt.Fprintf(&b, "COUNT %d\n", len(names))
+		for _, n := range names {
+			fmt.Fprintf(&b, "%s %g\n", n, snap[n])
+		}
+		return b.String()
+	default:
+		return "ERR unknown command\n"
+	}
+}

@@ -1,0 +1,65 @@
+package memtable
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key/%06d", i))
+	}
+	return keys
+}
+
+func BenchmarkPut(b *testing.B) {
+	m := New()
+	keys := benchKeys(4096)
+	val := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Put(keys[i%len(keys)], val)
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	m := New()
+	keys := benchKeys(4096)
+	for _, k := range keys {
+		m.Put(k, []byte("value"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := m.Get(keys[i%len(keys)]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkGetMiss(b *testing.B) {
+	m := New()
+	for _, k := range benchKeys(4096) {
+		m.Put(k, []byte("value"))
+	}
+	missing := []byte("zzz/not-there")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := m.Get(missing); ok {
+			b.Fatal("hit")
+		}
+	}
+}
+
+func BenchmarkEntriesSnapshot(b *testing.B) {
+	m := New()
+	for _, k := range benchKeys(1024) {
+		m.Put(k, []byte("value"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if es := m.Entries(); len(es) != 1024 {
+			b.Fatalf("entries = %d", len(es))
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package memtable implements the sorted in-memory table (a skiplist) that
+// backs the kvs indexer. Writes land here first; the disk flusher drains
+// full memtables into SSTables.
+//
+// Deletions are recorded as tombstones so that a flushed SSTable can shadow
+// older values for the same key during reads and compaction.
+package memtable
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+)
+
+const maxHeight = 12
+
+// Entry is one key-value pair; Tombstone marks a deletion.
+type Entry struct {
+	Key       []byte
+	Value     []byte
+	Tombstone bool
+}
+
+type node struct {
+	entry Entry
+	next  [maxHeight]*node
+}
+
+// Table is a concurrency-safe sorted map from []byte keys to values with
+// tombstone support. The zero value is not usable; call New.
+type Table struct {
+	mu     sync.RWMutex
+	head   *node
+	height int
+	rng    *rand.Rand
+	count  int   // live (non-tombstone) entries
+	nodes  int   // total nodes including tombstones
+	bytes  int64 // approximate memory footprint
+}
+
+// New returns an empty table. The skiplist's level generator is seeded
+// deterministically so tests are reproducible.
+func New() *Table {
+	return &Table{
+		head:   &node{},
+		height: 1,
+		rng:    rand.New(rand.NewSource(0x5EED)),
+	}
+}
+
+func (t *Table) randomHeight() int {
+	h := 1
+	for h < maxHeight && t.rng.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGreaterOrEqual returns the first node with key >= key and fills prev
+// with the rightmost node before it at every level.
+func (t *Table) findGreaterOrEqual(key []byte, prev *[maxHeight]*node) *node {
+	x := t.head
+	for level := t.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && bytes.Compare(x.next[level].entry.Key, key) < 0 {
+			x = x.next[level]
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+	}
+	return x.next[0]
+}
+
+// Put inserts or overwrites key with value.
+func (t *Table) Put(key, value []byte) {
+	t.set(Entry{Key: append([]byte(nil), key...), Value: append([]byte(nil), value...)})
+}
+
+// Delete records a tombstone for key.
+func (t *Table) Delete(key []byte) {
+	t.set(Entry{Key: append([]byte(nil), key...), Tombstone: true})
+}
+
+func (t *Table) set(e Entry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var prev [maxHeight]*node
+	x := t.findGreaterOrEqual(e.Key, &prev)
+	if x != nil && bytes.Equal(x.entry.Key, e.Key) {
+		// Overwrite in place; adjust live count and size.
+		wasLive := !x.entry.Tombstone
+		t.bytes += int64(len(e.Value) - len(x.entry.Value))
+		x.entry.Value = e.Value
+		x.entry.Tombstone = e.Tombstone
+		isLive := !e.Tombstone
+		if wasLive && !isLive {
+			t.count--
+		} else if !wasLive && isLive {
+			t.count++
+		}
+		return
+	}
+	h := t.randomHeight()
+	if h > t.height {
+		for level := t.height; level < h; level++ {
+			prev[level] = t.head
+		}
+		t.height = h
+	}
+	n := &node{entry: e}
+	for level := 0; level < h; level++ {
+		n.next[level] = prev[level].next[level]
+		prev[level].next[level] = n
+	}
+	t.nodes++
+	t.bytes += int64(len(e.Key) + len(e.Value) + 64)
+	if !e.Tombstone {
+		t.count++
+	}
+}
+
+// Get returns the value for key. ok is false if the key is absent;
+// a tombstoned key returns ok true with tombstone true.
+func (t *Table) Get(key []byte) (value []byte, tombstone, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	x := t.findGreaterOrEqual(key, nil)
+	if x == nil || !bytes.Equal(x.entry.Key, key) {
+		return nil, false, false
+	}
+	if x.entry.Tombstone {
+		return nil, true, true
+	}
+	out := make([]byte, len(x.entry.Value))
+	copy(out, x.entry.Value)
+	return out, false, true
+}
+
+// Len returns the number of live (non-tombstone) entries.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.count
+}
+
+// Nodes returns the total number of entries including tombstones.
+func (t *Table) Nodes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nodes
+}
+
+// ApproxBytes returns the approximate memory footprint, used by the flusher
+// to decide when a memtable is full.
+func (t *Table) ApproxBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.bytes
+}
+
+// Iterate calls fn on every entry (tombstones included) in ascending key
+// order. fn must not modify the table; returning false stops iteration.
+func (t *Table) Iterate(fn func(e Entry) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for x := t.head.next[0]; x != nil; x = x.next[0] {
+		if !fn(x.entry) {
+			return
+		}
+	}
+}
+
+// Entries returns a copy of all entries (tombstones included) in ascending
+// key order — the flusher's snapshot input.
+func (t *Table) Entries() []Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Entry, 0, t.nodes)
+	for x := t.head.next[0]; x != nil; x = x.next[0] {
+		e := Entry{
+			Key:       append([]byte(nil), x.entry.Key...),
+			Tombstone: x.entry.Tombstone,
+		}
+		if !x.entry.Tombstone {
+			e.Value = append([]byte(nil), x.entry.Value...)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Scan calls fn on live entries with start <= key < end (nil end = no upper
+// bound), in ascending order; returning false stops the scan.
+func (t *Table) Scan(start, end []byte, fn func(key, value []byte) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	x := t.findGreaterOrEqual(start, nil)
+	for ; x != nil; x = x.next[0] {
+		if end != nil && bytes.Compare(x.entry.Key, end) >= 0 {
+			return
+		}
+		if x.entry.Tombstone {
+			continue
+		}
+		if !fn(x.entry.Key, x.entry.Value) {
+			return
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package memtable
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	m := New()
+	m.Put([]byte("b"), []byte("2"))
+	m.Put([]byte("a"), []byte("1"))
+	v, tomb, ok := m.Get([]byte("a"))
+	if !ok || tomb || string(v) != "1" {
+		t.Fatalf("Get(a) = %q, %v, %v", v, tomb, ok)
+	}
+	if _, _, ok := m.Get([]byte("zzz")); ok {
+		t.Fatal("Get(zzz) found a value")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	m := New()
+	m.Put([]byte("k"), []byte("v1"))
+	m.Put([]byte("k"), []byte("v2"))
+	v, _, _ := m.Get([]byte("k"))
+	if string(v) != "v2" {
+		t.Fatalf("Get = %q", v)
+	}
+	if m.Len() != 1 || m.Nodes() != 1 {
+		t.Fatalf("Len=%d Nodes=%d", m.Len(), m.Nodes())
+	}
+}
+
+func TestDeleteTombstone(t *testing.T) {
+	m := New()
+	m.Put([]byte("k"), []byte("v"))
+	m.Delete([]byte("k"))
+	_, tomb, ok := m.Get([]byte("k"))
+	if !ok || !tomb {
+		t.Fatalf("tombstone not visible: tomb=%v ok=%v", tomb, ok)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after delete", m.Len())
+	}
+	if m.Nodes() != 1 {
+		t.Fatalf("Nodes = %d, tombstone should remain", m.Nodes())
+	}
+	// Deleting an absent key still records a tombstone (needed to shadow
+	// older SSTable values).
+	m.Delete([]byte("never-existed"))
+	_, tomb, ok = m.Get([]byte("never-existed"))
+	if !ok || !tomb {
+		t.Fatal("tombstone for absent key not recorded")
+	}
+	// Re-put resurrects.
+	m.Put([]byte("k"), []byte("v2"))
+	v, tomb, ok := m.Get([]byte("k"))
+	if !ok || tomb || string(v) != "v2" {
+		t.Fatalf("resurrect failed: %q %v %v", v, tomb, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestIterateSortedOrder(t *testing.T) {
+	m := New()
+	keys := []string{"delta", "alpha", "echo", "charlie", "bravo"}
+	for _, k := range keys {
+		m.Put([]byte(k), []byte(k))
+	}
+	var got []string
+	m.Iterate(func(e Entry) bool {
+		got = append(got, string(e.Key))
+		return true
+	})
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIterateEarlyStop(t *testing.T) {
+	m := New()
+	for i := 0; i < 10; i++ {
+		m.Put([]byte{byte('a' + i)}, nil)
+	}
+	n := 0
+	m.Iterate(func(Entry) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("visited %d, want 3", n)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	m := New()
+	for i := 0; i < 10; i++ {
+		m.Put([]byte(fmt.Sprintf("k%02d", i)), []byte{byte(i)})
+	}
+	m.Delete([]byte("k04")) // tombstones are skipped in Scan
+	var got []string
+	m.Scan([]byte("k03"), []byte("k07"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := []string{"k03", "k05", "k06"}
+	if len(got) != len(want) {
+		t.Fatalf("scan = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan = %v, want %v", got, want)
+		}
+	}
+	// Open-ended scan.
+	got = nil
+	m.Scan([]byte("k08"), nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != 2 || got[0] != "k08" || got[1] != "k09" {
+		t.Fatalf("open scan = %v", got)
+	}
+}
+
+func TestEntriesSnapshotIsDeepCopy(t *testing.T) {
+	m := New()
+	m.Put([]byte("k"), []byte("v"))
+	entries := m.Entries()
+	entries[0].Value[0] = 'X'
+	v, _, _ := m.Get([]byte("k"))
+	if string(v) != "v" {
+		t.Fatal("Entries snapshot shares memory with table")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	m := New()
+	m.Put([]byte("k"), []byte("value"))
+	v, _, _ := m.Get([]byte("k"))
+	v[0] = 'X'
+	v2, _, _ := m.Get([]byte("k"))
+	if string(v2) != "value" {
+		t.Fatal("Get returned aliased memory")
+	}
+}
+
+func TestPutCopiesArguments(t *testing.T) {
+	m := New()
+	k := []byte("key")
+	v := []byte("val")
+	m.Put(k, v)
+	k[0] = 'X'
+	v[0] = 'X'
+	got, _, ok := m.Get([]byte("key"))
+	if !ok || string(got) != "val" {
+		t.Fatalf("table aliased caller buffers: %q %v", got, ok)
+	}
+}
+
+func TestApproxBytesGrows(t *testing.T) {
+	m := New()
+	before := m.ApproxBytes()
+	m.Put([]byte("key"), make([]byte, 1000))
+	if m.ApproxBytes() <= before {
+		t.Fatal("ApproxBytes did not grow")
+	}
+	mid := m.ApproxBytes()
+	m.Put([]byte("key"), make([]byte, 10)) // shrinking overwrite
+	if m.ApproxBytes() >= mid {
+		t.Fatal("ApproxBytes did not shrink on smaller overwrite")
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.Put([]byte(fmt.Sprintf("w%d-%d", w, i)), []byte("v"))
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.Get([]byte(fmt.Sprintf("w0-%d", i)))
+				m.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Len() != 2000 {
+		t.Fatalf("Len = %d, want 2000", m.Len())
+	}
+}
+
+// Property: the table behaves like a sorted map (model-based test against a
+// plain Go map + sort).
+func TestModelEquivalenceProperty(t *testing.T) {
+	type op struct {
+		Del bool
+		Key uint8
+		Val uint16
+	}
+	f := func(ops []op) bool {
+		m := New()
+		model := map[string]string{}
+		tombs := map[string]bool{}
+		for _, o := range ops {
+			k := fmt.Sprintf("k%03d", o.Key)
+			if o.Del {
+				m.Delete([]byte(k))
+				delete(model, k)
+				tombs[k] = true
+			} else {
+				v := fmt.Sprintf("v%05d", o.Val)
+				m.Put([]byte(k), []byte(v))
+				model[k] = v
+				delete(tombs, k)
+			}
+		}
+		if m.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			got, tomb, ok := m.Get([]byte(k))
+			if !ok || tomb || string(got) != v {
+				return false
+			}
+		}
+		for k := range tombs {
+			_, tomb, ok := m.Get([]byte(k))
+			if !ok || !tomb {
+				return false
+			}
+		}
+		// Entries are sorted and complete.
+		entries := m.Entries()
+		if len(entries) != len(model)+len(tombs) {
+			return false
+		}
+		for i := 1; i < len(entries); i++ {
+			if bytes.Compare(entries[i-1].Key, entries[i].Key) >= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

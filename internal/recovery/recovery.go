@@ -1,0 +1,248 @@
+// Package recovery implements the paper's §5.2 "cheap recovery"
+// opportunity: because watchdog alarms localize the failing operation and
+// carry its context, recovery can replace the corrupted object, connection
+// or component instead of restarting the whole process — the microreboot
+// idea driven by watchdog pinpointing.
+//
+// A Manager subscribes to a watchdog driver's alarms and applies the first
+// registered Action that matches the report. Repeated alarms from the same
+// checker escalate: after MaxAttempts failed or ineffective recoveries
+// within the escalation window, the Escalation action (typically "restart
+// the process") runs instead.
+package recovery
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"gowatchdog/internal/clock"
+	"gowatchdog/internal/watchdog"
+)
+
+// Action attempts to repair the failure an alarm describes.
+type Action interface {
+	// Name identifies the action in the event log.
+	Name() string
+	// Matches reports whether this action applies to the report.
+	Matches(rep watchdog.Report) bool
+	// Recover attempts the repair; a nil return means the repair was
+	// applied (not necessarily that the fault is gone — the watchdog will
+	// re-check).
+	Recover(rep watchdog.Report) error
+}
+
+// ActionFunc adapts functions to the Action interface.
+type ActionFunc struct {
+	// ActionName is returned by Name.
+	ActionName string
+	// Match is invoked by Matches.
+	Match func(rep watchdog.Report) bool
+	// Fn is invoked by Recover.
+	Fn func(rep watchdog.Report) error
+}
+
+// Name implements Action.
+func (a ActionFunc) Name() string { return a.ActionName }
+
+// Matches implements Action.
+func (a ActionFunc) Matches(rep watchdog.Report) bool { return a.Match(rep) }
+
+// Recover implements Action.
+func (a ActionFunc) Recover(rep watchdog.Report) error { return a.Fn(rep) }
+
+// ForChecker returns an action matching alarms from checkers whose name has
+// the given prefix.
+func ForChecker(name, prefix string, fn func(rep watchdog.Report) error) Action {
+	return ActionFunc{
+		ActionName: name,
+		Match: func(rep watchdog.Report) bool {
+			return strings.HasPrefix(rep.Checker, prefix)
+		},
+		Fn: fn,
+	}
+}
+
+// ForSiteOp returns an action matching alarms whose pinpointed operation
+// contains the given substring — recovery keyed on the localization the
+// watchdog provides.
+func ForSiteOp(name, opSubstr string, fn func(rep watchdog.Report) error) Action {
+	return ActionFunc{
+		ActionName: name,
+		Match: func(rep watchdog.Report) bool {
+			return strings.Contains(rep.Site.Op, opSubstr)
+		},
+		Fn: fn,
+	}
+}
+
+// EventKind classifies recovery log entries.
+type EventKind int
+
+const (
+	// EventRecovered means an action ran successfully.
+	EventRecovered EventKind = iota
+	// EventFailed means the matched action returned an error.
+	EventFailed
+	// EventEscalated means the escalation action ran.
+	EventEscalated
+	// EventUnmatched means no action matched the alarm.
+	EventUnmatched
+)
+
+// String returns the kind name.
+func (k EventKind) String() string {
+	switch k {
+	case EventRecovered:
+		return "recovered"
+	case EventFailed:
+		return "failed"
+	case EventEscalated:
+		return "escalated"
+	default:
+		return "unmatched"
+	}
+}
+
+// Event is one entry in the recovery log.
+type Event struct {
+	// Kind classifies the entry.
+	Kind EventKind
+	// Checker is the alarming checker.
+	Checker string
+	// Action is the action that ran (empty for unmatched).
+	Action string
+	// Err is the action error for EventFailed.
+	Err error
+	// Time is when the event was recorded.
+	Time time.Time
+}
+
+// Manager routes alarms to actions with per-checker escalation.
+type Manager struct {
+	clk         clock.Clock
+	maxAttempts int
+	window      time.Duration
+	escalation  Action
+
+	mu       sync.Mutex
+	actions  []Action
+	attempts map[string][]time.Time
+	events   []Event
+}
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithClock sets the clock (default real).
+func WithClock(c clock.Clock) Option { return func(m *Manager) { m.clk = c } }
+
+// WithMaxAttempts sets how many recoveries per checker are tried within the
+// window before escalating (default 3).
+func WithMaxAttempts(n int) Option { return func(m *Manager) { m.maxAttempts = n } }
+
+// WithWindow sets the escalation window (default 1 minute).
+func WithWindow(d time.Duration) Option { return func(m *Manager) { m.window = d } }
+
+// WithEscalation sets the last-resort action (e.g. full restart).
+func WithEscalation(a Action) Option { return func(m *Manager) { m.escalation = a } }
+
+// New returns a Manager.
+func New(opts ...Option) *Manager {
+	m := &Manager{
+		clk:         clock.Real(),
+		maxAttempts: 3,
+		window:      time.Minute,
+		attempts:    make(map[string][]time.Time),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Register appends an action; actions are tried in registration order.
+func (m *Manager) Register(a Action) {
+	m.mu.Lock()
+	m.actions = append(m.actions, a)
+	m.mu.Unlock()
+}
+
+// HandleAlarm routes one alarm. Wire it with driver.OnAlarm(m.HandleAlarm).
+// Alarms the validation chain dismissed (Validated == false) are ignored —
+// no recovery for impact-free faults.
+func (m *Manager) HandleAlarm(a watchdog.Alarm) {
+	if a.Validated != nil && !*a.Validated {
+		return
+	}
+	rep := a.Report
+	now := m.clk.Now()
+
+	m.mu.Lock()
+	// Escalation bookkeeping: recent attempts for this checker.
+	recent := m.attempts[rep.Checker][:0]
+	for _, t := range m.attempts[rep.Checker] {
+		if now.Sub(t) <= m.window {
+			recent = append(recent, t)
+		}
+	}
+	m.attempts[rep.Checker] = append(recent, now)
+	attemptCount := len(m.attempts[rep.Checker])
+	escalate := attemptCount > m.maxAttempts && m.escalation != nil
+	var action Action
+	if !escalate {
+		for _, cand := range m.actions {
+			if cand.Matches(rep) {
+				action = cand
+				break
+			}
+		}
+	}
+	m.mu.Unlock()
+
+	switch {
+	case escalate:
+		err := m.escalation.Recover(rep)
+		m.log(Event{Kind: EventEscalated, Checker: rep.Checker,
+			Action: m.escalation.Name(), Err: err, Time: now})
+	case action == nil:
+		m.log(Event{Kind: EventUnmatched, Checker: rep.Checker, Time: now})
+	default:
+		err := action.Recover(rep)
+		kind := EventRecovered
+		if err != nil {
+			kind = EventFailed
+		}
+		m.log(Event{Kind: kind, Checker: rep.Checker, Action: action.Name(),
+			Err: err, Time: now})
+	}
+}
+
+func (m *Manager) log(e Event) {
+	m.mu.Lock()
+	m.events = append(m.events, e)
+	m.mu.Unlock()
+}
+
+// Events returns a copy of the recovery log.
+func (m *Manager) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// Summary renders the log compactly.
+func (m *Manager) Summary() string {
+	var b strings.Builder
+	for _, e := range m.Events() {
+		fmt.Fprintf(&b, "[%s] checker=%s action=%s", e.Kind, e.Checker, e.Action)
+		if e.Err != nil {
+			fmt.Fprintf(&b, " err=%v", e.Err)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

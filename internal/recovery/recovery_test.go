@@ -1,0 +1,244 @@
+package recovery
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gowatchdog/internal/clock"
+	"gowatchdog/internal/kvs"
+	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/watchdog/wdio"
+)
+
+func alarmFor(checker string, site watchdog.Site) watchdog.Alarm {
+	return watchdog.Alarm{Report: watchdog.Report{
+		Checker: checker,
+		Status:  watchdog.StatusError,
+		Site:    site,
+	}}
+}
+
+func TestActionMatchingInRegistrationOrder(t *testing.T) {
+	m := New()
+	var ran []string
+	m.Register(ForChecker("first", "kvs.", func(watchdog.Report) error {
+		ran = append(ran, "first")
+		return nil
+	}))
+	m.Register(ForChecker("second", "kvs.flusher", func(watchdog.Report) error {
+		ran = append(ran, "second")
+		return nil
+	}))
+	m.HandleAlarm(alarmFor("kvs.flusher", watchdog.Site{}))
+	if len(ran) != 1 || ran[0] != "first" {
+		t.Fatalf("ran = %v, want [first]", ran)
+	}
+	ev := m.Events()
+	if len(ev) != 1 || ev[0].Kind != EventRecovered || ev[0].Action != "first" {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+func TestForSiteOpMatching(t *testing.T) {
+	m := New()
+	ran := false
+	m.Register(ForSiteOp("reconnect", "net.Write", func(watchdog.Report) error {
+		ran = true
+		return nil
+	}))
+	m.HandleAlarm(alarmFor("anything", watchdog.Site{Op: "net.Write"}))
+	if !ran {
+		t.Fatal("site-op action did not run")
+	}
+	m.HandleAlarm(alarmFor("anything", watchdog.Site{Op: "sstable.Write"}))
+	ev := m.Events()
+	if len(ev) != 2 || ev[1].Kind != EventUnmatched {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+func TestFailedActionLogged(t *testing.T) {
+	m := New()
+	boom := errors.New("repair failed")
+	m.Register(ForChecker("bad", "x", func(watchdog.Report) error { return boom }))
+	m.HandleAlarm(alarmFor("x.y", watchdog.Site{}))
+	ev := m.Events()
+	if len(ev) != 1 || ev[0].Kind != EventFailed || !errors.Is(ev[0].Err, boom) {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+func TestEscalationAfterMaxAttempts(t *testing.T) {
+	v := clock.NewVirtual()
+	escalated := 0
+	m := New(
+		WithClock(v),
+		WithMaxAttempts(2),
+		WithWindow(time.Minute),
+		WithEscalation(ActionFunc{
+			ActionName: "restart-process",
+			Match:      func(watchdog.Report) bool { return true },
+			Fn:         func(watchdog.Report) error { escalated++; return nil },
+		}),
+	)
+	attempts := 0
+	m.Register(ForChecker("component-restart", "kvs.", func(watchdog.Report) error {
+		attempts++
+		return nil
+	}))
+	for i := 0; i < 4; i++ {
+		m.HandleAlarm(alarmFor("kvs.flusher", watchdog.Site{}))
+		v.Advance(time.Second)
+	}
+	if attempts != 2 {
+		t.Fatalf("component attempts = %d, want 2", attempts)
+	}
+	if escalated != 2 {
+		t.Fatalf("escalations = %d, want 2", escalated)
+	}
+	// Outside the window the counter resets and the cheap action runs again.
+	v.Advance(2 * time.Minute)
+	m.HandleAlarm(alarmFor("kvs.flusher", watchdog.Site{}))
+	if attempts != 3 {
+		t.Fatalf("attempts after window reset = %d, want 3", attempts)
+	}
+}
+
+func TestDismissedAlarmsIgnored(t *testing.T) {
+	m := New()
+	ran := false
+	m.Register(ForChecker("a", "", func(watchdog.Report) error { ran = true; return nil }))
+	notImpactful := false
+	m.HandleAlarm(watchdog.Alarm{
+		Report:    watchdog.Report{Checker: "c", Status: watchdog.StatusError},
+		Validated: &notImpactful,
+	})
+	if ran {
+		t.Fatal("recovery ran for a probe-dismissed alarm")
+	}
+	if len(m.Events()) != 0 {
+		t.Fatalf("events = %+v", m.Events())
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	want := map[EventKind]string{
+		EventRecovered: "recovered", EventFailed: "failed",
+		EventEscalated: "escalated", EventUnmatched: "unmatched",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("EventKind(%d) = %q", int(k), k.String())
+		}
+	}
+}
+
+func TestSummaryRendersEvents(t *testing.T) {
+	m := New()
+	m.Register(ForChecker("fix", "kvs", func(watchdog.Report) error { return nil }))
+	m.HandleAlarm(alarmFor("kvs.wal", watchdog.Site{}))
+	s := m.Summary()
+	for _, want := range []string{"recovered", "kvs.wal", "fix"} {
+		if !contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool { return len(s) >= len(sub) && (s == sub || index(s, sub) >= 0) }
+
+func index(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestEndToEndKVSCorruptionRepair is the §5.2 scenario in full: the
+// watchdog's partition checker detects silent corruption, the recovery
+// manager quarantines the corrupt table, and the store — without a restart —
+// passes verification again while data covered by healthy state stays
+// readable.
+func TestEndToEndKVSCorruptionRepair(t *testing.T) {
+	dir := t.TempDir()
+	factory := watchdog.NewFactory()
+	store, err := kvs.Open(kvs.Config{Dir: dir, FlushThresholdBytes: 1 << 30,
+		WatchdogFactory: factory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	shadow, err := wdio.NewFS(filepath.Join(dir, "wd-shadow"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driver := watchdog.New(watchdog.WithFactory(factory), watchdog.WithTimeout(time.Second))
+	store.InstallWatchdog(driver, shadow)
+
+	m := New()
+	m.Register(ForSiteOp("quarantine-corrupt-tables", "sstable.VerifyChecksum",
+		func(rep watchdog.Report) error {
+			for i := 0; i < store.Partitions(); i++ {
+				if _, err := store.RepairPartition(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}))
+	driver.OnAlarm(m.HandleAlarm)
+
+	// Two generations of data: an older table (stays healthy) and a newer
+	// one (gets corrupted).
+	store.Set([]byte("Aold"), []byte("from-old-table"))
+	store.FlushAll(true)
+	store.Set([]byte("Anew"), []byte("from-new-table"))
+	store.FlushAll(true)
+	p0 := 0 // keys starting with 'A' (0x41) live in partition 1 of 4
+	for i := 0; i < store.Partitions(); i++ {
+		if store.TableCount(i) == 2 {
+			p0 = i
+		}
+	}
+	paths := store.TablePaths(p0)
+	if len(paths) != 2 {
+		t.Fatalf("tables = %d", len(paths))
+	}
+	data, _ := os.ReadFile(paths[0]) // newest
+	data[9] ^= 0x40
+	os.WriteFile(paths[0], data, 0o644)
+
+	// Detection: the partition checker alarms; recovery runs synchronously.
+	rep, _ := driver.CheckNow("kvs.partition")
+	if rep.Status != watchdog.StatusError {
+		t.Fatalf("checker = %v", rep.Status)
+	}
+	ev := m.Events()
+	if len(ev) != 1 || ev[0].Kind != EventRecovered {
+		t.Fatalf("recovery events = %+v", ev)
+	}
+
+	// Post-recovery: verification passes, the corrupt table is quarantined,
+	// and old data is still served.
+	rep, _ = driver.CheckNow("kvs.partition")
+	if rep.Status != watchdog.StatusHealthy {
+		t.Fatalf("checker after repair = %v err=%v", rep.Status, rep.Err)
+	}
+	if store.TableCount(p0) != 1 {
+		t.Fatalf("tables after repair = %d", store.TableCount(p0))
+	}
+	if _, err := os.Stat(paths[0] + ".corrupt"); err != nil {
+		t.Fatalf("corrupt table not quarantined: %v", err)
+	}
+	v, ok, err := store.Get([]byte("Aold"))
+	if err != nil || !ok || string(v) != "from-old-table" {
+		t.Fatalf("old data lost: %q %v %v", v, ok, err)
+	}
+	if store.Metrics().Counter("kvs.repairs").Value() == 0 {
+		t.Fatal("repair counter not incremented")
+	}
+}

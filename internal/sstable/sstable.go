@@ -1,0 +1,354 @@
+// Package sstable implements the sorted immutable table files the kvs
+// flusher produces and the compaction manager merges.
+//
+// File layout:
+//
+//	magic            8 bytes  "GWSSTB01"
+//	data section     entries: uvarint keyLen | key | flag byte
+//	                 (0=value follows, 1=tombstone) | uvarint valLen | value
+//	index section    uvarint count, then per entry:
+//	                 uvarint keyLen | key | uvarint dataOffset
+//	footer           8B LE index offset | 8B LE entry count |
+//	                 4B LE CRC32C(data section) | 8 bytes magic
+//
+// The full (non-sparse) index keeps Get a binary search over in-memory keys
+// plus one seek. The data-section checksum lets the watchdog's partition
+// checker detect silent corruption without parsing entries.
+package sstable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+
+	"gowatchdog/internal/memtable"
+)
+
+var magic = []byte("GWSSTB01")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt is returned when a table fails structural or checksum
+// validation.
+var ErrCorrupt = errors.New("sstable: corrupt table")
+
+// ErrUnsorted is returned by the writer when entries arrive out of order.
+var ErrUnsorted = errors.New("sstable: entries not in ascending key order")
+
+const footerLen = 8 + 8 + 4 + 8
+
+// Write creates an SSTable at path from entries, which must be in strictly
+// ascending key order (as produced by memtable.Entries).
+func Write(path string, entries []memtable.Entry) error {
+	var data bytes.Buffer
+	var index bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(buf *bytes.Buffer, v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf.Write(tmp[:n])
+	}
+
+	var prev []byte
+	putUvarint(&index, uint64(len(entries)))
+	for i, e := range entries {
+		if i > 0 && bytes.Compare(prev, e.Key) >= 0 {
+			return fmt.Errorf("%w: %q then %q", ErrUnsorted, prev, e.Key)
+		}
+		prev = e.Key
+		off := uint64(data.Len())
+		putUvarint(&data, uint64(len(e.Key)))
+		data.Write(e.Key)
+		if e.Tombstone {
+			data.WriteByte(1)
+		} else {
+			data.WriteByte(0)
+			putUvarint(&data, uint64(len(e.Value)))
+			data.Write(e.Value)
+		}
+		putUvarint(&index, uint64(len(e.Key)))
+		index.Write(e.Key)
+		putUvarint(&index, off)
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(magic); err != nil {
+		return err
+	}
+	if _, err := f.Write(data.Bytes()); err != nil {
+		return err
+	}
+	indexOff := int64(len(magic) + data.Len())
+	if _, err := f.Write(index.Bytes()); err != nil {
+		return err
+	}
+	footer := make([]byte, footerLen)
+	binary.LittleEndian.PutUint64(footer[0:8], uint64(indexOff))
+	binary.LittleEndian.PutUint64(footer[8:16], uint64(len(entries)))
+	binary.LittleEndian.PutUint32(footer[16:20], crc32.Checksum(data.Bytes(), castagnoli))
+	copy(footer[20:], magic)
+	if _, err := f.Write(footer); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// indexEntry locates one key in the data section.
+type indexEntry struct {
+	key []byte
+	off uint64
+}
+
+// Reader provides point lookups and ordered iteration over one table.
+type Reader struct {
+	path    string
+	f       *os.File
+	index   []indexEntry
+	dataOff int64
+	dataLen int64
+	crc     uint32
+	count   int
+}
+
+// Open validates the table structure and loads the index.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < int64(len(magic)+footerLen) {
+		f.Close()
+		return nil, fmt.Errorf("%w: file too small", ErrCorrupt)
+	}
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(f, head); err != nil || !bytes.Equal(head, magic) {
+		f.Close()
+		return nil, fmt.Errorf("%w: bad header magic", ErrCorrupt)
+	}
+	footer := make([]byte, footerLen)
+	if _, err := f.ReadAt(footer, st.Size()-footerLen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if !bytes.Equal(footer[20:], magic) {
+		f.Close()
+		return nil, fmt.Errorf("%w: bad footer magic", ErrCorrupt)
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(footer[0:8]))
+	count := int(binary.LittleEndian.Uint64(footer[8:16]))
+	crc := binary.LittleEndian.Uint32(footer[16:20])
+	if indexOff < int64(len(magic)) || indexOff > st.Size()-footerLen {
+		f.Close()
+		return nil, fmt.Errorf("%w: index offset out of range", ErrCorrupt)
+	}
+	indexBytes := make([]byte, st.Size()-footerLen-indexOff)
+	if _, err := f.ReadAt(indexBytes, indexOff); err != nil {
+		f.Close()
+		return nil, err
+	}
+	r := &Reader{
+		path:    path,
+		f:       f,
+		dataOff: int64(len(magic)),
+		dataLen: indexOff - int64(len(magic)),
+		crc:     crc,
+		count:   count,
+	}
+	buf := bytes.NewReader(indexBytes)
+	n, err := binary.ReadUvarint(buf)
+	if err != nil || int(n) != count {
+		f.Close()
+		return nil, fmt.Errorf("%w: index count mismatch", ErrCorrupt)
+	}
+	r.index = make([]indexEntry, 0, count)
+	for i := 0; i < count; i++ {
+		klen, err := binary.ReadUvarint(buf)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%w: index entry %d", ErrCorrupt, i)
+		}
+		key := make([]byte, klen)
+		if _, err := io.ReadFull(buf, key); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%w: index key %d", ErrCorrupt, i)
+		}
+		off, err := binary.ReadUvarint(buf)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%w: index offset %d", ErrCorrupt, i)
+		}
+		r.index = append(r.index, indexEntry{key: key, off: off})
+	}
+	return r, nil
+}
+
+// Close releases the underlying file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// Path returns the table's file path.
+func (r *Reader) Path() string { return r.path }
+
+// Count returns the number of entries (tombstones included).
+func (r *Reader) Count() int { return r.count }
+
+// Get returns the value for key. tombstone is true when the table records a
+// deletion for the key; ok is false when the table has no entry at all.
+func (r *Reader) Get(key []byte) (value []byte, tombstone, ok bool, err error) {
+	i := sort.Search(len(r.index), func(i int) bool {
+		return bytes.Compare(r.index[i].key, key) >= 0
+	})
+	if i >= len(r.index) || !bytes.Equal(r.index[i].key, key) {
+		return nil, false, false, nil
+	}
+	e, err := r.readEntry(int64(r.index[i].off))
+	if err != nil {
+		return nil, false, false, err
+	}
+	if e.Tombstone {
+		return nil, true, true, nil
+	}
+	return e.Value, false, true, nil
+}
+
+// readEntry decodes one entry at the given data-section offset.
+func (r *Reader) readEntry(off int64) (memtable.Entry, error) {
+	sec := io.NewSectionReader(r.f, r.dataOff+off, r.dataLen-off)
+	br := &byteReaderAt{r: sec}
+	klen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return memtable.Entry{}, fmt.Errorf("%w: entry key length", ErrCorrupt)
+	}
+	key := make([]byte, klen)
+	if _, err := io.ReadFull(br, key); err != nil {
+		return memtable.Entry{}, fmt.Errorf("%w: entry key", ErrCorrupt)
+	}
+	flag, err := br.ReadByte()
+	if err != nil {
+		return memtable.Entry{}, fmt.Errorf("%w: entry flag", ErrCorrupt)
+	}
+	e := memtable.Entry{Key: key}
+	if flag == 1 {
+		e.Tombstone = true
+		return e, nil
+	}
+	vlen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return memtable.Entry{}, fmt.Errorf("%w: entry value length", ErrCorrupt)
+	}
+	val := make([]byte, vlen)
+	if _, err := io.ReadFull(br, val); err != nil {
+		return memtable.Entry{}, fmt.Errorf("%w: entry value", ErrCorrupt)
+	}
+	e.Value = val
+	return e, nil
+}
+
+// byteReaderAt adapts a SectionReader to io.ByteReader + io.Reader.
+type byteReaderAt struct {
+	r   *io.SectionReader
+	one [1]byte
+}
+
+func (b *byteReaderAt) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.one[:]); err != nil {
+		return 0, err
+	}
+	return b.one[0], nil
+}
+
+func (b *byteReaderAt) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+// Iterate calls fn on every entry in key order; returning false stops.
+func (r *Reader) Iterate(fn func(e memtable.Entry) bool) error {
+	for _, ie := range r.index {
+		e, err := r.readEntry(int64(ie.off))
+		if err != nil {
+			return err
+		}
+		if !fn(e) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// VerifyChecksum re-reads the data section and validates it against the
+// footer CRC — the fsck-style partition check the watchdog runs (§2).
+func (r *Reader) VerifyChecksum() error {
+	data := make([]byte, r.dataLen)
+	if _, err := r.f.ReadAt(data, r.dataOff); err != nil {
+		return err
+	}
+	if crc32.Checksum(data, castagnoli) != r.crc {
+		return fmt.Errorf("%w: data checksum mismatch in %s", ErrCorrupt, r.path)
+	}
+	return nil
+}
+
+// Merge k-way-merges the given tables (newest first: tables[0] shadows
+// tables[1], etc.) into a new table at outPath. When dropTombstones is true
+// (a full compaction), deletions are discarded instead of propagated.
+func Merge(outPath string, newestFirst []*Reader, dropTombstones bool) error {
+	type cursor struct {
+		entries []memtable.Entry
+		pos     int
+		prio    int // lower = newer
+	}
+	cursors := make([]*cursor, 0, len(newestFirst))
+	for prio, r := range newestFirst {
+		var es []memtable.Entry
+		if err := r.Iterate(func(e memtable.Entry) bool {
+			es = append(es, e)
+			return true
+		}); err != nil {
+			return err
+		}
+		cursors = append(cursors, &cursor{entries: es, prio: prio})
+	}
+	var out []memtable.Entry
+	for {
+		// Find the smallest key among cursors; among ties the newest wins.
+		var best *cursor
+		for _, c := range cursors {
+			if c.pos >= len(c.entries) {
+				continue
+			}
+			if best == nil {
+				best = c
+				continue
+			}
+			cmp := bytes.Compare(c.entries[c.pos].Key, best.entries[best.pos].Key)
+			if cmp < 0 || (cmp == 0 && c.prio < best.prio) {
+				best = c
+			}
+		}
+		if best == nil {
+			break
+		}
+		e := best.entries[best.pos]
+		// Advance every cursor past this key (shadowed duplicates).
+		for _, c := range cursors {
+			for c.pos < len(c.entries) && bytes.Equal(c.entries[c.pos].Key, e.Key) {
+				c.pos++
+			}
+		}
+		if e.Tombstone && dropTombstones {
+			continue
+		}
+		out = append(out, e)
+	}
+	return Write(outPath, out)
+}

@@ -1,0 +1,77 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func benchLog(b *testing.B) *Log {
+	b.Helper()
+	l, err := Open(filepath.Join(b.TempDir(), "bench.wal"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { l.Close() })
+	return l
+}
+
+func BenchmarkAppend128B(b *testing.B) {
+	l := benchLog(b)
+	payload := make([]byte, 128)
+	b.SetBytes(int64(len(payload)) + frameHeader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendSyncEvery64(b *testing.B) {
+	l := benchLog(b)
+	payload := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			if err := l.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkReplay(b *testing.B) {
+	l := benchLog(b)
+	for i := 0; i < 1000; i++ {
+		l.Append([]byte(fmt.Sprintf("record-%04d-payload-payload", i)))
+	}
+	l.Sync()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := l.Replay(func([]byte) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if n != 1000 {
+			b.Fatalf("replayed %d", n)
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	l := benchLog(b)
+	for i := 0; i < 1000; i++ {
+		l.Append(make([]byte, 256))
+	}
+	l.Sync()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package watchdog
+
+import (
+	"fmt"
+	"time"
+)
+
+// Checker is one checking procedure tailored to inspect a certain part of
+// the main program (§3.1). A checker returning nil reports health; returning
+// an error reports a safety violation. Liveness violations are not reported
+// by return value — a checker that hangs *is* the liveness signal, caught by
+// the driver's timeout ("share fate", §3.3).
+type Checker interface {
+	// Name identifies the checker in reports and for hook/context wiring.
+	Name() string
+	// Check runs one inspection against the given context. The driver
+	// guarantees ctx.Ready() is true when Check is invoked.
+	Check(ctx *Context) error
+}
+
+// CheckFunc adapts a function to the Checker interface.
+type CheckFunc struct {
+	// CheckerName is returned by Name.
+	CheckerName string
+	// Fn is invoked by Check.
+	Fn func(ctx *Context) error
+}
+
+// Name implements Checker.
+func (c CheckFunc) Name() string { return c.CheckerName }
+
+// Check implements Checker.
+func (c CheckFunc) Check(ctx *Context) error { return c.Fn(ctx) }
+
+// NewChecker returns a Checker from a name and a function.
+func NewChecker(name string, fn func(ctx *Context) error) Checker {
+	return CheckFunc{CheckerName: name, Fn: fn}
+}
+
+// Op executes one vulnerable operation inside a checker, providing the three
+// guarantees mimic checkers need (§3.3, Figure 3):
+//
+//   - pinpointing: the site is registered on the context before the body
+//     runs, so a hang detected by the driver is attributed to this exact
+//     operation;
+//   - error localization: a non-nil error is wrapped into an OpError that
+//     carries the site;
+//   - crash confinement: a panic in the body is converted into an OpError
+//     rather than unwinding into the driver.
+func Op(ctx *Context, site Site, body func() error) (err error) {
+	ctx.EnterOp(site)
+	defer func() {
+		ctx.ExitOp()
+		if r := recover(); r != nil {
+			err = &OpError{Site: site, Err: &PanicError{Value: r}}
+		}
+	}()
+	if e := body(); e != nil {
+		return &OpError{Site: site, Err: e}
+	}
+	return nil
+}
+
+// OpTimed is Op plus a latency observation: if the operation completes but
+// takes longer than slowAfter, it returns a SlowError so the driver can
+// report fail-slow behaviour distinctly from a full hang. The elapsed
+// duration is measured with the supplied now function so virtual-clock tests
+// stay deterministic; pass nil to use wall time.
+func OpTimed(ctx *Context, site Site, slowAfter time.Duration, now func() time.Time, body func() error) error {
+	if now == nil {
+		now = time.Now
+	}
+	start := now()
+	err := Op(ctx, site, body)
+	if err != nil {
+		return err
+	}
+	if elapsed := now().Sub(start); slowAfter > 0 && elapsed > slowAfter {
+		return &SlowError{Site: site, Elapsed: elapsed, Budget: slowAfter}
+	}
+	return nil
+}
+
+// SlowError reports a vulnerable operation that completed but exceeded its
+// latency budget — the fail-slow manifestation (§1).
+type SlowError struct {
+	Site    Site
+	Elapsed time.Duration
+	Budget  time.Duration
+}
+
+// Error implements the error interface.
+func (e *SlowError) Error() string {
+	return fmt.Sprintf("%s: completed in %v, budget %v", e.Site, e.Elapsed, e.Budget)
+}

@@ -1,0 +1,223 @@
+// Package checkers provides the three watchdog checker styles from Table 2
+// of the paper:
+//
+//   - Probe checkers act like a special client, invoking the software's
+//     public APIs with pre-supplied input. Perfect accuracy (any error is a
+//     true contract violation) but weak completeness and no pinpointing.
+//   - Signal checkers monitor health indicators (memory, goroutines,
+//     scheduling delay, queue gauges). Good at environment/resource faults,
+//     weak accuracy, partial localization.
+//   - Mimic checkers select important operations from the main program and
+//     imitate them with state synchronized through contexts. Strong
+//     completeness and accuracy; pinpoint the failing operation.
+//
+// Probe and signal checkers are constructed here in full; mimic checkers are
+// built from reduced functions (hand-written or emitted by the autowatchdog
+// generator) with the helpers in this package and the watchdog.Op primitive.
+package checkers
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"gowatchdog/internal/gauge"
+	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/watchdog/wdio"
+)
+
+// Probe returns a probe-style checker. The function should exercise a public
+// API end to end (e.g. SET then GET on kvs) and return an error only when
+// the contract is violated. Probe checkers need no context; register them
+// with ProbeContext or mark their context ready at startup.
+func Probe(name string, fn func() error) watchdog.Checker {
+	return watchdog.NewChecker(name, func(*watchdog.Context) error {
+		if err := fn(); err != nil {
+			return fmt.Errorf("probe %s: %w", name, err)
+		}
+		return nil
+	})
+}
+
+// ProbeContext returns a pre-ready context for probe checkers, which have no
+// state to synchronize.
+func ProbeContext() *watchdog.Context {
+	ctx := watchdog.NewContext()
+	ctx.MarkReady()
+	return ctx
+}
+
+// SignalError reports a health-indicator threshold violation. Signal
+// checkers cannot pinpoint a faulty instruction, but the indicator name
+// narrows the cause "to some extent" (Table 2).
+type SignalError struct {
+	// Indicator names the violated health signal, e.g. "heap-bytes".
+	Indicator string
+	// Value and Threshold record the observation.
+	Value, Threshold float64
+}
+
+// Error implements the error interface.
+func (e *SignalError) Error() string {
+	return fmt.Sprintf("signal %s: value %.2f violates threshold %.2f",
+		e.Indicator, e.Value, e.Threshold)
+}
+
+// signal builds a signal checker around a sampled indicator.
+func signal(name, indicator string, sample func() float64, violated func(v float64) (bool, float64)) watchdog.Checker {
+	return watchdog.NewChecker(name, func(ctx *watchdog.Context) error {
+		v := sample()
+		bad, threshold := violated(v)
+		if !bad {
+			return nil
+		}
+		return &watchdog.OpError{
+			Site: watchdog.Site{Op: "signal:" + indicator},
+			Err:  &SignalError{Indicator: indicator, Value: v, Threshold: threshold},
+		}
+	})
+}
+
+// HeapLimit returns a signal checker that reports when the Go heap exceeds
+// maxBytes — the memory-pressure indicator.
+func HeapLimit(name string, maxBytes uint64) watchdog.Checker {
+	return signal(name, "heap-bytes", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	}, func(v float64) (bool, float64) {
+		return v > float64(maxBytes), float64(maxBytes)
+	})
+}
+
+// GoroutineLimit returns a signal checker that reports when the process has
+// more than max goroutines — a leak/deadlock-pileup indicator.
+func GoroutineLimit(name string, max int) watchdog.Checker {
+	return signal(name, "goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	}, func(v float64) (bool, float64) {
+		return v > float64(max), float64(max)
+	})
+}
+
+// SchedulerDelay returns the paper's GC-pause/overload detector (§3.3): a
+// worker sleeps for a short interval; if the observed elapsed time exceeds
+// sleep+tolerance, the runtime is stalling threads (long GC pause, CPU
+// starvation, severe thrashing). sleeper and now default to the real clock
+// when nil, and are injectable for deterministic tests.
+func SchedulerDelay(name string, sleep, tolerance time.Duration,
+	sleeper func(time.Duration), now func() time.Time) watchdog.Checker {
+	if sleeper == nil {
+		sleeper = time.Sleep
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return signal(name, "sched-delay", func() float64 {
+		start := now()
+		sleeper(sleep)
+		return float64(now().Sub(start) - sleep)
+	}, func(v float64) (bool, float64) {
+		return v > float64(tolerance), float64(tolerance)
+	})
+}
+
+// GaugeAbove returns a signal checker that reports when g exceeds threshold
+// (e.g. request queue length at capacity).
+func GaugeAbove(name, indicator string, g *gauge.Gauge, threshold float64) watchdog.Checker {
+	return signal(name, indicator, g.Value, func(v float64) (bool, float64) {
+		return v > threshold, threshold
+	})
+}
+
+// GaugeBelow returns a signal checker that reports when g drops below
+// threshold (e.g. free disk space).
+func GaugeBelow(name, indicator string, g *gauge.Gauge, threshold float64) watchdog.Checker {
+	return signal(name, indicator, g.Value, func(v float64) (bool, float64) {
+		return v < threshold, threshold
+	})
+}
+
+// CounterStalled returns a signal checker that reports when c has not
+// advanced since the previous check — a progress indicator for a component
+// that should be continuously doing work (but see Table 2: if the workload
+// legitimately idles, this fires spuriously; that inaccuracy is inherent to
+// the signal style and measured in experiment E2).
+func CounterStalled(name, indicator string, c *gauge.Counter) watchdog.Checker {
+	var last int64
+	var seeded bool
+	return watchdog.NewChecker(name, func(*watchdog.Context) error {
+		cur := c.Value()
+		if !seeded {
+			seeded = true
+			last = cur
+			return nil
+		}
+		if cur == last {
+			return &watchdog.OpError{
+				Site: watchdog.Site{Op: "signal:" + indicator},
+				Err:  &SignalError{Indicator: indicator, Value: float64(cur), Threshold: float64(last)},
+			}
+		}
+		last = cur
+		return nil
+	})
+}
+
+// CounterRising returns a signal checker that reports when c advanced since
+// the previous check — error-rate style alerting on a counter that should
+// stay flat (e.g. an error counter).
+func CounterRising(name, indicator string, c *gauge.Counter) watchdog.Checker {
+	var last int64
+	var seeded bool
+	return watchdog.NewChecker(name, func(*watchdog.Context) error {
+		cur := c.Value()
+		if !seeded {
+			seeded = true
+			last = cur
+			return nil
+		}
+		if cur > last {
+			delta := cur - last
+			last = cur
+			return &watchdog.OpError{
+				Site: watchdog.Site{Op: "signal:" + indicator},
+				Err:  &SignalError{Indicator: indicator, Value: float64(delta), Threshold: 0},
+			}
+		}
+		last = cur
+		return nil
+	})
+}
+
+// WindowQuantileAbove returns a signal checker on a latency window's
+// q-quantile.
+func WindowQuantileAbove(name, indicator string, w *gauge.Window, q, threshold float64) watchdog.Checker {
+	return signal(name, indicator, func() float64 { return w.Quantile(q) },
+		func(v float64) (bool, float64) { return v > threshold, threshold })
+}
+
+// Mimic returns a mimic-style checker from a reduced function. The reduced
+// function should execute each retained vulnerable operation through
+// watchdog.Op (or OpTimed) so failures are pinpointed; the driver supplies a
+// context kept in sync by hooks in the main program.
+func Mimic(name string, reduced func(ctx *watchdog.Context) error) watchdog.Checker {
+	return watchdog.NewChecker(name, reduced)
+}
+
+// DiskRoundTrip returns a mimic checker that performs a real
+// write-read-verify-remove cycle on the shadow filesystem, with the payload
+// taken from the checker context when available (the failure-inducing data
+// the main program last flushed). This is the HDFS disk-checker pattern the
+// paper cites: create files and do real I/O the way the DataNode does.
+func DiskRoundTrip(name string, fs *wdio.FS, site watchdog.Site, payloadKey string) watchdog.Checker {
+	return watchdog.NewChecker(name, func(ctx *watchdog.Context) error {
+		payload := ctx.GetBytes(payloadKey)
+		if len(payload) == 0 {
+			payload = []byte("watchdog disk probe payload 0123456789abcdef")
+		}
+		return watchdog.Op(ctx, site, func() error {
+			return fs.RoundTrip(name+".probe", payload)
+		})
+	})
+}

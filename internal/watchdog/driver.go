@@ -1,0 +1,513 @@
+package watchdog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gowatchdog/internal/clock"
+)
+
+// PanicError wraps a panic value recovered from a checker execution.
+type PanicError struct{ Value any }
+
+// Error implements the error interface.
+func (e *PanicError) Error() string { return fmt.Sprintf("checker panicked: %v", e.Value) }
+
+// Driver manages checker scheduling and execution (§3.1). Each registered
+// checker runs on its own cadence in its own goroutine; the driver catches
+// the three failure signatures — error, crash, hang — classifies them,
+// maintains a status ledger, and raises alarms once abnormal results cross a
+// checker's threshold.
+//
+// The driver never blocks on a checker: a checker that hangs is abandoned
+// past its timeout (the goroutine is reaped when it eventually returns) and
+// the hang itself is reported as a liveness violation pinpointing the
+// vulnerable operation that was executing.
+type Driver struct {
+	clk             clock.Clock
+	factory         *Factory
+	defaultInterval time.Duration
+	defaultTimeout  time.Duration
+	historyCap      int
+
+	mu        sync.Mutex
+	checkers  map[string]*registered
+	order     []string // registration order, for deterministic iteration
+	listeners []func(Report)
+	alarmFns  []func(Alarm)
+	history   []Report
+	running   bool
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// registered couples a checker with its context and policy. Mutable fields
+// are guarded by the driver mutex.
+type registered struct {
+	c         Checker
+	ctx       *Context
+	interval  time.Duration
+	timeout   time.Duration
+	threshold int
+	validator func(Report) bool
+
+	inFlight    bool
+	paused      bool
+	consecutive int
+	alarmed     bool
+	runs        int64
+	abnormal    int64
+	latest      Report
+	hasLatest   bool
+}
+
+// Option configures a Driver.
+type Option func(*Driver)
+
+// WithClock sets the clock used for scheduling and timeouts.
+func WithClock(c clock.Clock) Option { return func(d *Driver) { d.clk = c } }
+
+// WithInterval sets the default check interval (default 1s).
+func WithInterval(iv time.Duration) Option { return func(d *Driver) { d.defaultInterval = iv } }
+
+// WithTimeout sets the default liveness timeout (default 6s, the paper's
+// case-study configuration: 1s interval + 6s timeout ≈ 7s detection).
+func WithTimeout(to time.Duration) Option { return func(d *Driver) { d.defaultTimeout = to } }
+
+// WithHistory sets how many reports the driver retains (default 1024).
+func WithHistory(n int) Option { return func(d *Driver) { d.historyCap = n } }
+
+// WithFactory shares an existing context factory (e.g. one the generated
+// hooks already write into).
+func WithFactory(f *Factory) Option { return func(d *Driver) { d.factory = f } }
+
+// New returns a Driver with the given options applied.
+func New(opts ...Option) *Driver {
+	d := &Driver{
+		clk:             clock.Real(),
+		defaultInterval: time.Second,
+		defaultTimeout:  6 * time.Second,
+		historyCap:      1024,
+		checkers:        make(map[string]*registered),
+		stop:            make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	if d.factory == nil {
+		d.factory = NewFactory()
+	}
+	return d
+}
+
+// Factory returns the driver's context factory; hooks in the main program
+// write through it.
+func (d *Driver) Factory() *Factory { return d.factory }
+
+// Clock returns the driver's clock, shared with helper utilities.
+func (d *Driver) Clock() clock.Clock { return d.clk }
+
+// DefaultInterval returns the driver's default check interval, so checker
+// installers can derive slower cadences for heavyweight checkers.
+func (d *Driver) DefaultInterval() time.Duration { return d.defaultInterval }
+
+// DefaultTimeout returns the driver's default liveness timeout.
+func (d *Driver) DefaultTimeout() time.Duration { return d.defaultTimeout }
+
+// CheckerOption configures one registered checker.
+type CheckerOption func(*registered)
+
+// Every overrides the check interval for this checker.
+func Every(iv time.Duration) CheckerOption { return func(r *registered) { r.interval = iv } }
+
+// Timeout overrides the liveness timeout for this checker.
+func Timeout(to time.Duration) CheckerOption { return func(r *registered) { r.timeout = to } }
+
+// Threshold sets how many consecutive abnormal reports raise an alarm
+// (default 1).
+func Threshold(n int) CheckerOption { return func(r *registered) { r.threshold = n } }
+
+// ValidateWith installs a validator consulted when an alarm fires; typically
+// a probe checker assessing end-to-end impact (§5.1).
+func ValidateWith(fn func(Report) bool) CheckerOption {
+	return func(r *registered) { r.validator = fn }
+}
+
+// WithContext binds the checker to a specific context instead of the
+// factory-managed context named after the checker.
+func WithContext(ctx *Context) CheckerOption { return func(r *registered) { r.ctx = ctx } }
+
+// Register adds a checker. It panics if the driver is running or the name is
+// already taken — checker sets are assembled at startup, mirroring the
+// generated watchdogs that register every checker before the driver starts.
+func (d *Driver) Register(c Checker, opts ...CheckerOption) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.running {
+		panic("watchdog: Register after Start")
+	}
+	name := c.Name()
+	if _, dup := d.checkers[name]; dup {
+		panic("watchdog: duplicate checker " + name)
+	}
+	r := &registered{
+		c:         c,
+		interval:  d.defaultInterval,
+		timeout:   d.defaultTimeout,
+		threshold: 1,
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.ctx == nil {
+		r.ctx = d.factory.Context(name)
+	}
+	d.checkers[name] = r
+	d.order = append(d.order, name)
+}
+
+// OnReport subscribes fn to every checker report. Must be called before
+// Start. fn runs on the checker's scheduling goroutine and must not block.
+func (d *Driver) OnReport(fn func(Report)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.listeners = append(d.listeners, fn)
+}
+
+// OnAlarm subscribes fn to alarms. Must be called before Start.
+func (d *Driver) OnAlarm(fn func(Alarm)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.alarmFns = append(d.alarmFns, fn)
+}
+
+// Start launches one scheduling goroutine per checker.
+func (d *Driver) Start() {
+	d.mu.Lock()
+	if d.running {
+		d.mu.Unlock()
+		return
+	}
+	d.running = true
+	d.stop = make(chan struct{})
+	names := append([]string(nil), d.order...)
+	d.mu.Unlock()
+	for _, name := range names {
+		d.mu.Lock()
+		r := d.checkers[name]
+		d.mu.Unlock()
+		d.wg.Add(1)
+		go d.schedule(r)
+	}
+}
+
+// Stop halts scheduling and waits for the scheduling goroutines. Checker
+// executions that are stuck past their timeout are left to the reaper and do
+// not block Stop.
+func (d *Driver) Stop() {
+	d.mu.Lock()
+	if !d.running {
+		d.mu.Unlock()
+		return
+	}
+	d.running = false
+	close(d.stop)
+	d.mu.Unlock()
+	d.wg.Wait()
+}
+
+func (d *Driver) schedule(r *registered) {
+	defer d.wg.Done()
+	tick := d.clk.NewTicker(r.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-tick.C():
+			d.executeOnce(r)
+		}
+	}
+}
+
+// CheckNow runs the named checker once, synchronously, applying the same
+// classification and alarm policy as scheduled runs. Experiments and tests
+// use it to step the watchdog deterministically.
+func (d *Driver) CheckNow(name string) (Report, error) {
+	d.mu.Lock()
+	r, ok := d.checkers[name]
+	d.mu.Unlock()
+	if !ok {
+		return Report{}, fmt.Errorf("watchdog: unknown checker %q", name)
+	}
+	return d.executeOnce(r), nil
+}
+
+// CheckAll runs every registered checker once, in registration order.
+func (d *Driver) CheckAll() []Report {
+	d.mu.Lock()
+	names := append([]string(nil), d.order...)
+	d.mu.Unlock()
+	out := make([]Report, 0, len(names))
+	for _, n := range names {
+		rep, err := d.CheckNow(n)
+		if err == nil {
+			out = append(out, rep)
+		}
+	}
+	return out
+}
+
+// Pause suspends the named checker: scheduled and manual executions are
+// skipped (reported as context-pending) and its abnormal streak resets.
+// Use it around planned maintenance — a deliberately restarted component
+// should not page anyone. It returns false for unknown checkers.
+func (d *Driver) Pause(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.checkers[name]
+	if !ok {
+		return false
+	}
+	r.paused = true
+	r.consecutive = 0
+	r.alarmed = false
+	return true
+}
+
+// Resume re-enables a paused checker.
+func (d *Driver) Resume(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.checkers[name]
+	if !ok {
+		return false
+	}
+	r.paused = false
+	return true
+}
+
+// Paused reports whether the named checker is paused.
+func (d *Driver) Paused(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.checkers[name]
+	return ok && r.paused
+}
+
+// executeOnce performs one scheduled execution of r and returns the report.
+func (d *Driver) executeOnce(r *registered) Report {
+	name := r.c.Name()
+
+	d.mu.Lock()
+	if r.paused {
+		d.mu.Unlock()
+		rep := Report{Checker: name, Status: StatusContextPending, Time: d.clk.Now()}
+		d.record(r, rep)
+		return rep
+	}
+	if r.inFlight {
+		// The previous execution is still blocked: every tick past the
+		// timeout re-confirms the liveness violation.
+		site := r.latest.Site
+		d.mu.Unlock()
+		rep := Report{
+			Checker: name,
+			Status:  StatusStuck,
+			Err:     errors.New("checker still blocked from previous execution"),
+			Site:    site,
+			Latency: r.timeout,
+			Time:    d.clk.Now(),
+		}
+		d.record(r, rep)
+		return rep
+	}
+	ctx := r.ctx
+	timeout := r.timeout
+	d.mu.Unlock()
+
+	if !ctx.Ready() {
+		rep := Report{Checker: name, Status: StatusContextPending, Time: d.clk.Now()}
+		d.record(r, rep)
+		return rep
+	}
+
+	start := d.clk.Now()
+	resCh := make(chan error, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				resCh <- &PanicError{Value: p}
+			}
+		}()
+		resCh <- r.c.Check(ctx)
+	}()
+
+	timer := d.clk.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-resCh:
+		rep := d.classify(name, ctx, err, d.clk.Since(start))
+		d.record(r, rep)
+		return rep
+	case <-timer.C():
+		site, _ := ctx.CurrentOp()
+		d.mu.Lock()
+		r.inFlight = true
+		d.mu.Unlock()
+		// Reap the abandoned execution whenever it finally returns.
+		go func() {
+			<-resCh
+			d.mu.Lock()
+			r.inFlight = false
+			d.mu.Unlock()
+		}()
+		rep := Report{
+			Checker: name,
+			Status:  StatusStuck,
+			Err:     fmt.Errorf("checker exceeded %v timeout", timeout),
+			Site:    site,
+			Payload: ctx.Snapshot(),
+			Latency: timeout,
+			Time:    d.clk.Now(),
+		}
+		d.record(r, rep)
+		return rep
+	}
+}
+
+// classify turns a checker return value into a Report.
+func (d *Driver) classify(name string, ctx *Context, err error, latency time.Duration) Report {
+	rep := Report{Checker: name, Latency: latency, Time: d.clk.Now()}
+	if err == nil {
+		rep.Status = StatusHealthy
+		return rep
+	}
+	rep.Err = err
+	rep.Payload = ctx.Snapshot()
+	var oe *OpError
+	if errors.As(err, &oe) {
+		rep.Site = oe.Site
+	}
+	var pe *PanicError
+	var se *SlowError
+	switch {
+	case errors.As(err, &pe):
+		rep.Status = StatusCrashed
+	case errors.As(err, &se):
+		rep.Status = StatusSlow
+		rep.Site = se.Site
+	default:
+		rep.Status = StatusError
+	}
+	return rep
+}
+
+// record updates the ledger, notifies listeners, and applies alarm policy.
+func (d *Driver) record(r *registered, rep Report) {
+	d.mu.Lock()
+	r.latest = rep
+	r.hasLatest = true
+	r.runs++
+	var alarm *Alarm
+	switch {
+	case rep.Status == StatusContextPending:
+		// neither healthy nor abnormal; leave the streak untouched
+	case rep.Status.Abnormal():
+		r.abnormal++
+		r.consecutive++
+		if r.consecutive >= r.threshold && !r.alarmed {
+			r.alarmed = true
+			alarm = &Alarm{Report: rep, Consecutive: r.consecutive}
+		}
+	default:
+		r.consecutive = 0
+		r.alarmed = false
+	}
+	d.history = append(d.history, rep)
+	if len(d.history) > d.historyCap {
+		d.history = d.history[len(d.history)-d.historyCap:]
+	}
+	listeners := d.listeners
+	alarmFns := d.alarmFns
+	validator := r.validator
+	d.mu.Unlock()
+
+	for _, fn := range listeners {
+		fn(rep)
+	}
+	if alarm != nil {
+		if validator != nil {
+			v := validator(rep)
+			alarm.Validated = &v
+		}
+		for _, fn := range alarmFns {
+			fn(*alarm)
+		}
+	}
+}
+
+// Latest returns the most recent report for the named checker.
+func (d *Driver) Latest(name string) (Report, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.checkers[name]
+	if !ok || !r.hasLatest {
+		return Report{}, false
+	}
+	return r.latest, true
+}
+
+// Healthy reports whether no checker is currently in an abnormal state.
+func (d *Driver) Healthy() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, r := range d.checkers {
+		if r.hasLatest && r.latest.Status.Abnormal() {
+			return false
+		}
+	}
+	return true
+}
+
+// History returns a copy of the retained reports, oldest first.
+func (d *Driver) History() []Report {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Report, len(d.history))
+	copy(out, d.history)
+	return out
+}
+
+// Checkers returns the sorted names of all registered checkers.
+func (d *Driver) Checkers() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := append([]string(nil), d.order...)
+	sort.Strings(out)
+	return out
+}
+
+// Stats summarizes one checker's execution counters.
+type Stats struct {
+	// Runs is the number of completed executions (including skips).
+	Runs int64
+	// Abnormal is the number of abnormal reports.
+	Abnormal int64
+	// Consecutive is the current abnormal streak.
+	Consecutive int
+}
+
+// CheckerStats returns counters for the named checker.
+func (d *Driver) CheckerStats(name string) (Stats, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, ok := d.checkers[name]
+	if !ok {
+		return Stats{}, false
+	}
+	return Stats{Runs: r.runs, Abnormal: r.abnormal, Consecutive: r.consecutive}, true
+}

@@ -1,0 +1,137 @@
+package watchdog
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestAlarmLatchModelProperty verifies the driver's alarm policy against a
+// reference model over arbitrary outcome sequences: an alarm fires exactly
+// when the consecutive-abnormal streak reaches the threshold, stays latched
+// through further abnormal reports, and re-arms after a healthy report.
+func TestAlarmLatchModelProperty(t *testing.T) {
+	f := func(outcomes []bool, thresholdRaw uint8) bool {
+		threshold := int(thresholdRaw%4) + 1
+		if len(outcomes) > 64 {
+			outcomes = outcomes[:64]
+		}
+
+		d := New()
+		idx := 0
+		d.Register(NewChecker("model", func(*Context) error {
+			fail := outcomes[idx]
+			idx++
+			if fail {
+				return errors.New("scripted failure")
+			}
+			return nil
+		}), Threshold(threshold))
+		d.Factory().Context("model").MarkReady()
+
+		var mu sync.Mutex
+		gotAlarms := 0
+		d.OnAlarm(func(Alarm) { mu.Lock(); gotAlarms++; mu.Unlock() })
+
+		// Reference model.
+		wantAlarms := 0
+		streak := 0
+		latched := false
+		for _, fail := range outcomes {
+			if fail {
+				streak++
+				if streak >= threshold && !latched {
+					latched = true
+					wantAlarms++
+				}
+			} else {
+				streak = 0
+				latched = false
+			}
+		}
+
+		for range outcomes {
+			if _, err := d.CheckNow("model"); err != nil {
+				return false
+			}
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return gotAlarms == wantAlarms
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatsConsistencyProperty: runs+abnormal counters always agree with
+// the scripted outcome sequence, and Healthy() mirrors the latest report.
+func TestStatsConsistencyProperty(t *testing.T) {
+	f := func(outcomes []bool) bool {
+		if len(outcomes) == 0 {
+			return true
+		}
+		if len(outcomes) > 64 {
+			outcomes = outcomes[:64]
+		}
+		d := New()
+		idx := 0
+		d.Register(NewChecker("stats", func(*Context) error {
+			fail := outcomes[idx]
+			idx++
+			if fail {
+				return errors.New("x")
+			}
+			return nil
+		}))
+		d.Factory().Context("stats").MarkReady()
+		wantAbnormal := 0
+		for _, fail := range outcomes {
+			if fail {
+				wantAbnormal++
+			}
+			d.CheckNow("stats")
+		}
+		st, ok := d.CheckerStats("stats")
+		if !ok || st.Runs != int64(len(outcomes)) || st.Abnormal != int64(wantAbnormal) {
+			return false
+		}
+		lastFailed := outcomes[len(outcomes)-1]
+		return d.Healthy() == !lastFailed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistoryOrderingProperty: the report history preserves execution order
+// and never exceeds its cap.
+func TestHistoryOrderingProperty(t *testing.T) {
+	f := func(n uint8, capRaw uint8) bool {
+		historyCap := int(capRaw%32) + 1
+		runs := int(n % 64)
+		d := New(WithHistory(historyCap))
+		d.Register(healthyChecker("h"))
+		d.Factory().Context("h").MarkReady()
+		for i := 0; i < runs; i++ {
+			d.CheckNow("h")
+		}
+		hist := d.History()
+		if runs <= historyCap {
+			return len(hist) == runs
+		}
+		if len(hist) != historyCap {
+			return false
+		}
+		for i := 1; i < len(hist); i++ {
+			if hist[i].Time.Before(hist[i-1].Time) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package wdio provides the watchdog's I/O isolation mechanisms (§5.1).
+//
+// Mimic checkers perform real disk I/O so that environment faults (a dying
+// disk, a full volume, a hung filesystem) manifest inside the checker just
+// as they would in the main program. But their writes must never touch main
+// data. FS redirects a checker's file operations into a shadow directory on
+// the same volume — same device, same failure domain, different namespace —
+// which is the paper's "redirection mechanism for common I/O side effects".
+package wdio
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+)
+
+// ErrQuota is returned when a write would push the shadow directory past its
+// byte quota.
+var ErrQuota = errors.New("wdio: shadow quota exceeded")
+
+// FS is a shadow filesystem rooted in a directory. All paths are interpreted
+// relative to the root; escaping the root is an error. FS is safe for
+// concurrent use.
+type FS struct {
+	root  string
+	quota int64
+	used  atomic.Int64
+}
+
+// NewFS creates (if needed) the shadow root directory and returns an FS with
+// the given byte quota (0 means 64 MiB).
+func NewFS(root string, quota int64) (*FS, error) {
+	if quota <= 0 {
+		quota = 64 << 20
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("wdio: create shadow root: %w", err)
+	}
+	return &FS{root: root, quota: quota}, nil
+}
+
+// Root returns the shadow root directory.
+func (f *FS) Root() string { return f.root }
+
+// Used returns the number of bytes written through this FS and not yet
+// released by Cleanup.
+func (f *FS) Used() int64 { return f.used.Load() }
+
+// Path resolves rel inside the shadow root. It returns an error if rel
+// escapes the root.
+func (f *FS) Path(rel string) (string, error) {
+	clean := filepath.Clean("/" + rel) // forces the path to be root-relative
+	full := filepath.Join(f.root, clean)
+	if full != f.root && !strings.HasPrefix(full, f.root+string(filepath.Separator)) {
+		return "", fmt.Errorf("wdio: path %q escapes shadow root", rel)
+	}
+	return full, nil
+}
+
+// PreparePath resolves rel like Path and additionally creates its parent
+// directories, for checkers that hand the path to their own writers.
+func (f *FS) PreparePath(rel string) (string, error) {
+	full, err := f.Path(rel)
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		return "", err
+	}
+	return full, nil
+}
+
+// WriteFile writes data to rel inside the shadow, creating parent
+// directories, enforcing the quota, and syncing to disk so the I/O truly
+// exercises the storage stack.
+func (f *FS) WriteFile(rel string, data []byte) error {
+	full, err := f.Path(rel)
+	if err != nil {
+		return err
+	}
+	if f.used.Add(int64(len(data))) > f.quota {
+		f.used.Add(-int64(len(data)))
+		return ErrQuota
+	}
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		f.used.Add(-int64(len(data)))
+		return err
+	}
+	file, err := os.OpenFile(full, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		f.used.Add(-int64(len(data)))
+		return err
+	}
+	if _, err := file.Write(data); err != nil {
+		file.Close()
+		f.used.Add(-int64(len(data)))
+		return err
+	}
+	if err := file.Sync(); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+// ReadFile reads rel from the shadow.
+func (f *FS) ReadFile(rel string) ([]byte, error) {
+	full, err := f.Path(rel)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(full)
+}
+
+// Remove deletes rel from the shadow. Quota accounting is adjusted by the
+// file's size when it can be determined.
+func (f *FS) Remove(rel string) error {
+	full, err := f.Path(rel)
+	if err != nil {
+		return err
+	}
+	if fi, err := os.Stat(full); err == nil && !fi.IsDir() {
+		f.used.Add(-fi.Size())
+	}
+	return os.Remove(full)
+}
+
+// Cleanup removes everything under the shadow root and resets the quota
+// accounting. The root itself is kept so the FS remains usable.
+func (f *FS) Cleanup() error {
+	entries, err := os.ReadDir(f.root)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, e := range entries {
+		if err := os.RemoveAll(filepath.Join(f.root, e.Name())); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	f.used.Store(0)
+	return firstErr
+}
+
+// RoundTrip writes data to rel, reads it back, verifies the contents match,
+// and removes the file. This is the canonical mimic disk check (the
+// HDFS-13738 pattern: "create some files ... do real I/O in a similar way").
+func (f *FS) RoundTrip(rel string, data []byte) error {
+	if err := f.WriteFile(rel, data); err != nil {
+		return fmt.Errorf("write: %w", err)
+	}
+	got, err := f.ReadFile(rel)
+	if err != nil {
+		return fmt.Errorf("read back: %w", err)
+	}
+	if len(got) != len(data) {
+		return fmt.Errorf("read back %d bytes, wrote %d", len(got), len(data))
+	}
+	for i := range got {
+		if got[i] != data[i] {
+			return fmt.Errorf("read-back mismatch at byte %d", i)
+		}
+	}
+	if err := f.Remove(rel); err != nil {
+		return fmt.Errorf("remove: %w", err)
+	}
+	return nil
+}
