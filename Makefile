@@ -1,0 +1,33 @@
+# Development entry points. `make check` is what CI runs.
+
+GO ?= go
+
+# Packages whose concurrency matters most: the driver/context core, the
+# coordination service, and the fake clock they share.
+RACE_PKGS := ./internal/watchdog ./internal/coord ./internal/clock
+
+.PHONY: build test vet lint race check golden
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint runs the watchdog-hygiene analyzers (cmd/wdlint) over the module.
+# Info-level findings are reported but do not fail; warn and error do.
+lint:
+	$(GO) run ./cmd/wdlint ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# golden refreshes the AutoWatchdog reduction goldens after an intentional
+# generator change.
+golden:
+	$(GO) test ./internal/autowatchdog -run Golden -update
+
+check: build vet lint test race

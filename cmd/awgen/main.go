@@ -6,7 +6,11 @@
 // Usage:
 //
 //	awgen -pkg ./internal/coord                      # report only
+//	awgen -pkg ./internal/coord -json                # machine-readable report
 //	awgen -pkg ./internal/coord -out /tmp/coordwd    # + generate & instrument
+//
+// In report-only mode awgen exits non-zero when no long-running regions are
+// found, so CI can catch analyses that silently matched nothing.
 package main
 
 import (
@@ -21,11 +25,12 @@ import (
 
 func main() {
 	var (
-		pkgDir  = flag.String("pkg", "", "package directory to analyze (required)")
-		outDir  = flag.String("out", "", "output directory for generated + instrumented files")
-		entries = flag.String("entries", "", "comma-separated regexps forcing region roots")
-		depth   = flag.Int("depth", 5, "max call-chain depth")
-		quiet   = flag.Bool("quiet", false, "suppress the per-region report")
+		pkgDir   = flag.String("pkg", "", "package directory to analyze (required)")
+		outDir   = flag.String("out", "", "output directory for generated + instrumented files")
+		entries  = flag.String("entries", "", "comma-separated regexps forcing region roots")
+		depth    = flag.Int("depth", 5, "max call-chain depth")
+		quiet    = flag.Bool("quiet", false, "suppress the per-region report")
+		jsonMode = flag.Bool("json", false, "emit the region/reduction report as JSON")
 	)
 	flag.Parse()
 	if *pkgDir == "" {
@@ -45,10 +50,24 @@ func main() {
 	if err != nil {
 		log.Fatalf("awgen: %v", err)
 	}
-	if !*quiet {
+	switch {
+	case *jsonMode:
+		data, err := a.ReportJSON()
+		if err != nil {
+			log.Fatalf("awgen: json: %v", err)
+		}
+		fmt.Printf("%s\n", data)
+	case !*quiet:
 		fmt.Print(a.Summary())
 	}
 	if *outDir == "" {
+		// Report-only invocations are used as a CI gate: an analysis that
+		// found nothing to monitor is almost always a misconfigured -pkg or
+		// -entries, not a healthy package.
+		if len(a.Regions) == 0 {
+			fmt.Fprintf(os.Stderr, "awgen: no long-running regions found in %s\n", *pkgDir)
+			os.Exit(1)
+		}
 		return
 	}
 	genPath, err := a.Generate()

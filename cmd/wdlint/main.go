@@ -1,0 +1,84 @@
+// Command wdlint statically verifies watchdog hygiene (§3.2–§3.3): checker
+// isolation, context synchronization, fate-sharing, driver configuration,
+// and generated-checker freshness.
+//
+// Usage:
+//
+//	wdlint ./...                     # lint the whole module
+//	wdlint ./internal/kvs            # one package
+//	wdlint -json ./...               # machine-readable findings
+//	wdlint -severity error ./...     # fail only on errors
+//	wdlint -list                     # describe the analyzers
+//
+// Exit status is 1 when any finding at or above the -severity gate remains
+// after //wdlint:ignore filtering, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gowatchdog/internal/wdlint"
+)
+
+func main() {
+	var (
+		jsonMode = flag.Bool("json", false, "emit findings as JSON")
+		sevGate  = flag.String("severity", "warn", "fail on findings at or above this severity (info, warn, error)")
+		list     = flag.Bool("list", false, "list the analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range wdlint.All() {
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	gate, err := wdlint.ParseSeverity(*sevGate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := wdlint.Run(".", patterns, wdlint.All())
+	if err != nil {
+		// Loader errors already carry the wdlint: prefix.
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *jsonMode {
+		data, err := wdlint.MarshalDiags(diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wdlint: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("%s\n", data)
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+			for _, r := range d.Related {
+				fmt.Printf("\t%s: %s\n", r.Pos, r.Message)
+			}
+		}
+	}
+
+	failing := 0
+	for _, d := range diags {
+		if d.Severity >= gate {
+			failing++
+		}
+	}
+	if failing > 0 {
+		if !*jsonMode {
+			fmt.Fprintf(os.Stderr, "wdlint: %d finding(s) at or above %s\n", failing, gate)
+		}
+		os.Exit(1)
+	}
+}

@@ -15,22 +15,22 @@ import (
 // VulnerableOp is one operation retained by the reduction.
 type VulnerableOp struct {
 	// Kind selects the generic mimic.
-	Kind OpKind
+	Kind OpKind `json:"kind"`
 	// Callee is the matched method name (the reduction's dedup key,
 	// together with Kind).
-	Callee string
+	Callee string `json:"callee"`
 	// Call is the rendered source of the call expression.
-	Call string
+	Call string `json:"call"`
 	// Func is the enclosing function (receiver-qualified).
-	Func string
+	Func string `json:"func"`
 	// File and Line locate the call in the original source.
-	File string
-	Line int
+	File string `json:"file"`
+	Line int    `json:"line"`
 	// Depth is the call-chain distance from the region root (0 = in the
 	// root function itself).
-	Depth int
+	Depth int `json:"depth"`
 	// Annotated marks //wd:vulnerable-tagged calls.
-	Annotated bool
+	Annotated bool `json:"annotated,omitempty"`
 }
 
 // Region is one long-running code region with its reduced operation set.
@@ -69,6 +69,10 @@ type Analysis struct {
 	Package string
 	// Dir is the analyzed directory.
 	Dir string
+	// SourceRel is the analyzed directory relative to the enclosing module
+	// root (falling back to the cleaned Dir outside a module). It is
+	// embedded into generated files as the awgen:source provenance marker.
+	SourceRel string
 	// Regions are the long-running regions with reduced ops, sorted by root.
 	Regions []Region
 
@@ -108,12 +112,13 @@ func Analyze(cfg Config) (*Analysis, error) {
 		return nil, fmt.Errorf("autowatchdog: %w", err)
 	}
 	a := &Analysis{
-		Dir:    cfg.PackageDir,
-		cfg:    cfg,
-		fset:   fset,
-		files:  make(map[string]*ast.File),
-		funcs:  make(map[string]*ast.FuncDecl),
-		fnFile: make(map[string]string),
+		Dir:       cfg.PackageDir,
+		SourceRel: sourceRel(cfg.PackageDir),
+		cfg:       cfg,
+		fset:      fset,
+		files:     make(map[string]*ast.File),
+		funcs:     make(map[string]*ast.FuncDecl),
+		fnFile:    make(map[string]string),
 	}
 	for _, e := range entries {
 		name := e.Name()
@@ -147,6 +152,31 @@ func Analyze(cfg Config) (*Analysis, error) {
 	}
 	a.extractRegions()
 	return a, nil
+}
+
+// sourceRel expresses dir relative to the enclosing Go module root (the
+// nearest ancestor holding a go.mod), using forward slashes so generated
+// provenance markers are portable. Outside a module it falls back to the
+// cleaned input path.
+func sourceRel(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return filepath.ToSlash(filepath.Clean(dir))
+	}
+	probe := abs
+	for {
+		if _, err := os.Stat(filepath.Join(probe, "go.mod")); err == nil {
+			if rel, err := filepath.Rel(probe, abs); err == nil {
+				return filepath.ToSlash(rel)
+			}
+		}
+		parent := filepath.Dir(probe)
+		if parent == probe {
+			break
+		}
+		probe = parent
+	}
+	return filepath.ToSlash(filepath.Clean(dir))
 }
 
 // isInitStage reports whether a function is initialization-stage code,

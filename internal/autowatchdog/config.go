@@ -22,7 +22,11 @@
 // technique is not Java-specific").
 package autowatchdog
 
-import "regexp"
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+)
 
 // OpKind classifies a vulnerable operation, selecting which generic mimic
 // the generated checker runs.
@@ -64,6 +68,27 @@ func (k OpKind) String() string {
 	default:
 		return "generic"
 	}
+}
+
+// MarshalJSON renders the kind as its string name, keeping machine-readable
+// reports stable even if the numeric constants are reordered.
+func (k OpKind) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.Quote(k.String())), nil
+}
+
+// UnmarshalJSON accepts the string names emitted by MarshalJSON.
+func (k *OpKind) UnmarshalJSON(data []byte) error {
+	s, err := strconv.Unquote(string(data))
+	if err != nil {
+		return fmt.Errorf("autowatchdog: OpKind: %w", err)
+	}
+	for c := KindDiskWrite; c <= KindGeneric; c++ {
+		if c.String() == s {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("autowatchdog: unknown OpKind %q", s)
 }
 
 // CallPattern marks calls whose final selector matches Method as vulnerable.

@@ -1,0 +1,76 @@
+package autowatchdog
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden files instead of comparing against them:
+//
+//	go test ./internal/autowatchdog -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares got against the named golden file byte-for-byte, or
+// rewrites the golden file under -update.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("update %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s (run with -update to create): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden (run with -update to accept):\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// TestGoldenSummary pins the human-readable reduction report for the sample
+// package: region roots, call chains, statement/call counts, and the exact
+// set of retained vulnerable operations.
+func TestGoldenSummary(t *testing.T) {
+	a := analyzeSample(t, nil)
+	golden(t, "sample.golden.summary", []byte(a.Summary()))
+}
+
+// TestGoldenGeneratedChecker pins the generated checkers file byte-for-byte.
+// Any change to region extraction, reduction, op classification, or the code
+// generator shows up here as a reviewable diff.
+func TestGoldenGeneratedChecker(t *testing.T) {
+	a := analyzeSample(t, nil)
+	golden(t, "sample_wd_gen.go.golden", a.GeneratedSource())
+}
+
+// TestGoldenJSONReport pins the machine-readable report consumed by wdlint
+// and CI.
+func TestGoldenJSONReport(t *testing.T) {
+	a := analyzeSample(t, nil)
+	data, err := a.ReportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "sample.golden.json", append(data, '\n'))
+}
+
+// TestGoldenMatchesCommittedGenExample ties the golden to the committed
+// generator output in genexample: both must track the same analysis.
+func TestGoldenMatchesCommittedGenExample(t *testing.T) {
+	a := analyzeSample(t, nil)
+	committed, err := os.ReadFile(filepath.Join("genexample", "sample_wd_gen.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.GeneratedSource(), committed) {
+		t.Fatal("genexample/sample_wd_gen.go drifted from the current reduction; regenerate it:\n" +
+			"go run ./cmd/awgen -pkg internal/autowatchdog/testdata/sample -out internal/autowatchdog/genexample -quiet")
+	}
+}

@@ -26,6 +26,10 @@ import (
 func (dn *DataNode) PermissionsChecker() watchdog.Checker {
 	return watchdog.NewChecker("dfs.disk.v1", func(ctx *watchdog.Context) error {
 		for _, v := range dn.vols {
+			// The raw os.Stat is the point of v1: it reproduces the paper's
+			// inadequate checker, un-pinpointed hang and all, so E8 can
+			// contrast it with the wrapped v2 mimic below.
+			//wdlint:ignore fateshare v1 deliberately bypasses watchdog.Op (§3.3 case study)
 			fi, err := os.Stat(v.dir)
 			if err != nil {
 				return &watchdog.OpError{

@@ -1,0 +1,100 @@
+package watchdog
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestContextHookCheckerRace pins the Context memory-visibility contract
+// under the race detector. The contract (§3.2 one-way synchronization):
+//
+//   - Hooks on the main execution path may Put/PutAll/MarkReady concurrently
+//     with checkers calling Get*/Ready/Version/Snapshot; every access is
+//     serialized by the context's lock, so there are no torn reads.
+//   - Values are replicated on Put, so a hook mutating its buffer after the
+//     Put — and a checker mutating what it read — never alias main-program
+//     memory.
+//   - Version increases monotonically with writes; a checker that records
+//     the version before and after reading can detect mid-check updates.
+//
+// The test hammers one context from several hook and checker goroutines; it
+// passes only when `go test -race` observes no data race.
+func TestContextHookCheckerRace(t *testing.T) {
+	f := NewFactory()
+	ctx := f.Context("race.target")
+
+	const (
+		hooks    = 4
+		checkers = 4
+		rounds   = 500
+	)
+	var wg sync.WaitGroup
+
+	// Hook side: PutAll + MarkReady with a payload the hook keeps mutating
+	// after handing it over.
+	for h := 0; h < hooks; h++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := []byte("payload-000")
+			for i := 0; i < rounds; i++ {
+				ctx.PutAll(map[string]any{
+					"record": buf,
+					"seq":    int64(i),
+				})
+				ctx.MarkReady()
+				// Mutating after PutAll must be invisible to checkers.
+				buf[len(buf)-1] = byte('0' + i%10)
+			}
+		}()
+	}
+
+	// Checker side: reads interleaved with version bookkeeping.
+	errs := make(chan string, checkers)
+	for c := 0; c < checkers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastVersion uint64
+			for i := 0; i < rounds; i++ {
+				before := ctx.Version()
+				if before < lastVersion {
+					errs <- "version went backwards"
+					return
+				}
+				lastVersion = before
+				rec := ctx.GetBytes("record")
+				if len(rec) > 0 && !bytes.HasPrefix(rec, []byte("payload-")) {
+					errs <- "torn or aliased read: " + string(rec)
+					return
+				}
+				// The checker may scribble on what it read without
+				// corrupting the context or the hook's buffer.
+				if len(rec) > 0 {
+					rec[0] = 'X'
+				}
+				_ = ctx.GetInt("seq")
+				snap := ctx.Snapshot()
+				if v, ok := snap["record"].([]byte); ok && len(v) > 0 && v[0] == 'X' {
+					errs <- "snapshot aliased a checker-mutated read"
+					return
+				}
+				_ = ctx.Ready()
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	if got := ctx.GetBytes("record"); !bytes.HasPrefix(got, []byte("payload-")) {
+		t.Fatalf("final record corrupted: %q", got)
+	}
+	if ctx.Version() == 0 {
+		t.Fatal("no writes observed")
+	}
+}

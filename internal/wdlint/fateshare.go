@@ -1,0 +1,86 @@
+package wdlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"gowatchdog/internal/autowatchdog"
+)
+
+// FateShareAnalyzer enforces §3.3: vulnerable operations inside checker
+// bodies must run under watchdog.Op (or OpTimed) so that a hang or crash is
+// pinpointed to a site, localized to the checker, and confined by the
+// driver's timeout instead of fate-sharing with the whole watchdog.
+//
+// A "vulnerable operation" is a direct call into the os, net, syscall, or
+// io/ioutil packages whose method name appears in the AutoWatchdog
+// vulnerable-call vocabulary (autowatchdog.DefaultPatterns): Write, Read,
+// Stat, Open, Dial, and friends. Pure predicates on those packages
+// (os.IsNotExist, net.JoinHostPort, ...) do not match the vocabulary and are
+// never flagged. Calls routed through the wdio shadow filesystem or the
+// wdruntime mimics are the sanctioned alternative and are likewise ignored.
+type FateShareAnalyzer struct{}
+
+// Name implements Analyzer.
+func (*FateShareAnalyzer) Name() string { return "fateshare" }
+
+// Doc implements Analyzer.
+func (*FateShareAnalyzer) Doc() string {
+	return "vulnerable operations in checkers must run under watchdog.Op (§3.3)"
+}
+
+// rawPackages are the packages whose vulnerable calls must be wrapped.
+var rawPackages = map[string]bool{
+	"os":        true,
+	"net":       true,
+	"syscall":   true,
+	"io/ioutil": true,
+}
+
+// Run implements Analyzer.
+func (a *FateShareAnalyzer) Run(u *Unit) []Diag {
+	vocab := make(map[string]bool)
+	for _, pat := range autowatchdog.DefaultPatterns() {
+		vocab[pat.Method] = true
+	}
+	var diags []Diag
+	for _, c := range u.Checkers() {
+		p := c.Pkg
+		covered := opBodies(p, c.Body)
+		ast.Inspect(c.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok || !rawPackages[pn.Imported().Path()] {
+				return true
+			}
+			if !vocab[sel.Sel.Name] {
+				return true
+			}
+			if insideAny(call.Pos(), covered) {
+				return true
+			}
+			diags = append(diags, Diag{
+				Pos:      p.Pos(call.Pos()),
+				Analyzer: a.Name(),
+				Severity: SevError,
+				Message: fmt.Sprintf(
+					"checker %s calls %s.%s outside watchdog.Op; a hang here fate-shares with the watchdog instead of being pinpointed (§3.3)",
+					checkerLabel(c), pn.Imported().Path(), sel.Sel.Name),
+			})
+			return true
+		})
+	}
+	return diags
+}

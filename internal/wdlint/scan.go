@@ -1,0 +1,378 @@
+package wdlint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// watchdogPath matches the watchdog core package by import-path suffix so the
+// analyzers work on this module and on fixtures alike.
+const watchdogPath = "/watchdog"
+
+// isWatchdogPkg reports whether pkg is the watchdog core package.
+func isWatchdogPkg(pkg *types.Package) bool {
+	return pkg != nil &&
+		(pkg.Path() == "watchdog" || strings.HasSuffix(pkg.Path(), watchdogPath))
+}
+
+// watchdogFunc returns the watchdog-package function name called by e
+// ("NewChecker", "Op", ...), or "" if e is not a watchdog call.
+func watchdogFunc(p *Package, e ast.Expr) string {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok || !isWatchdogPkg(pn.Imported()) {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// constString returns the constant string value of e, if any.
+func constString(p *Package, e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		// Fall back to a bare literal: placeholder imports can leave
+		// expressions untyped.
+		if lit, ok := e.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			if s, err := strconv.Unquote(lit.Value); err == nil {
+				return s, true
+			}
+		}
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// CheckerBody is one discovered checker implementation: the function that the
+// driver will invoke with a *watchdog.Context.
+type CheckerBody struct {
+	Pkg *Package
+	// Name is the statically-known checker name, or "" when the name is
+	// computed at run time.
+	Name string
+	// NamePos is where the checker is introduced (the NewChecker call, the
+	// CheckFunc literal, or the Check method declaration).
+	NamePos token.Pos
+	// Fn is the checker function literal; nil when the checker is a declared
+	// function or method (see Decl).
+	Fn *ast.FuncLit
+	// Decl is the declared checker function or Check method; nil for
+	// literals.
+	Decl *ast.FuncDecl
+	// Body is the checker function body.
+	Body *ast.BlockStmt
+	// CtxObj is the *watchdog.Context parameter object; nil when the
+	// parameter is unnamed.
+	CtxObj types.Object
+	// RecvObj is the receiver object for Check methods; nil otherwise.
+	RecvObj types.Object
+}
+
+// Span returns the source extent of the checker function.
+func (c *CheckerBody) Span() (token.Pos, token.Pos) {
+	if c.Fn != nil {
+		return c.Fn.Pos(), c.Fn.End()
+	}
+	return c.Decl.Pos(), c.Decl.End()
+}
+
+// Checkers discovers checker bodies in the requested packages, memoized.
+func (u *Unit) Checkers() []*CheckerBody {
+	if u.checkers != nil {
+		return u.checkers
+	}
+	u.checkers = []*CheckerBody{}
+	for _, p := range u.Pkgs {
+		u.checkers = append(u.checkers, scanCheckers(p)...)
+	}
+	return u.checkers
+}
+
+// scanCheckers finds every checker introduced in p:
+//
+//   - watchdog.NewChecker(name, fn) calls,
+//   - watchdog.CheckFunc{CheckerName: ..., Fn: ...} composite literals,
+//   - Check(ctx *watchdog.Context) error methods on local types.
+func scanCheckers(p *Package) []*CheckerBody {
+	var out []*CheckerBody
+	funcDecls := declIndex(p)
+	seen := make(map[*ast.BlockStmt]bool)
+	add := func(c *CheckerBody) {
+		if c.Body != nil && !seen[c.Body] {
+			seen[c.Body] = true
+			out = append(out, c)
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if watchdogFunc(p, n.Fun) != "NewChecker" || len(n.Args) != 2 {
+					return true
+				}
+				c := &CheckerBody{Pkg: p, NamePos: n.Pos()}
+				c.Name, _ = constString(p, n.Args[0])
+				fillCheckerFunc(p, c, n.Args[1], funcDecls)
+				add(c)
+			case *ast.CompositeLit:
+				if !isCheckFuncType(p, n.Type) {
+					return true
+				}
+				c := &CheckerBody{Pkg: p, NamePos: n.Pos()}
+				for _, el := range n.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					switch key, _ := kv.Key.(*ast.Ident); key.Name {
+					case "CheckerName":
+						c.Name, _ = constString(p, kv.Value)
+					case "Fn":
+						fillCheckerFunc(p, c, kv.Value, funcDecls)
+					}
+				}
+				add(c)
+			case *ast.FuncDecl:
+				if n.Name.Name != "Check" || n.Recv == nil || n.Body == nil {
+					return true
+				}
+				ctxObj, ok := contextParam(p, n.Type)
+				if !ok {
+					return true
+				}
+				c := &CheckerBody{
+					Pkg:     p,
+					NamePos: n.Pos(),
+					Decl:    n,
+					Body:    n.Body,
+					CtxObj:  ctxObj,
+					Name:    methodCheckerName(p, n, funcDecls),
+				}
+				if len(n.Recv.List[0].Names) > 0 {
+					c.RecvObj = p.Info.Defs[n.Recv.List[0].Names[0]]
+				}
+				add(c)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// fillCheckerFunc resolves the Fn expression of a checker to its body: either
+// a function literal or a reference to a declared same-package function.
+func fillCheckerFunc(p *Package, c *CheckerBody, fn ast.Expr, decls map[types.Object]*ast.FuncDecl) {
+	switch fn := fn.(type) {
+	case *ast.FuncLit:
+		c.Fn = fn
+		c.Body = fn.Body
+		if ctxObj, ok := contextParam(p, fn.Type); ok {
+			c.CtxObj = ctxObj
+		}
+	case *ast.Ident:
+		if d := decls[p.Info.Uses[fn]]; d != nil && d.Body != nil {
+			c.Decl = d
+			c.Body = d.Body
+			if ctxObj, ok := contextParam(p, d.Type); ok {
+				c.CtxObj = ctxObj
+			}
+		}
+	}
+}
+
+// contextParam reports whether ft is a checker signature — exactly one
+// parameter of type *watchdog.Context — and returns the parameter object
+// (nil when unnamed).
+func contextParam(p *Package, ft *ast.FuncType) (types.Object, bool) {
+	if ft.Params == nil || len(ft.Params.List) != 1 {
+		return nil, false
+	}
+	field := ft.Params.List[0]
+	star, ok := field.Type.(*ast.StarExpr)
+	if !ok {
+		return nil, false
+	}
+	sel, ok := star.X.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		// Same-package references (inside the watchdog package itself) are
+		// out of scope: the core is trusted.
+		return nil, false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	if pn, ok := p.Info.Uses[id].(*types.PkgName); !ok || !isWatchdogPkg(pn.Imported()) {
+		return nil, false
+	}
+	if len(field.Names) == 0 || field.Names[0].Name == "_" {
+		return nil, true
+	}
+	return p.Info.Defs[field.Names[0]], true
+}
+
+// isCheckFuncType reports whether t denotes watchdog.CheckFunc.
+func isCheckFuncType(p *Package, t ast.Expr) bool {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "CheckFunc" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	return ok && isWatchdogPkg(pn.Imported())
+}
+
+// methodCheckerName extracts the checker name for a Check method by looking
+// for a sibling Name method that returns a single constant string.
+func methodCheckerName(p *Package, check *ast.FuncDecl, decls map[types.Object]*ast.FuncDecl) string {
+	recvType := receiverTypeName(check)
+	if recvType == "" {
+		return ""
+	}
+	for _, d := range decls {
+		if d.Name.Name != "Name" || d.Recv == nil || d.Body == nil {
+			continue
+		}
+		if receiverTypeName(d) != recvType || len(d.Body.List) != 1 {
+			continue
+		}
+		ret, ok := d.Body.List[0].(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			continue
+		}
+		if s, ok := constString(p, ret.Results[0]); ok {
+			return s
+		}
+	}
+	return ""
+}
+
+// receiverTypeName returns the base type name of a method receiver.
+func receiverTypeName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// declIndex maps function objects to their declarations for one package.
+func declIndex(p *Package) map[types.Object]*ast.FuncDecl {
+	idx := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if obj := p.Info.Defs[fd.Name]; obj != nil {
+					idx[obj] = fd
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// opBodies returns the bodies of function literals passed to watchdog.Op and
+// watchdog.OpTimed within root: code inside them is sanctioned to perform
+// vulnerable operations (the wrapper pinpoints and confines them, §3.3).
+func opBodies(p *Package, root ast.Node) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := watchdogFunc(p, call.Fun)
+		if name != "Op" && name != "OpTimed" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				out = append(out, lit.Body)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// insideAny reports whether pos falls within any of the given blocks.
+func insideAny(pos token.Pos, blocks []*ast.BlockStmt) bool {
+	for _, b := range blocks {
+		if b.Pos() <= pos && pos < b.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// rootIdent unwraps selector/index/star/paren chains to the base identifier
+// of an lvalue or channel expression: for `a.b[i].c`, the identifier `a`.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isDirect reports whether e is the identifier itself (possibly
+// parenthesized), as opposed to a path through it.
+func isDirect(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return true
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// useOf resolves an identifier to its object via Uses or Defs.
+func useOf(p *Package, id *ast.Ident) types.Object {
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+// isPackageLevel reports whether obj is a package-level variable.
+func isPackageLevel(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope()
+}

@@ -1,0 +1,32 @@
+// Package contextsyncbad violates §3.2 context synchronization: keys read
+// that are never put, keys put that are never read, and a hook feeding a
+// context no checker owns.
+package contextsyncbad
+
+import (
+	"gowatchdog/internal/watchdog"
+)
+
+// Checkers builds the checker side.
+func Checkers() []watchdog.Checker {
+	return []watchdog.Checker{
+		// Reads "missing", but the hook below only puts "wrong".
+		watchdog.NewChecker("csb.reader", func(ctx *watchdog.Context) error {
+			_ = ctx.GetString("missing") // want: never put
+			return nil
+		}),
+		// Reads "k" and no hook synchronizes csb.orphan at all.
+		watchdog.NewChecker("csb.orphan", func(ctx *watchdog.Context) error {
+			_ = ctx.GetInt("k") // want: no hook for this context
+			return nil
+		}),
+	}
+}
+
+// Hooks is the main-program side.
+func Hooks(f *watchdog.Factory) {
+	// Puts "wrong", which csb.reader never reads (info finding).
+	f.Context("csb.reader").Put("wrong", 1)
+	// Synchronizes a context no checker claims (warn finding).
+	f.Context("csb.ghost").MarkReady()
+}

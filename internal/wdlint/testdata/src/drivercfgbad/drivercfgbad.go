@@ -1,0 +1,22 @@
+// Package drivercfgbad misconfigures the driver: zeroed deadlines, a
+// non-positive threshold, a nil validator, and a duplicate registration.
+package drivercfgbad
+
+import (
+	"gowatchdog/internal/watchdog"
+)
+
+// Wire registers checkers with every misconfiguration the drivercfg
+// analyzer detects.
+func Wire(d *watchdog.Driver) {
+	d.Register(watchdog.NewChecker("cfg.a", func(ctx *watchdog.Context) error { return nil }),
+		watchdog.Timeout(0),        // want: zero timeout
+		watchdog.Threshold(0),      // want: zero threshold
+		watchdog.ValidateWith(nil), // want: nil validator
+	)
+	d.Register(watchdog.NewChecker("cfg.b", func(ctx *watchdog.Context) error { return nil }),
+		watchdog.Every(0), // want: zero interval
+	)
+	d.Register(watchdog.NewChecker("cfg.a", // want: duplicate name
+		func(ctx *watchdog.Context) error { return nil }))
+}

@@ -1,0 +1,33 @@
+// Package fatesharebad performs vulnerable operations in a checker without
+// the watchdog.Op wrapper (§3.3): a hang in them would take down the whole
+// watchdog un-pinpointed.
+package fatesharebad
+
+import (
+	"net"
+	"os"
+
+	"gowatchdog/internal/watchdog"
+)
+
+// Checkers builds one flagged and one properly wrapped checker.
+func Checkers() []watchdog.Checker {
+	return []watchdog.Checker{
+		watchdog.NewChecker("fs.raw", func(ctx *watchdog.Context) error {
+			if err := os.WriteFile("/tmp/probe", []byte("x"), 0o644); err != nil { // want: raw write
+				return err
+			}
+			if _, err := net.Dial("tcp", "localhost:1"); err != nil { // want: raw dial
+				return err
+			}
+			// Predicates are not vulnerable operations.
+			_ = os.IsNotExist(nil)
+			return nil
+		}),
+		watchdog.NewChecker("fs.wrapped", func(ctx *watchdog.Context) error {
+			return watchdog.Op(ctx, watchdog.Site{Function: "fs", Op: "os.WriteFile"}, func() error {
+				return os.WriteFile("/tmp/probe", []byte("x"), 0o644) // wrapped: allowed
+			})
+		}),
+	}
+}

@@ -1,0 +1,12 @@
+// Package genfreshsrc is the reduction source for the genfresh fixture: one
+// long-running region with one vulnerable operation.
+package genfreshsrc
+
+import "os"
+
+// Run loops forever writing a heartbeat file.
+func Run() {
+	for {
+		_ = os.WriteFile("heartbeat", []byte("x"), 0o644)
+	}
+}

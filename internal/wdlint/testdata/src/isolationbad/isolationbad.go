@@ -1,0 +1,74 @@
+// Package isolationbad violates §3.2 checker isolation in every way the
+// isolation analyzer knows about. Each violation is labeled; the lone
+// allowed pattern (a plain closure accumulator) is labeled too.
+package isolationbad
+
+import (
+	"gowatchdog/internal/watchdog"
+)
+
+var globalCount int
+
+var alerts = make(chan string, 1)
+
+var shared = struct{ last string }{}
+
+// Node is main-program state a Check method must not touch.
+type Node struct {
+	state int
+	seen  map[string]bool
+}
+
+// Name names the method checker.
+func (n *Node) Name() string { return "iso.method" }
+
+// Check mutates the receiver: violation.
+func (n *Node) Check(ctx *watchdog.Context) error {
+	n.state++              // want: receiver write
+	n.seen["probe"] = true // want: receiver path write
+	return nil
+}
+
+// BadCheckers builds one closure checker per violation class.
+func BadCheckers() []watchdog.Checker {
+	cache := map[string]int{} // pre-exists the checker closures below
+	var out []watchdog.Checker
+	out = append(out, watchdog.NewChecker("iso.global", func(ctx *watchdog.Context) error {
+		globalCount = 1 // want: package-level write
+		return nil
+	}))
+	out = append(out, watchdog.NewChecker("iso.captured", func(ctx *watchdog.Context) error {
+		cache["k"] = 1 // want: path write through captured map
+		return nil
+	}))
+	out = append(out, watchdog.NewChecker("iso.chan", func(ctx *watchdog.Context) error {
+		alerts <- "down" // want: send on shared channel
+		return nil
+	}))
+	out = append(out, watchdog.NewChecker("iso.ownctx", func(ctx *watchdog.Context) error {
+		ctx.Put("k", 1) // want: own-context write
+		return nil
+	}))
+	out = append(out, watchdog.NewChecker("iso.sharedpath", func(ctx *watchdog.Context) error {
+		shared.last = "x" // want: package-level path write
+		return nil
+	}))
+	out = append(out, watchdog.NewChecker("iso.callee", func(ctx *watchdog.Context) error {
+		bumpGlobal() // callee writes a package-level variable
+		return nil
+	}))
+	// Allowed: an accumulator rebound by plain assignment is checker-private
+	// state carried across invocations.
+	last := 0
+	out = append(out, watchdog.NewChecker("iso.ok", func(ctx *watchdog.Context) error {
+		local := last + 1
+		last = local
+		return nil
+	}))
+	return out
+}
+
+// bumpGlobal is reachable from iso.callee and mutates package state.
+func bumpGlobal() {
+	globalCount++ // want: package-level write in callee
+}
