@@ -3,8 +3,9 @@
 GO ?= go
 
 # Packages whose concurrency matters most: the driver/context core, the
-# coordination service, and the fake clock they share.
-RACE_PKGS := ./internal/watchdog ./internal/coord ./internal/clock
+# coordination service, the fake clock they share, and the lock-free metric
+# paths (gauge registry, wdobs histograms/journal).
+RACE_PKGS := ./internal/watchdog ./internal/coord ./internal/clock ./internal/gauge ./internal/wdobs
 
 .PHONY: build test vet lint race check golden
 

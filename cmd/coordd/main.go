@@ -19,6 +19,7 @@ import (
 	"gowatchdog/internal/faultinject"
 	"gowatchdog/internal/watchdog"
 	"gowatchdog/internal/watchdog/wdio"
+	"gowatchdog/internal/wdobs"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 		timeout     = flag.Duration("wd-timeout", 6*time.Second, "watchdog liveness timeout")
 		zk2201      = flag.Bool("zk2201", false, "inject the ZOOKEEPER-2201 network hang")
 		injectAfter = flag.Duration("inject-after", 10*time.Second, "delay before injection")
+		obsAddr     = flag.String("obs-addr", "", "observability listen address (/metrics, /healthz, /watchdog, pprof)")
 	)
 	flag.Parse()
 
@@ -101,6 +103,16 @@ func main() {
 			log.Printf("  pinpoint: %s", a.Report.Site)
 		}
 	})
+	if *obsAddr != "" {
+		obs := wdobs.New()
+		obs.Attach(driver)
+		osrv, err := obs.Serve(*obsAddr)
+		if err != nil {
+			log.Fatalf("coordd: obs: %v", err)
+		}
+		defer osrv.Close()
+		log.Printf("coordd: observability on http://%s", osrv.Addr())
+	}
 	driver.Start()
 	defer driver.Stop()
 

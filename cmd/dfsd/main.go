@@ -17,6 +17,7 @@ import (
 	"gowatchdog/internal/dfs"
 	"gowatchdog/internal/faultinject"
 	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/wdobs"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		failVolume  = flag.Int("fail-volume", -1, "volume to fail (-1 = none)")
 		failKind    = flag.String("fail-kind", "error", "volume fault kind: error|hang|delay")
 		injectAfter = flag.Duration("inject-after", 5*time.Second, "delay before injection")
+		obsAddr     = flag.String("obs-addr", "", "observability listen address (/metrics, /healthz, /watchdog, pprof)")
 	)
 	flag.Parse()
 
@@ -53,6 +55,16 @@ func main() {
 			log.Printf("WATCHDOG: %s", rep)
 		}
 	})
+	if *obsAddr != "" {
+		obs := wdobs.New()
+		obs.Attach(driver)
+		osrv, err := obs.Serve(*obsAddr)
+		if err != nil {
+			log.Fatalf("dfsd: obs: %v", err)
+		}
+		defer osrv.Close()
+		log.Printf("dfsd: observability on http://%s", osrv.Addr())
+	}
 	driver.Start()
 	defer driver.Stop()
 

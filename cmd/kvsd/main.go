@@ -25,6 +25,7 @@ import (
 	"gowatchdog/internal/recovery"
 	"gowatchdog/internal/watchdog"
 	"gowatchdog/internal/watchdog/wdio"
+	"gowatchdog/internal/wdobs"
 )
 
 func main() {
@@ -41,6 +42,8 @@ func main() {
 		injectAfter = flag.Duration("inject-after", 5*time.Second, "delay before injecting")
 		capsuleDir  = flag.String("capsules", "", "directory to record failure capsules (§5.2)")
 		autoRecover = flag.Bool("recover", false, "enable cheap recovery on alarms (§5.2)")
+		obsAddr     = flag.String("obs-addr", "", "observability listen address (/metrics, /healthz, /watchdog, pprof)")
+		journalPath = flag.String("journal", "", "file to stream the detection journal to as JSONL (wdreplay-compatible)")
 	)
 	flag.Parse()
 
@@ -125,6 +128,28 @@ func main() {
 				}))
 			driver.OnAlarm(mgr.HandleAlarm)
 			log.Print("kvsd: cheap recovery enabled")
+		}
+		if *obsAddr != "" || *journalPath != "" {
+			opts := []wdobs.Option{wdobs.WithRegistry(store.Metrics())}
+			if *journalPath != "" {
+				f, err := os.Create(*journalPath)
+				if err != nil {
+					log.Fatalf("kvsd: journal: %v", err)
+				}
+				defer f.Close()
+				opts = append(opts, wdobs.WithSink(f))
+				log.Printf("kvsd: streaming detection journal to %s", *journalPath)
+			}
+			obs := wdobs.New(opts...)
+			obs.Attach(driver)
+			if *obsAddr != "" {
+				osrv, err := obs.Serve(*obsAddr)
+				if err != nil {
+					log.Fatalf("kvsd: obs: %v", err)
+				}
+				defer osrv.Close()
+				log.Printf("kvsd: observability on http://%s (/metrics /healthz /watchdog /debug/pprof)", osrv.Addr())
+			}
 		}
 		driver.Start()
 		defer driver.Stop()

@@ -3,25 +3,52 @@
 // -paper flag runs the ZK-2201 case study with the paper's original
 // watchdog parameters (1s interval, 6s timeout — detection around seven
 // seconds) instead of the scaled-down defaults.
+//
+// With -scrape <host:port>, wdbench snapshots a running daemon's wdobs
+// /watchdog endpoint before and after the experiment run and prints the
+// delta, so the cost a benchmark run imposes on a live watchdog is visible
+// next to the tables it produces.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"path/filepath"
 	"time"
 
 	"gowatchdog/internal/experiment"
+	"gowatchdog/internal/wdobs"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1|table2|zk2201|context|validate|disk|overhead|reduction|all")
-		paper = flag.Bool("paper", false, "use the paper's 1s/6s watchdog parameters for zk2201")
+		exp    = flag.String("exp", "all", "experiment: table1|table2|zk2201|context|validate|disk|overhead|reduction|all")
+		paper  = flag.Bool("paper", false, "use the paper's 1s/6s watchdog parameters for zk2201")
+		scrape = flag.String("scrape", "", "wdobs address to snapshot before and after the run")
 	)
 	flag.Parse()
+
+	var before *wdobs.Snapshot
+	if *scrape != "" {
+		var err error
+		if before, err = scrapeSnapshot(*scrape); err != nil {
+			log.Fatalf("wdbench: scrape %s: %v", *scrape, err)
+		}
+	}
+	if *scrape != "" {
+		defer func() {
+			after, err := scrapeSnapshot(*scrape)
+			if err != nil {
+				log.Printf("wdbench: scrape %s: %v", *scrape, err)
+				return
+			}
+			printScrapeDelta(*scrape, before, after)
+		}()
+	}
 
 	scratch, err := os.MkdirTemp("", "wdbench-")
 	if err != nil {
@@ -82,4 +109,46 @@ func main() {
 		}
 		return experiment.RunReduction(root)
 	})
+}
+
+// scrapeSnapshot fetches one /watchdog snapshot from a wdobs server.
+func scrapeSnapshot(addr string) (*wdobs.Snapshot, error) {
+	client := &http.Client{Timeout: 3 * time.Second}
+	resp, err := client.Get("http://" + addr + "/watchdog")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	var snap wdobs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// printScrapeDelta summarizes what the observed daemon's watchdog did over
+// the benchmark window.
+func printScrapeDelta(addr string, before, after *wdobs.Snapshot) {
+	window := after.Time.Sub(before.Time).Round(time.Millisecond)
+	fmt.Printf("watchdog activity at %s over the %v run window:\n", addr, window)
+	fmt.Printf("  reports %d -> %d (+%d), alarms %d -> %d (+%d), journal events +%d\n",
+		before.Reports, after.Reports, after.Reports-before.Reports,
+		before.Alarms, after.Alarms, after.Alarms-before.Alarms,
+		after.JournalSeq-before.JournalSeq)
+	prev := map[string]wdobs.CheckerSnapshot{}
+	for _, c := range before.Checkers {
+		prev[c.Name] = c
+	}
+	for _, c := range after.Checkers {
+		p := prev[c.Name]
+		if c.Runs == p.Runs && c.Abnormal == p.Abnormal {
+			continue
+		}
+		fmt.Printf("  %-28s +%d runs (+%d abnormal), now %s, p99 %v\n",
+			c.Name, c.Runs-p.Runs, c.Abnormal-p.Abnormal, c.Status,
+			time.Duration(c.Latency.P99NS).Round(time.Microsecond))
+	}
 }

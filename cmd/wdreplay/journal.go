@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"gowatchdog/internal/wdobs"
+)
+
+// showJournal renders a wdobs JSONL detection journal: the event timeline
+// followed by a per-checker rollup.
+func showJournal(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := wdobs.ReadJournal(f)
+	if err != nil {
+		return err
+	}
+	renderJournal(os.Stdout, events)
+	return nil
+}
+
+func renderJournal(w io.Writer, events []wdobs.Event) {
+	if len(events) == 0 {
+		fmt.Fprintln(w, "empty journal")
+		return
+	}
+	type rollup struct {
+		events, alarms int
+		last           string
+	}
+	byChecker := map[string]*rollup{}
+	var alarms int
+	for _, e := range events {
+		r := byChecker[e.Report.Checker]
+		if r == nil {
+			r = &rollup{}
+			byChecker[e.Report.Checker] = r
+		}
+		r.events++
+		r.last = e.Report.Status.String()
+		line := fmt.Sprintf("%5d  %s  %-7s %-24s %s",
+			e.Seq, e.Report.Time.Format("15:04:05.000"), e.Kind,
+			e.Report.Checker, e.Report.Status)
+		if e.Kind == wdobs.KindAlarm {
+			alarms++
+			r.alarms++
+			line += fmt.Sprintf("  (consecutive=%d", e.Consecutive)
+			if e.Validated != nil {
+				line += fmt.Sprintf(", validated=%v", *e.Validated)
+			}
+			line += ")"
+		}
+		if e.Report.Err != nil {
+			line += "  " + truncate(e.Report.Err.Error(), 60)
+		}
+		if !e.Report.Site.IsZero() {
+			line += fmt.Sprintf("  @%s", e.Report.Site)
+		}
+		fmt.Fprintln(w, line)
+	}
+
+	fmt.Fprintf(w, "\n%d events, %d alarms, %d checkers\n", len(events), alarms, len(byChecker))
+	names := make([]string, 0, len(byChecker))
+	for n := range byChecker {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r := byChecker[n]
+		fmt.Fprintf(w, "  %-24s %3d events  %2d alarms  last status %s\n",
+			n, r.events, r.alarms, r.last)
+	}
+}

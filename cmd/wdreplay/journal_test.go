@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gowatchdog/internal/wdobs"
+)
+
+func TestRenderJournalFixture(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "detections.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := wdobs.ReadJournal(f)
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	if len(events) != 6 {
+		t.Fatalf("fixture has %d events, want 6", len(events))
+	}
+
+	var out strings.Builder
+	renderJournal(&out, events)
+	got := out.String()
+	for _, want := range []string{
+		"kvs.compaction",
+		"stuck",
+		"liveness timeout after 400ms",
+		"@kvs.compactPartition",
+		"(consecutive=3, validated=true)",
+		"6 events, 1 alarms, 2 checkers",
+		"last status healthy",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("rendered journal missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRenderJournalEmpty(t *testing.T) {
+	var out strings.Builder
+	renderJournal(&out, nil)
+	if !strings.Contains(out.String(), "empty journal") {
+		t.Errorf("empty render = %q", out.String())
+	}
+}

@@ -1,12 +1,14 @@
-// Command wdreplay inspects failure capsules recorded by a watchdog (§5.2
-// failure reproduction): it prints the pinpointed site and the captured
-// failure-inducing context, and can restore the context to show exactly
-// what a replaying checker would receive.
+// Command wdreplay inspects watchdog detection artifacts. It reads §5.2
+// failure capsules — printing the pinpointed site and the captured
+// failure-inducing context — and wdobs JSONL detection journals, rendering
+// the detection timeline a daemon streamed with -journal.
 //
 // Usage:
 //
 //	wdreplay failure.json
 //	wdreplay -dir /var/kvs/capsules        # summarize a whole directory
+//	wdreplay detections.jsonl              # journal timeline (by extension)
+//	wdreplay -journal somefile             # journal timeline (forced)
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 
 func main() {
 	dir := flag.String("dir", "", "summarize every capsule in this directory")
+	journal := flag.Bool("journal", false, "treat the file as a wdobs JSONL detection journal")
 	flag.Parse()
 
 	switch {
@@ -31,7 +34,14 @@ func main() {
 			log.Fatalf("wdreplay: %v", err)
 		}
 	case flag.NArg() == 1:
-		if err := show(flag.Arg(0)); err != nil {
+		path := flag.Arg(0)
+		var err error
+		if *journal || strings.HasSuffix(path, ".jsonl") {
+			err = showJournal(path)
+		} else {
+			err = show(path)
+		}
+		if err != nil {
 			log.Fatalf("wdreplay: %v", err)
 		}
 	default:

@@ -1,0 +1,190 @@
+// Command wdstat renders a live view of a daemon's watchdog state from its
+// wdobs /watchdog endpoint — the operator-facing half of the observability
+// subsystem. One-shot by default; -watch polls continuously like `watch(1)`.
+//
+// Usage:
+//
+//	wdstat -addr 127.0.0.1:9120
+//	wdstat -addr 127.0.0.1:9120 -watch -every 2s
+//	wdstat -addr 127.0.0.1:9120 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"gowatchdog/internal/wdobs"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:9120", "daemon observability address (host:port)")
+		watch   = flag.Bool("watch", false, "poll continuously instead of one-shot")
+		every   = flag.Duration("every", time.Second, "poll interval with -watch")
+		rawJSON = flag.Bool("json", false, "print the raw JSON snapshot and exit")
+		timeout = flag.Duration("timeout", 3*time.Second, "HTTP request timeout")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: *timeout}
+	url := "http://" + *addr + "/watchdog"
+
+	if *rawJSON {
+		body, err := fetchRaw(client, url)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(body)
+		return
+	}
+
+	for {
+		snap, err := fetch(client, url)
+		if err != nil {
+			if !*watch {
+				fatal(err)
+			}
+			fmt.Printf("wdstat: %v\n", err)
+		} else {
+			if *watch {
+				// Poor man's clear-screen keeps the dependency surface at zero.
+				fmt.Print("\033[H\033[2J")
+			}
+			render(os.Stdout, *addr, snap)
+		}
+		if !*watch {
+			if snap := snapOrNil(snap, err); snap != nil && !snap.Healthy {
+				os.Exit(1)
+			}
+			return
+		}
+		time.Sleep(*every)
+	}
+}
+
+func snapOrNil(s *wdobs.Snapshot, err error) *wdobs.Snapshot {
+	if err != nil {
+		return nil
+	}
+	return s
+}
+
+func fetchRaw(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func fetch(client *http.Client, url string) (*wdobs.Snapshot, error) {
+	body, err := fetchRaw(client, url)
+	if err != nil {
+		return nil, err
+	}
+	var snap wdobs.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return &snap, nil
+}
+
+// render prints the snapshot as an aligned table.
+func render(w io.Writer, addr string, snap *wdobs.Snapshot) {
+	health := "HEALTHY"
+	if !snap.Healthy {
+		health = "UNHEALTHY"
+	}
+	fmt.Fprintf(w, "watchdog @ %s — %s  (reports=%d alarms=%d journal=%d)  %s\n",
+		addr, health, snap.Reports, snap.Alarms, snap.JournalSeq,
+		snap.Time.Format("15:04:05"))
+
+	rows := [][]string{{
+		"CHECKER", "STATUS", "RUNS", "ABN", "CONSEC", "TRANS", "STUCK",
+		"P50", "P99", "CTX AGE", "LAST",
+	}}
+	checkers := append([]wdobs.CheckerSnapshot(nil), snap.Checkers...)
+	sort.SliceStable(checkers, func(i, j int) bool { return checkers[i].Name < checkers[j].Name })
+	for _, c := range checkers {
+		status := c.Status.String()
+		if c.Paused {
+			status += " (paused)"
+		}
+		ctxAge := "never"
+		if c.Context.StalenessNS >= 0 {
+			ctxAge = shortDur(time.Duration(c.Context.StalenessNS))
+		}
+		last := ""
+		if c.LastReport != nil && c.LastReport.Err != nil {
+			last = c.LastReport.Err.Error()
+			if len(last) > 40 {
+				last = last[:37] + "..."
+			}
+		}
+		rows = append(rows, []string{
+			c.Name, status,
+			fmt.Sprint(c.Runs), fmt.Sprint(c.Abnormal), fmt.Sprint(c.Consecutive),
+			fmt.Sprint(c.Transitions), fmt.Sprint(c.Stuck),
+			shortDur(time.Duration(c.Latency.P50NS)), shortDur(time.Duration(c.Latency.P99NS)),
+			ctxAge, last,
+		})
+	}
+	printTable(w, rows)
+}
+
+// shortDur formats a duration with two significant units at most.
+func shortDur(d time.Duration) string {
+	switch {
+	case d <= 0:
+		return "0"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	}
+}
+
+func printTable(w io.Writer, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(row)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wdstat: %v\n", err)
+	os.Exit(1)
+}

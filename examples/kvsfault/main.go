@@ -5,6 +5,7 @@
 //
 //	go run ./examples/kvsfault
 //	go run ./examples/kvsfault -fault kvs.flusher.write=error
+//	go run ./examples/kvsfault -journal detections.jsonl   # then: wdreplay detections.jsonl
 package main
 
 import (
@@ -20,10 +21,12 @@ import (
 	"gowatchdog/internal/kvs"
 	"gowatchdog/internal/watchdog"
 	"gowatchdog/internal/watchdog/wdio"
+	"gowatchdog/internal/wdobs"
 )
 
 func main() {
 	faultSpec := flag.String("fault", "kvs.compaction.merge=hang", "<point>=<hang|error>")
+	journalPath := flag.String("journal", "", "write the wdobs detection journal here as JSONL")
 	flag.Parse()
 
 	dir, err := os.MkdirTemp("", "kvsfault-")
@@ -54,6 +57,18 @@ func main() {
 		watchdog.WithTimeout(400*time.Millisecond),
 	)
 	store.InstallWatchdog(driver, shadow)
+
+	var obs *wdobs.Obs
+	if *journalPath != "" {
+		jf, err := os.Create(*journalPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer jf.Close()
+		obs = wdobs.New(wdobs.WithSink(jf))
+		obs.Attach(driver)
+	}
+
 	alarm := make(chan watchdog.Alarm, 1)
 	driver.OnAlarm(func(a watchdog.Alarm) {
 		select {
@@ -111,5 +126,24 @@ func main() {
 		}
 	case <-time.After(10 * time.Second):
 		log.Fatal("watchdog never detected the fault")
+	}
+
+	if obs != nil {
+		driver.Stop()
+		if err := obs.Journal().SinkErr(); err != nil {
+			log.Fatalf("journal sink: %v", err)
+		}
+		// Self-verify the JSONL round-trips before handing it to wdreplay.
+		jf, err := os.Open(*journalPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		events, err := wdobs.ReadJournal(jf)
+		jf.Close()
+		if err != nil {
+			log.Fatalf("journal does not replay: %v", err)
+		}
+		fmt.Printf("\ndetection journal: %d events in %s (inspect with: go run ./cmd/wdreplay %s)\n",
+			len(events), *journalPath, *journalPath)
 	}
 }

@@ -1,0 +1,67 @@
+package gauge
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent hammers a registry from writer goroutines (the
+// monitored program's hot paths) while readers snapshot and query (the
+// watchdog's sampling schedule), the exact concurrency pattern the package
+// exists for. Run under -race via `make race`.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 2000
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Mix shared and per-worker names so create-on-first-use races
+			// with lookups on both hot and cold map paths.
+			own := fmt.Sprintf("worker%d.latency", w)
+			for i := 0; i < iters; i++ {
+				r.Counter("shared.ops").Inc()
+				r.Gauge("shared.depth").Set(float64(i))
+				r.Gauge("shared.depth").Add(1)
+				r.Window(own, 32).Observe(float64(i))
+				r.Window("shared.lat", 64).Observe(float64(i))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case <-done:
+			if got := r.Counter("shared.ops").Value(); got != workers*iters {
+				t.Fatalf("shared.ops = %d, want %d", got, workers*iters)
+			}
+			if n := r.Window("shared.lat", 64).Len(); n != 64 {
+				t.Fatalf("shared.lat len = %d, want full window", n)
+			}
+			if len(r.Names()) < 3+workers {
+				t.Fatalf("Names() = %v", r.Names())
+			}
+			return
+		default:
+		}
+		// Concurrent reads while writers run.
+		_ = r.Snapshot()
+		_ = r.Names()
+		if w, ok := r.LookupWindow("shared.lat"); ok {
+			_ = w.Mean()
+			_ = w.Max()
+			_ = w.Std()
+			_ = w.Quantile(0.95)
+		}
+		_, _ = r.LookupGauge("shared.depth")
+		_, _ = r.LookupCounter("shared.ops")
+	}
+}

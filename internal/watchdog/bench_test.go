@@ -50,6 +50,27 @@ func BenchmarkCheckNowHealthy(b *testing.B) {
 	}
 }
 
+// noopObserver is the cheapest possible Observer; the delta between
+// BenchmarkCheckNowHealthy and BenchmarkCheckNowObserved bounds the driver's
+// observer-dispatch overhead (the wdobs package benchmarks the real sink).
+type noopObserver struct{}
+
+func (noopObserver) ObserveReport(Report, Status, bool) {}
+func (noopObserver) ObserveAlarm(Alarm)                 {}
+
+func BenchmarkCheckNowObserved(b *testing.B) {
+	d := New(WithObserver(noopObserver{}))
+	d.Register(NewChecker("bench", func(*Context) error { return nil }))
+	d.Factory().Context("bench").MarkReady()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.CheckNow("bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkReplicateBytes(b *testing.B) {
 	payload := make([]byte, 256)
 	b.ReportAllocs()

@@ -1,6 +1,9 @@
 package watchdog
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Context is the state-synchronization channel between the main program and
 // one checker (§3.1). Hooks in the main program Put values into the context
@@ -16,6 +19,7 @@ type Context struct {
 	vals    map[string]any
 	ready   bool
 	version uint64
+	syncAt  time.Time // wall-clock time of the last hook update
 
 	// current op tracking for liveness pinpointing
 	opMu    sync.Mutex
@@ -37,6 +41,7 @@ func (c *Context) Put(key string, v any) {
 	c.vals[key] = rv
 	c.ready = true
 	c.version++
+	c.syncAt = time.Now()
 	c.mu.Unlock()
 }
 
@@ -48,6 +53,7 @@ func (c *Context) PutAll(m map[string]any) {
 	}
 	c.ready = true
 	c.version++
+	c.syncAt = time.Now()
 	c.mu.Unlock()
 }
 
@@ -139,7 +145,19 @@ func (c *Context) MarkReady() {
 	c.mu.Lock()
 	c.ready = true
 	c.version++
+	c.syncAt = time.Now()
 	c.mu.Unlock()
+}
+
+// LastSync returns the wall-clock time of the most recent hook update (Put,
+// PutAll, or MarkReady) and whether one ever happened. Observability layers
+// derive a context-staleness gauge from it: a context that stopped being
+// synchronized means the main program stopped exercising the mimicked code
+// path (§3.1) — either legitimately idle or itself a symptom.
+func (c *Context) LastSync() (time.Time, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.syncAt, !c.syncAt.IsZero()
 }
 
 // Invalidate marks the context not-ready (e.g. after the checked component

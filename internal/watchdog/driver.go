@@ -38,6 +38,7 @@ type Driver struct {
 	order     []string // registration order, for deterministic iteration
 	listeners []func(Report)
 	alarmFns  []func(Alarm)
+	obs       Observer
 	history   []Report
 	running   bool
 	stop      chan struct{}
@@ -83,6 +84,28 @@ func WithHistory(n int) Option { return func(d *Driver) { d.historyCap = n } }
 // WithFactory shares an existing context factory (e.g. one the generated
 // hooks already write into).
 func WithFactory(f *Factory) Option { return func(d *Driver) { d.factory = f } }
+
+// WithObserver sets the driver's execution observer (see Observer).
+func WithObserver(o Observer) Option { return func(d *Driver) { d.obs = o } }
+
+// Observer receives execution telemetry from the driver: one callback per
+// checker execution and one per raised alarm. It exists so an observability
+// layer (internal/wdobs) can count runs, classify status transitions, and
+// histogram latencies without re-deriving driver state from listeners.
+//
+// Callbacks run synchronously on the checker's scheduling goroutine, outside
+// the driver lock, and must not block. A nil observer costs a single pointer
+// check per execution, keeping the paper's §3.2 "watchdogs must stay cheap"
+// property when observability is disabled.
+type Observer interface {
+	// ObserveReport is invoked after every execution with the resulting
+	// report, the status of the previous report, and whether this is the
+	// checker's first report (in which case prev is meaningless).
+	ObserveReport(rep Report, prev Status, first bool)
+	// ObserveAlarm is invoked when an abnormal streak crosses a checker's
+	// threshold, after any validator has run.
+	ObserveAlarm(a Alarm)
+}
 
 // New returns a Driver with the given options applied.
 func New(opts ...Option) *Driver {
@@ -182,6 +205,18 @@ func (d *Driver) OnAlarm(fn func(Alarm)) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.alarmFns = append(d.alarmFns, fn)
+}
+
+// SetObserver installs the execution observer. It panics if the driver is
+// running: like Register, observability is wired at startup so executions
+// are never half-observed.
+func (d *Driver) SetObserver(o Observer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.running {
+		panic("watchdog: SetObserver after Start")
+	}
+	d.obs = o
 }
 
 // Start launches one scheduling goroutine per checker.
@@ -409,6 +444,7 @@ func (d *Driver) classify(name string, ctx *Context, err error, latency time.Dur
 // record updates the ledger, notifies listeners, and applies alarm policy.
 func (d *Driver) record(r *registered, rep Report) {
 	d.mu.Lock()
+	prev, first := r.latest.Status, !r.hasLatest
 	r.latest = rep
 	r.hasLatest = true
 	r.runs++
@@ -434,8 +470,12 @@ func (d *Driver) record(r *registered, rep Report) {
 	listeners := d.listeners
 	alarmFns := d.alarmFns
 	validator := r.validator
+	obs := d.obs
 	d.mu.Unlock()
 
+	if obs != nil {
+		obs.ObserveReport(rep, prev, first)
+	}
 	for _, fn := range listeners {
 		fn(rep)
 	}
@@ -443,6 +483,9 @@ func (d *Driver) record(r *registered, rep Report) {
 		if validator != nil {
 			v := validator(rep)
 			alarm.Validated = &v
+		}
+		if obs != nil {
+			obs.ObserveAlarm(*alarm)
 		}
 		for _, fn := range alarmFns {
 			fn(*alarm)
@@ -510,4 +553,64 @@ func (d *Driver) CheckerStats(name string) (Stats, bool) {
 		return Stats{}, false
 	}
 	return Stats{Runs: r.runs, Abnormal: r.abnormal, Consecutive: r.consecutive}, true
+}
+
+// CheckerState is a point-in-time view of one registered checker: its
+// policy, counters, latest report, and the synchronization state of its
+// context. Observability layers build live snapshots from it.
+type CheckerState struct {
+	// Name is the checker name.
+	Name string
+	// Paused reports whether the checker is currently paused.
+	Paused bool
+	// Interval and Timeout are the checker's effective schedule policy.
+	Interval time.Duration
+	Timeout  time.Duration
+	// Threshold is the consecutive-abnormal count that raises an alarm.
+	Threshold int
+	// Runs, Abnormal, and Consecutive mirror Stats.
+	Runs        int64
+	Abnormal    int64
+	Consecutive int
+	// Alarmed reports whether the current abnormal streak already alarmed.
+	Alarmed bool
+	// Latest is the most recent report; valid only when HasLatest is true.
+	Latest    Report
+	HasLatest bool
+	// ContextReady/ContextVersion/ContextSync describe the checker's
+	// context; ContextSync is zero when no hook ever fired.
+	ContextReady   bool
+	ContextVersion uint64
+	ContextSync    time.Time
+}
+
+// State returns a snapshot of every registered checker in registration
+// order.
+func (d *Driver) State() []CheckerState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]CheckerState, 0, len(d.order))
+	for _, name := range d.order {
+		r := d.checkers[name]
+		cs := CheckerState{
+			Name:        name,
+			Paused:      r.paused,
+			Interval:    r.interval,
+			Timeout:     r.timeout,
+			Threshold:   r.threshold,
+			Runs:        r.runs,
+			Abnormal:    r.abnormal,
+			Consecutive: r.consecutive,
+			Alarmed:     r.alarmed,
+			Latest:      r.latest,
+			HasLatest:   r.hasLatest,
+		}
+		// Context methods take only the context's own lock; contexts never
+		// take the driver lock, so this nesting cannot invert.
+		cs.ContextReady = r.ctx.Ready()
+		cs.ContextVersion = r.ctx.Version()
+		cs.ContextSync, _ = r.ctx.LastSync()
+		out = append(out, cs)
+	}
+	return out
 }

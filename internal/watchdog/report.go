@@ -17,6 +17,8 @@
 package watchdog
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"time"
 )
@@ -63,6 +65,31 @@ func (s Status) String() string {
 	}
 }
 
+// ParseStatus converts a status name produced by String back to a Status.
+func ParseStatus(name string) (Status, error) {
+	for s := StatusHealthy; s <= StatusSlow; s++ {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("watchdog: unknown status %q", name)
+}
+
+// MarshalText renders the status as its name, making every JSON carrier of a
+// Status (reports, journal events, the /watchdog endpoint) share one stable
+// wire representation.
+func (s Status) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses a status name.
+func (s *Status) UnmarshalText(text []byte) error {
+	v, err := ParseStatus(string(text))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
 // Abnormal reports whether the status indicates a detected fault.
 func (s Status) Abnormal() bool {
 	switch s {
@@ -79,12 +106,12 @@ func (s Status) Abnormal() bool {
 type Site struct {
 	// Function is the fully qualified main-program function being mimicked,
 	// e.g. "kvs.(*Flusher).flushOnce".
-	Function string
+	Function string `json:"function,omitempty"`
 	// Op names the vulnerable operation, e.g. "wal.Append" or "net.Write".
-	Op string
+	Op string `json:"op,omitempty"`
 	// File and Line locate the operation in the main program's source.
-	File string
-	Line int
+	File string `json:"file,omitempty"`
+	Line int    `json:"line,omitempty"`
 }
 
 // IsZero reports whether the site carries no location information.
@@ -130,6 +157,63 @@ type Report struct {
 	Time time.Time
 }
 
+// reportWire is the stable JSON schema for reports, shared by the wdobs
+// detection journal, the /watchdog endpoint, and wdreplay. Err is flattened
+// to its message and Latency is pinned to nanoseconds so the format does not
+// depend on Go error types or Duration encoding details.
+type reportWire struct {
+	Checker   string         `json:"checker"`
+	Status    Status         `json:"status"`
+	Error     string         `json:"error,omitempty"`
+	Site      *Site          `json:"site,omitempty"`
+	Payload   map[string]any `json:"payload,omitempty"`
+	LatencyNS int64          `json:"latency_ns,omitempty"`
+	Time      time.Time      `json:"time"`
+}
+
+// MarshalJSON implements json.Marshaler using the stable wire schema.
+func (r Report) MarshalJSON() ([]byte, error) {
+	w := reportWire{
+		Checker:   r.Checker,
+		Status:    r.Status,
+		Payload:   r.Payload,
+		LatencyNS: int64(r.Latency),
+		Time:      r.Time,
+	}
+	if r.Err != nil {
+		w.Error = r.Err.Error()
+	}
+	if !r.Site.IsZero() {
+		site := r.Site
+		w.Site = &site
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. A round-tripped Err carries the
+// original message but not the original type; payload values decode as
+// generic JSON kinds.
+func (r *Report) UnmarshalJSON(data []byte) error {
+	var w reportWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*r = Report{
+		Checker: w.Checker,
+		Status:  w.Status,
+		Payload: w.Payload,
+		Latency: time.Duration(w.LatencyNS),
+		Time:    w.Time,
+	}
+	if w.Error != "" {
+		r.Err = errors.New(w.Error)
+	}
+	if w.Site != nil {
+		r.Site = *w.Site
+	}
+	return nil
+}
+
 // String renders a compact one-line summary.
 func (r Report) String() string {
 	out := fmt.Sprintf("[%s] %s", r.Checker, r.Status)
@@ -147,12 +231,12 @@ func (r Report) String() string {
 // probe checkers when mimic checkers detect faults reduces false alarms).
 type Alarm struct {
 	// Report is the abnormal report that crossed the threshold.
-	Report Report
+	Report Report `json:"report"`
 	// Consecutive is the number of consecutive abnormal reports.
-	Consecutive int
+	Consecutive int `json:"consecutive"`
 	// Validated is nil when no validator is configured; otherwise it points
 	// to the validator's verdict (true = fault confirmed impactful).
-	Validated *bool
+	Validated *bool `json:"validated,omitempty"`
 }
 
 // OpError wraps an error with the vulnerable-operation site that produced it.

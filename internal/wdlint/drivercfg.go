@@ -19,7 +19,10 @@ import (
 //     alarm on the very first soft failure or never;
 //   - nil validators (watchdog.ValidateWith(nil));
 //   - two Register calls in one function statically registering the same
-//     checker name, which panics at run time.
+//     checker name, which panics at run time;
+//   - drivers that are started with no report sink: no OnReport/OnAlarm
+//     listener, no observer (WithObserver/SetObserver), and no polling of
+//     driver state — every detection would be computed and dropped.
 type DriverCfgAnalyzer struct{}
 
 // Name implements Analyzer.
@@ -54,6 +57,7 @@ func (a *DriverCfgAnalyzer) Run(u *Unit) []Diag {
 				if !ok || fd.Body == nil {
 					continue
 				}
+				a.checkSinkless(p, fd, report)
 				// names tracks checker names statically registered in this
 				// function, to catch duplicate registrations.
 				names := make(map[string]token.Pos)
@@ -86,6 +90,122 @@ func (a *DriverCfgAnalyzer) Run(u *Unit) []Diag {
 		}
 	}
 	return diags
+}
+
+// sinkMethods install a report consumer on the driver; calling any of them
+// means detections reach someone.
+var sinkMethods = map[string]bool{
+	"OnReport": true, "OnAlarm": true, "SetObserver": true,
+}
+
+// consumeMethods read driver verdicts on demand, which is a legitimate
+// alternative to a push sink (tests and experiments poll).
+var consumeMethods = map[string]bool{
+	"CheckNow": true, "CheckAll": true, "Latest": true, "History": true,
+	"CheckerStats": true, "Healthy": true, "State": true,
+}
+
+// checkSinkless flags drivers constructed with watchdog.New, started in the
+// same function, whose reports and alarms observably go nowhere: no sink
+// method, no WithObserver option, no on-demand consumption, and the driver
+// variable never escapes the function (an escaping driver may be wired
+// elsewhere, e.g. store.InstallWatchdog(driver, ...)).
+func (a *DriverCfgAnalyzer) checkSinkless(p *Package, fd *ast.FuncDecl,
+	report func(*Package, token.Pos, Severity, string, ...any)) {
+	type driverInfo struct {
+		pos      token.Pos
+		hasSink  bool
+		consumed bool
+		started  bool
+		escaped  bool
+	}
+	byObj := make(map[types.Object]*driverInfo)
+	accounted := make(map[*ast.Ident]bool)
+
+	// Pass 1: find `x := watchdog.New(...)` constructions.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || watchdogFunc(p, call.Fun) != "New" {
+			return true
+		}
+		id, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			obj = p.Info.Uses[id] // plain `=` rebinding
+		}
+		if obj == nil {
+			return true
+		}
+		di := &driverInfo{pos: call.Pos()}
+		for _, arg := range call.Args {
+			if ac, ok := arg.(*ast.CallExpr); ok && watchdogFunc(p, ac.Fun) == "WithObserver" {
+				di.hasSink = true
+			}
+		}
+		byObj[obj] = di
+		accounted[id] = true
+		return true
+	})
+	if len(byObj) == 0 {
+		return
+	}
+
+	// Pass 2: classify method calls on the tracked drivers.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		di := byObj[p.Info.Uses[id]]
+		if di == nil {
+			return true
+		}
+		accounted[id] = true
+		switch {
+		case sinkMethods[sel.Sel.Name]:
+			di.hasSink = true
+		case consumeMethods[sel.Sel.Name]:
+			di.consumed = true
+		case sel.Sel.Name == "Start":
+			di.started = true
+		}
+		return true
+	})
+
+	// Pass 3: any remaining reference is an escape (argument, field store,
+	// return, closure capture feeding one of those, ...).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || accounted[id] {
+			return true
+		}
+		if di := byObj[p.Info.Uses[id]]; di != nil {
+			di.escaped = true
+		}
+		return true
+	})
+
+	for _, di := range byObj {
+		if di.started && !di.hasSink && !di.consumed && !di.escaped {
+			report(p, di.pos, SevWarn,
+				"driver is started but no report sink is wired: add OnReport/OnAlarm, an observer (WithObserver), or poll its state — detections are computed and dropped otherwise")
+		}
+	}
 }
 
 // checkOption validates a single watchdog.<Option>(...) call.

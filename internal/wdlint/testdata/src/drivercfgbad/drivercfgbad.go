@@ -20,3 +20,34 @@ func Wire(d *watchdog.Driver) {
 	d.Register(watchdog.NewChecker("cfg.a", // want: duplicate name
 		func(ctx *watchdog.Context) error { return nil }))
 }
+
+// SinklessStart constructs and starts a driver whose reports go nowhere:
+// no listener, no observer, no polling, and the variable never leaves the
+// function. Every detection would be computed and dropped.
+func SinklessStart() {
+	d := watchdog.New() // want: no report sink
+	d.Register(watchdog.NewChecker("cfg.sinkless",
+		func(ctx *watchdog.Context) error { return nil }))
+	d.Start()
+	defer d.Stop()
+}
+
+// PolledDriver is the legitimate pull-style counterpart: no push sink, but
+// the caller polls verdicts on demand, so no finding.
+func PolledDriver() bool {
+	d := watchdog.New()
+	d.Register(watchdog.NewChecker("cfg.polled",
+		func(ctx *watchdog.Context) error { return nil }))
+	d.Start()
+	defer d.Stop()
+	return d.Healthy()
+}
+
+// EscapingDriver hands the driver to another component, which may wire the
+// sink itself; the analyzer must stay quiet.
+func EscapingDriver(install func(*watchdog.Driver)) {
+	d := watchdog.New()
+	install(d)
+	d.Start()
+	defer d.Stop()
+}

@@ -121,8 +121,12 @@ func TestDriverCfgFixture(t *testing.T) {
 	wantDiag(t, diags, "Threshold(0)")
 	wantDiag(t, diags, "ValidateWith(nil)")
 	wantDiag(t, diags, `"cfg.a" is already registered`)
-	if n := len(diags); n != 5 {
-		t.Errorf("want 5 drivercfg findings, got %d:\n%s", n, render(diags))
+	d := wantDiag(t, diags, "no report sink is wired")
+	if d.Severity != SevWarn {
+		t.Errorf("sinkless-driver severity = %s, want warn", d.Severity)
+	}
+	if n := len(diags); n != 6 {
+		t.Errorf("want 6 drivercfg findings, got %d:\n%s", n, render(diags))
 	}
 }
 

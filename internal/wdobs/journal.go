@@ -1,0 +1,146 @@
+package wdobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"gowatchdog/internal/watchdog"
+)
+
+// Event kinds recorded in the detection journal.
+const (
+	// KindReport marks a journaled checker report: the checker's first
+	// report, any abnormal report, and any status transition (including
+	// recovery back to healthy). Steady healthy→healthy ticks are not
+	// journaled — the journal is a detection record, not a heartbeat log.
+	KindReport = "report"
+	// KindAlarm marks a raised alarm.
+	KindAlarm = "alarm"
+)
+
+// Event is one detection-journal entry. Its JSON form is one line of the
+// JSONL sink and the unit wdreplay consumes.
+type Event struct {
+	// Seq is the 1-based append sequence number, monotonic per journal.
+	Seq int64 `json:"seq"`
+	// Kind is KindReport or KindAlarm.
+	Kind string `json:"kind"`
+	// Report is the journaled report (for alarms, the report that crossed
+	// the threshold).
+	Report watchdog.Report `json:"report"`
+	// Consecutive and Validated carry the alarm fields for KindAlarm.
+	Consecutive int   `json:"consecutive,omitempty"`
+	Validated   *bool `json:"validated,omitempty"`
+}
+
+// Journal is a bounded ring buffer of detection events with an optional
+// JSONL sink. Appends past the capacity evict the oldest events; the sink,
+// when set, receives every event regardless of eviction.
+type Journal struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	full    bool
+	seq     int64
+	sink    io.Writer
+	sinkErr error
+}
+
+// NewJournal returns a journal retaining the last capacity events
+// (default 512 when capacity <= 0).
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = 512
+	}
+	return &Journal{buf: make([]Event, capacity)}
+}
+
+// SetSink streams every subsequent event to w as one JSON line. Writes are
+// serialized under the journal lock; a write error disables the sink and is
+// reported by SinkErr.
+func (j *Journal) SetSink(w io.Writer) {
+	j.mu.Lock()
+	j.sink = w
+	j.sinkErr = nil
+	j.mu.Unlock()
+}
+
+// SinkErr returns the error that disabled the sink, if any.
+func (j *Journal) SinkErr() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.sinkErr
+}
+
+// Append assigns the event its sequence number, stores it in the ring, and
+// streams it to the sink.
+func (j *Journal) Append(e Event) {
+	j.mu.Lock()
+	j.seq++
+	e.Seq = j.seq
+	j.buf[j.next] = e
+	j.next++
+	if j.next == len(j.buf) {
+		j.next = 0
+		j.full = true
+	}
+	if j.sink != nil {
+		if data, err := json.Marshal(e); err == nil {
+			if _, werr := j.sink.Write(append(data, '\n')); werr != nil {
+				j.sinkErr = werr
+				j.sink = nil
+			}
+		}
+	}
+	j.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (j *Journal) Events() []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.full {
+		return append([]Event(nil), j.buf[:j.next]...)
+	}
+	out := make([]Event, 0, len(j.buf))
+	out = append(out, j.buf[j.next:]...)
+	out = append(out, j.buf[:j.next]...)
+	return out
+}
+
+// Seq returns the total number of events ever appended.
+func (j *Journal) Seq() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// ReadJournal parses a JSONL detection journal, one Event per line, skipping
+// blank lines. It is the decoding counterpart of the journal sink, shared by
+// wdreplay and anything else replaying a journal file.
+func ReadJournal(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	// Report payloads can make lines large; allow up to 4 MiB per event.
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var events []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(text, &e); err != nil {
+			return nil, fmt.Errorf("wdobs: journal line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("wdobs: journal line %d: %w", line, err)
+	}
+	return events, nil
+}

@@ -1,0 +1,120 @@
+package wdobs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"gowatchdog/internal/watchdog"
+)
+
+func reportEvent(checker string, status watchdog.Status) Event {
+	return Event{
+		Kind: KindReport,
+		Report: watchdog.Report{
+			Checker: checker,
+			Status:  status,
+			Time:    time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+		},
+	}
+}
+
+func TestJournalRingEviction(t *testing.T) {
+	j := NewJournal(3)
+	for i := 0; i < 5; i++ {
+		j.Append(reportEvent(fmt.Sprintf("c%d", i), watchdog.StatusHealthy))
+	}
+	evs := j.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len(Events) = %d, want 3", len(evs))
+	}
+	for i, want := range []string{"c2", "c3", "c4"} {
+		if evs[i].Report.Checker != want {
+			t.Errorf("event %d checker = %q, want %q", i, evs[i].Report.Checker, want)
+		}
+		if evs[i].Seq != int64(i+3) {
+			t.Errorf("event %d seq = %d, want %d", i, evs[i].Seq, i+3)
+		}
+	}
+	if j.Seq() != 5 {
+		t.Errorf("Seq = %d, want 5", j.Seq())
+	}
+}
+
+func TestJournalSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(2) // smaller than the event count: sink must still see all
+	j.SetSink(&buf)
+	j.Append(reportEvent("disk", watchdog.StatusHealthy))
+	j.Append(reportEvent("disk", watchdog.StatusStuck))
+	valid := true
+	j.Append(Event{
+		Kind:        KindAlarm,
+		Report:      watchdog.Report{Checker: "disk", Status: watchdog.StatusStuck, Time: time.Now().UTC()},
+		Consecutive: 3,
+		Validated:   &valid,
+	})
+
+	if err := j.SinkErr(); err != nil {
+		t.Fatalf("SinkErr = %v", err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Fatalf("sink lines = %d, want 3", got)
+	}
+
+	evs, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("len = %d, want 3", len(evs))
+	}
+	if evs[0].Seq != 1 || evs[2].Seq != 3 {
+		t.Errorf("seqs = %d..%d, want 1..3", evs[0].Seq, evs[2].Seq)
+	}
+	if evs[1].Report.Status != watchdog.StatusStuck {
+		t.Errorf("event 1 status = %v, want stuck", evs[1].Report.Status)
+	}
+	a := evs[2]
+	if a.Kind != KindAlarm || a.Consecutive != 3 || a.Validated == nil || !*a.Validated {
+		t.Errorf("alarm event mismatch: %+v", a)
+	}
+}
+
+type failWriter struct{ err error }
+
+func (f failWriter) Write([]byte) (int, error) { return 0, f.err }
+
+func TestJournalSinkErrorDisables(t *testing.T) {
+	j := NewJournal(4)
+	wantErr := errors.New("disk full")
+	j.SetSink(failWriter{err: wantErr})
+	j.Append(reportEvent("a", watchdog.StatusError))
+	if err := j.SinkErr(); !errors.Is(err, wantErr) {
+		t.Fatalf("SinkErr = %v, want %v", err, wantErr)
+	}
+	// The ring still records even with a dead sink.
+	j.Append(reportEvent("b", watchdog.StatusError))
+	if got := len(j.Events()); got != 2 {
+		t.Fatalf("len(Events) = %d, want 2", got)
+	}
+}
+
+func TestReadJournalSkipsBlankAndReportsLine(t *testing.T) {
+	good := `{"seq":1,"kind":"report","report":{"checker":"x","status":"healthy","time":"2026-08-05T12:00:00Z"}}`
+	evs, err := ReadJournal(strings.NewReader(good + "\n\n" + good + "\n"))
+	if err != nil {
+		t.Fatalf("ReadJournal: %v", err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("len = %d, want 2", len(evs))
+	}
+
+	_, err = ReadJournal(strings.NewReader(good + "\n{broken\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line-2 parse error", err)
+	}
+}

@@ -1,0 +1,173 @@
+package wdobs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if got := g.Value(); got != 0 {
+		t.Fatalf("zero gauge = %v, want 0", got)
+	}
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("Value = %v, want 3.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(time.Millisecond, 10*time.Millisecond, 100*time.Millisecond)
+	h.Observe(500 * time.Microsecond) // bucket 0
+	h.Observe(time.Millisecond)       // bucket 0 (le is inclusive)
+	h.Observe(5 * time.Millisecond)   // bucket 1
+	h.Observe(50 * time.Millisecond)  // bucket 2
+	h.Observe(time.Second)            // overflow
+
+	s := h.Snapshot()
+	want := []int64{2, 1, 1, 1}
+	for i, n := range want {
+		if s.Buckets[i] != n {
+			t.Errorf("bucket %d = %d, want %d", i, s.Buckets[i], n)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("Count = %d, want 5", s.Count)
+	}
+	wantSum := 500*time.Microsecond + time.Millisecond + 5*time.Millisecond + 50*time.Millisecond + time.Second
+	if s.Sum != wantSum {
+		t.Errorf("Sum = %v, want %v", s.Sum, wantSum)
+	}
+	if mean := s.Mean(); mean != wantSum/5 {
+		t.Errorf("Mean = %v, want %v", mean, wantSum/5)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(10*time.Millisecond, 20*time.Millisecond, 40*time.Millisecond)
+	// 10 observations in the first bucket, 10 in the second.
+	for i := 0; i < 10; i++ {
+		h.Observe(5 * time.Millisecond)
+		h.Observe(15 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	// p50 lands exactly at the first bucket's upper bound.
+	if q := s.Quantile(0.50); q != 10*time.Millisecond {
+		t.Errorf("p50 = %v, want 10ms", q)
+	}
+	// p75 is halfway through the second bucket (10ms..20ms).
+	if q := s.Quantile(0.75); q != 15*time.Millisecond {
+		t.Errorf("p75 = %v, want 15ms", q)
+	}
+	if q := s.Quantile(0); q != time.Duration(float64(10*time.Millisecond)*0.1) {
+		t.Errorf("p0 = %v, want 1ms (rank 1 of 10 in first bucket)", q)
+	}
+}
+
+func TestHistogramQuantileOverflowClips(t *testing.T) {
+	h := NewHistogram(time.Millisecond)
+	h.Observe(time.Hour)
+	if q := h.Snapshot().Quantile(0.99); q != time.Millisecond {
+		t.Errorf("overflow quantile = %v, want clip to 1ms", q)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	s := NewHistogram().Snapshot()
+	if q := s.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+	if m := s.Mean(); m != 0 {
+		t.Errorf("empty mean = %v, want 0", m)
+	}
+}
+
+func TestNewHistogramRejectsUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds did not panic")
+		}
+	}()
+	NewHistogram(time.Second, time.Millisecond)
+}
+
+// TestHistogramConcurrent exercises Observe against Snapshot/Quantile under
+// the race detector (satellite: wdobs histogram concurrency test).
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const writers = 8
+	const perWriter = 2000
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			_ = s.Quantile(0.99)
+			_ = s.Mean()
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(time.Duration(w*perWriter+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("Count = %d, want %d", s.Count, writers*perWriter)
+	}
+	var total int64
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total != s.Count {
+		t.Fatalf("bucket sum %d != count %d after quiescence", total, s.Count)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("Value = %d, want 8000", got)
+	}
+}

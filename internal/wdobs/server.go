@@ -1,0 +1,236 @@
+package wdobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+
+	"gowatchdog/internal/watchdog"
+)
+
+// statusRank orders statuses from benign to severe for /healthz: a daemon
+// with any stuck checker is worse off than one with a transient error.
+func statusRank(s watchdog.Status) int {
+	switch s {
+	case watchdog.StatusHealthy:
+		return 0
+	case watchdog.StatusContextPending:
+		return 1
+	case watchdog.StatusSlow:
+		return 2
+	case watchdog.StatusError:
+		return 3
+	case watchdog.StatusCrashed:
+		return 4
+	case watchdog.StatusStuck:
+		return 5
+	default:
+		return 3
+	}
+}
+
+// Handler returns the observability mux:
+//
+//	/metrics       Prometheus text exposition (watchdog_* and, with
+//	               WithRegistry, app_* series)
+//	/healthz       200 when every checker is healthy or context-pending,
+//	               503 otherwise; body names the worst checker
+//	/watchdog      the JSON Snapshot consumed by cmd/wdstat
+//	/debug/pprof/  the standard runtime profiles
+func (o *Obs) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", o.serveMetrics)
+	mux.HandleFunc("/healthz", o.serveHealthz)
+	mux.HandleFunc("/watchdog", o.serveWatchdog)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (o *Obs) serveWatchdog(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(o.Snapshot())
+}
+
+func (o *Obs) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := o.Snapshot()
+	worst := watchdog.StatusHealthy
+	worstName := ""
+	for _, c := range snap.Checkers {
+		if statusRank(c.Status) > statusRank(worst) {
+			worst = c.Status
+			worstName = c.Name
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if worst.Abnormal() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "unhealthy: checker %q is %s\n", worstName, worst)
+		return
+	}
+	fmt.Fprintf(w, "ok: %d checkers, worst status %s\n", len(snap.Checkers), worst)
+}
+
+// escapeLabel escapes a Prometheus label value per the text format: backslash,
+// double quote, and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// sanitizeName maps an arbitrary metric name onto the Prometheus name
+// alphabet [a-zA-Z0-9_:], replacing everything else with '_'.
+func sanitizeName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func (o *Obs) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap := o.Snapshot()
+
+	fmt.Fprintf(w, "# HELP watchdog_reports_total Checker executions observed.\n")
+	fmt.Fprintf(w, "# TYPE watchdog_reports_total counter\n")
+	fmt.Fprintf(w, "watchdog_reports_total %d\n", snap.Reports)
+	fmt.Fprintf(w, "# HELP watchdog_alarms_total Alarms raised by the driver.\n")
+	fmt.Fprintf(w, "# TYPE watchdog_alarms_total counter\n")
+	fmt.Fprintf(w, "watchdog_alarms_total %d\n", snap.Alarms)
+	fmt.Fprintf(w, "# HELP watchdog_journal_events_total Detection-journal events appended.\n")
+	fmt.Fprintf(w, "# TYPE watchdog_journal_events_total counter\n")
+	fmt.Fprintf(w, "watchdog_journal_events_total %d\n", snap.JournalSeq)
+	fmt.Fprintf(w, "# HELP watchdog_healthy Whether no checker is currently abnormal.\n")
+	fmt.Fprintf(w, "# TYPE watchdog_healthy gauge\n")
+	fmt.Fprintf(w, "watchdog_healthy %d\n", boolToInt(snap.Healthy))
+
+	if len(snap.Checkers) > 0 {
+		fmt.Fprintf(w, "# HELP watchdog_checker_runs_total Checker executions by resulting status.\n")
+		fmt.Fprintf(w, "# TYPE watchdog_checker_runs_total counter\n")
+		for _, c := range snap.Checkers {
+			cm := o.checker(c.Name)
+			for s := 0; s < numStatuses; s++ {
+				n := cm.runs[s].Value()
+				if n == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "watchdog_checker_runs_total{checker=%q,status=%q} %d\n",
+					escapeLabel(c.Name), watchdog.Status(s).String(), n)
+			}
+		}
+		fmt.Fprintf(w, "# HELP watchdog_checker_transitions_total Status changes between consecutive reports.\n")
+		fmt.Fprintf(w, "# TYPE watchdog_checker_transitions_total counter\n")
+		for _, c := range snap.Checkers {
+			fmt.Fprintf(w, "watchdog_checker_transitions_total{checker=%q} %d\n",
+				escapeLabel(c.Name), c.Transitions)
+		}
+		fmt.Fprintf(w, "# HELP watchdog_checker_stuck_total Liveness-timeout (hang) detections.\n")
+		fmt.Fprintf(w, "# TYPE watchdog_checker_stuck_total counter\n")
+		for _, c := range snap.Checkers {
+			fmt.Fprintf(w, "watchdog_checker_stuck_total{checker=%q} %d\n",
+				escapeLabel(c.Name), c.Stuck)
+		}
+		fmt.Fprintf(w, "# HELP watchdog_checker_status Current status code (0 healthy, 1 context-pending, 2 error, 3 stuck, 4 crashed, 5 slow).\n")
+		fmt.Fprintf(w, "# TYPE watchdog_checker_status gauge\n")
+		for _, c := range snap.Checkers {
+			fmt.Fprintf(w, "watchdog_checker_status{checker=%q} %d\n",
+				escapeLabel(c.Name), int(c.Status))
+		}
+		fmt.Fprintf(w, "# HELP watchdog_context_staleness_seconds Time since the checker context last synced; -1 when never.\n")
+		fmt.Fprintf(w, "# TYPE watchdog_context_staleness_seconds gauge\n")
+		for _, c := range snap.Checkers {
+			stale := -1.0
+			if c.Context.StalenessNS >= 0 {
+				stale = float64(c.Context.StalenessNS) / float64(time.Second)
+			}
+			fmt.Fprintf(w, "watchdog_context_staleness_seconds{checker=%q} %g\n",
+				escapeLabel(c.Name), stale)
+		}
+		fmt.Fprintf(w, "# HELP watchdog_check_duration_seconds Checker execution latency.\n")
+		fmt.Fprintf(w, "# TYPE watchdog_check_duration_seconds histogram\n")
+		for _, c := range snap.Checkers {
+			hs := o.checker(c.Name).latency.Snapshot()
+			name := escapeLabel(c.Name)
+			var cum int64
+			for i, bound := range hs.Bounds {
+				cum += hs.Buckets[i]
+				fmt.Fprintf(w, "watchdog_check_duration_seconds_bucket{checker=%q,le=\"%g\"} %d\n",
+					name, bound.Seconds(), cum)
+			}
+			cum += hs.Buckets[len(hs.Bounds)]
+			fmt.Fprintf(w, "watchdog_check_duration_seconds_bucket{checker=%q,le=\"+Inf\"} %d\n", name, cum)
+			fmt.Fprintf(w, "watchdog_check_duration_seconds_sum{checker=%q} %g\n", name, hs.Sum.Seconds())
+			fmt.Fprintf(w, "watchdog_check_duration_seconds_count{checker=%q} %d\n", name, hs.Count)
+		}
+	}
+
+	o.mu.RLock()
+	reg := o.registry
+	o.mu.RUnlock()
+	if reg != nil {
+		app := reg.Snapshot()
+		names := make([]string, 0, len(app))
+		for n := range app {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		if len(names) > 0 {
+			fmt.Fprintf(w, "# HELP app_metric Application gauge-registry metric (windows report their mean).\n")
+			fmt.Fprintf(w, "# TYPE app_metric gauge\n")
+		}
+		for _, n := range names {
+			fmt.Fprintf(w, "app_metric{name=%q} %g\n", escapeLabel(sanitizeName(n)), app[n])
+		}
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Server is a running observability HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability server on addr (e.g. "127.0.0.1:9120" or
+// ":0" for an ephemeral port) and returns once it is listening.
+func (o *Obs) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wdobs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: o.Handler()}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the server's bound address, useful with ":0".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,168 @@
+package wdobs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gowatchdog/internal/gauge"
+	"gowatchdog/internal/watchdog"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := gauge.NewRegistry()
+	reg.Gauge("kvs.queue_depth").Set(7)
+	o := New(WithRegistry(reg))
+	driveObs(t, o, 2)
+
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	// /watchdog: full JSON snapshot.
+	code, body := get(t, srv, "/watchdog")
+	if code != http.StatusOK {
+		t.Fatalf("/watchdog status = %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/watchdog decode: %v\n%s", err, body)
+	}
+	if len(snap.Checkers) != 2 || snap.Healthy {
+		t.Errorf("/watchdog snapshot = %+v", snap)
+	}
+	if !strings.Contains(body, `"latency_ns"`) {
+		t.Errorf("/watchdog missing stable latency field:\n%s", body)
+	}
+
+	// /healthz: 503 while flaky is erroring, names the checker.
+	code, body = get(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("/healthz status = %d, want 503", code)
+	}
+	if !strings.Contains(body, "flaky") || !strings.Contains(body, "error") {
+		t.Errorf("/healthz body = %q", body)
+	}
+
+	// /metrics: Prometheus text format with the expected series.
+	code, body = get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{
+		"watchdog_reports_total 4",
+		"watchdog_alarms_total 1",
+		"watchdog_healthy 0",
+		`watchdog_checker_runs_total{checker="flaky",status="error"} 2`,
+		`watchdog_checker_runs_total{checker="ok",status="healthy"} 1`,
+		`watchdog_checker_transitions_total{checker="flaky"} 1`,
+		`watchdog_checker_status{checker="flaky"} 2`,
+		`watchdog_check_duration_seconds_bucket{checker="ok",le="+Inf"} 1`,
+		`watchdog_check_duration_seconds_count{checker="ok"} 1`,
+		`watchdog_context_staleness_seconds{checker="ok"}`,
+		`app_metric{name="kvs_queue_depth"} 7`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Histogram bucket counts must be cumulative: +Inf equals _count.
+	if !cumulativeBuckets(body, "flaky") {
+		t.Errorf("/metrics flaky histogram not cumulative:\n%s", body)
+	}
+
+	// /debug/pprof is mounted.
+	code, _ = get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d", code)
+	}
+
+	// A healthy-only obs answers /healthz with 200.
+	o2 := New()
+	d2 := watchdog.New()
+	d2.Register(watchdog.NewChecker("fine", func(*watchdog.Context) error { return nil }))
+	d2.Factory().Context("fine").MarkReady()
+	o2.Attach(d2)
+	if _, err := d2.CheckNow("fine"); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(o2.Handler())
+	defer srv2.Close()
+	code, body = get(t, srv2, "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok:") {
+		t.Errorf("/healthz = %d %q, want 200 ok", code, body)
+	}
+}
+
+// cumulativeBuckets verifies each successive le bucket for the checker is
+// monotonically non-decreasing and ends equal to the count.
+func cumulativeBuckets(metrics, checker string) bool {
+	var prev int64 = -1
+	var last, count int64
+	var sawBucket, sawCount bool
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, `watchdog_check_duration_seconds_bucket{checker="`+checker+`"`) {
+			var v int64
+			if _, err := fmtSscan(line, &v); err != nil {
+				return false
+			}
+			if v < prev {
+				return false
+			}
+			prev, last, sawBucket = v, v, true
+		}
+		if strings.HasPrefix(line, `watchdog_check_duration_seconds_count{checker="`+checker+`"`) {
+			if _, err := fmtSscan(line, &count); err != nil {
+				return false
+			}
+			sawCount = true
+		}
+	}
+	return sawBucket && sawCount && last == count
+}
+
+// fmtSscan pulls the trailing integer sample value off a metrics line.
+func fmtSscan(line string, v *int64) (int, error) {
+	idx := strings.LastIndexByte(line, ' ')
+	if idx < 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	return 1, json.Unmarshal([]byte(line[idx+1:]), v)
+}
+
+func TestServeAndClose(t *testing.T) {
+	o := New()
+	s, err := o.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/healthz")
+	if err != nil {
+		t.Fatalf("GET healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}

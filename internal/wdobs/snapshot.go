@@ -1,0 +1,128 @@
+package wdobs
+
+import (
+	"time"
+
+	"gowatchdog/internal/watchdog"
+)
+
+// Snapshot is the live view served on /watchdog and rendered by cmd/wdstat.
+// Durations are pinned to nanosecond integers so the JSON schema is stable
+// across Go versions.
+type Snapshot struct {
+	// Time is when the snapshot was assembled.
+	Time time.Time `json:"time"`
+	// Healthy mirrors Driver.Healthy: no checker currently abnormal.
+	Healthy bool `json:"healthy"`
+	// Reports and Alarms are process-lifetime totals.
+	Reports int64 `json:"reports_total"`
+	Alarms  int64 `json:"alarms_total"`
+	// JournalSeq is the total number of journal events ever appended.
+	JournalSeq int64 `json:"journal_seq"`
+	// Checkers lists every registered checker in registration order.
+	Checkers []CheckerSnapshot `json:"checkers"`
+}
+
+// CheckerSnapshot is one checker's live state.
+type CheckerSnapshot struct {
+	Name string `json:"name"`
+	// Status is the latest report's status, or context-pending before the
+	// first execution.
+	Status watchdog.Status `json:"status"`
+	Paused bool            `json:"paused,omitempty"`
+	// IntervalNS/TimeoutNS/Threshold are the checker's schedule policy.
+	IntervalNS int64 `json:"interval_ns"`
+	TimeoutNS  int64 `json:"timeout_ns"`
+	Threshold  int   `json:"threshold"`
+	// Runs/Abnormal/Consecutive mirror the driver's ledger counters.
+	Runs        int64 `json:"runs"`
+	Abnormal    int64 `json:"abnormal"`
+	Consecutive int   `json:"consecutive"`
+	// Transitions counts status changes between consecutive reports; Stuck
+	// counts liveness-timeout reports (the hang tally).
+	Transitions int64 `json:"transitions"`
+	Stuck       int64 `json:"stuck"`
+	// LastReport is the most recent report, if any.
+	LastReport *watchdog.Report `json:"last_report,omitempty"`
+	// Latency summarizes the execution-latency histogram.
+	Latency LatencySummary `json:"latency"`
+	// Context describes hook synchronization state.
+	Context ContextSnapshot `json:"context"`
+}
+
+// LatencySummary carries histogram quantiles in nanoseconds.
+type LatencySummary struct {
+	Count  int64 `json:"count"`
+	MeanNS int64 `json:"mean_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P90NS  int64 `json:"p90_ns"`
+	P99NS  int64 `json:"p99_ns"`
+}
+
+// ContextSnapshot describes one checker context's synchronization state.
+type ContextSnapshot struct {
+	Ready   bool   `json:"ready"`
+	Version uint64 `json:"version"`
+	// StalenessNS is the time since the last hook update, or -1 when no
+	// hook ever fired.
+	StalenessNS int64 `json:"staleness_ns"`
+}
+
+// Snapshot assembles the live view from the driver ledger and the observed
+// metrics. It is safe to call with no driver attached (empty checker list).
+func (o *Obs) Snapshot() *Snapshot {
+	now := time.Now()
+	snap := &Snapshot{
+		Time:       now,
+		Healthy:    true,
+		Reports:    o.reports.Value(),
+		Alarms:     o.alarms.Value(),
+		JournalSeq: o.journal.Seq(),
+	}
+	o.mu.RLock()
+	d := o.driver
+	o.mu.RUnlock()
+	if d == nil {
+		return snap
+	}
+	snap.Healthy = d.Healthy()
+	for _, st := range d.State() {
+		cm := o.checker(st.Name)
+		hist := cm.latency.Snapshot()
+		cs := CheckerSnapshot{
+			Name:        st.Name,
+			Status:      watchdog.StatusContextPending,
+			Paused:      st.Paused,
+			IntervalNS:  int64(st.Interval),
+			TimeoutNS:   int64(st.Timeout),
+			Threshold:   st.Threshold,
+			Runs:        st.Runs,
+			Abnormal:    st.Abnormal,
+			Consecutive: st.Consecutive,
+			Transitions: cm.transitions.Value(),
+			Stuck:       cm.runs[watchdog.StatusStuck].Value(),
+			Latency: LatencySummary{
+				Count:  hist.Count,
+				MeanNS: int64(hist.Mean()),
+				P50NS:  int64(hist.Quantile(0.50)),
+				P90NS:  int64(hist.Quantile(0.90)),
+				P99NS:  int64(hist.Quantile(0.99)),
+			},
+			Context: ContextSnapshot{
+				Ready:       st.ContextReady,
+				Version:     st.ContextVersion,
+				StalenessNS: -1,
+			},
+		}
+		if st.HasLatest {
+			rep := st.Latest
+			cs.LastReport = &rep
+			cs.Status = rep.Status
+		}
+		if !st.ContextSync.IsZero() {
+			cs.Context.StalenessNS = int64(now.Sub(st.ContextSync))
+		}
+		snap.Checkers = append(snap.Checkers, cs)
+	}
+	return snap
+}
