@@ -3,11 +3,12 @@
 GO ?= go
 
 # Packages whose concurrency matters most: the driver/context core, the
-# coordination service, the fake clock they share, and the lock-free metric
-# paths (gauge registry, wdobs histograms/journal).
-RACE_PKGS := ./internal/watchdog ./internal/coord ./internal/clock ./internal/gauge ./internal/wdobs
+# coordination service, the fake clock they share, the lock-free metric
+# paths (gauge registry, wdobs histograms/journal), and the alarm-driven
+# recovery/campaign loop.
+RACE_PKGS := ./internal/watchdog ./internal/coord ./internal/clock ./internal/gauge ./internal/wdobs ./internal/recovery ./internal/campaign
 
-.PHONY: build test vet lint race check golden
+.PHONY: build test vet lint race smoke check golden
 
 build:
 	$(GO) build ./...
@@ -26,9 +27,17 @@ lint:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# smoke runs a short seeded fault-injection campaign against the synthetic
+# substrate on a virtual clock: instant, deterministic, and exits nonzero if
+# the self-hardening loop false-positives or misses too much.
+smoke:
+	$(GO) run ./cmd/wdchaos -substrate synth -seed 42 -interval 1s \
+		-warmup 5 -storm 30 -cooldown 15 -grace 8 \
+		-breaker 3 -breaker-backoff 10s -damp 20s -hang-budget 2
+
 # golden refreshes the AutoWatchdog reduction goldens after an intentional
 # generator change.
 golden:
 	$(GO) test ./internal/autowatchdog -run Golden -update
 
-check: build vet lint test race
+check: build vet lint test race smoke

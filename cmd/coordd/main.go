@@ -35,6 +35,9 @@ func main() {
 		snapEvery   = flag.Duration("snapshot-interval", 30*time.Second, "snapshot cadence")
 		interval    = flag.Duration("wd-interval", time.Second, "watchdog check interval")
 		timeout     = flag.Duration("wd-timeout", 6*time.Second, "watchdog liveness timeout")
+		wdBreaker   = flag.Int("wd-breaker", 0, "trip a checker's circuit breaker after this many consecutive failures (0 disables)")
+		wdDamp      = flag.Duration("wd-damp", 0, "suppress duplicate watchdog alarms within this window (0 disables)")
+		wdHangCap   = flag.Int("wd-hang-budget", 0, "max leaked hung checker goroutines before checks degrade to skips (0 = unlimited)")
 		zk2201      = flag.Bool("zk2201", false, "inject the ZOOKEEPER-2201 network hang")
 		injectAfter = flag.Duration("inject-after", 10*time.Second, "delay before injection")
 		obsAddr     = flag.String("obs-addr", "", "observability listen address (/metrics, /healthz, /watchdog, pprof)")
@@ -91,11 +94,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("coordd: %v", err)
 	}
-	driver := watchdog.New(
+	driver := watchdog.New(append([]watchdog.Option{
 		watchdog.WithFactory(factory),
 		watchdog.WithInterval(*interval),
 		watchdog.WithTimeout(*timeout),
-	)
+	}, hardeningOptions(*wdBreaker, *wdDamp, *wdHangCap)...)...)
 	leader.InstallWatchdog(driver, shadow)
 	driver.OnAlarm(func(a watchdog.Alarm) {
 		log.Printf("WATCHDOG ALARM: %s", a.Report)
@@ -159,4 +162,20 @@ func waitForSignal() {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
+}
+
+// hardeningOptions translates the -wd-breaker/-wd-damp/-wd-hang-budget flags
+// into driver options; zero values leave the corresponding defense disabled.
+func hardeningOptions(breaker int, damp time.Duration, hangBudget int) []watchdog.Option {
+	var opts []watchdog.Option
+	if breaker > 0 {
+		opts = append(opts, watchdog.WithBreaker(watchdog.BreakerConfig{Threshold: breaker}))
+	}
+	if damp > 0 {
+		opts = append(opts, watchdog.WithAlarmDamping(damp))
+	}
+	if hangBudget > 0 {
+		opts = append(opts, watchdog.WithHangBudget(hangBudget))
+	}
+	return opts
 }

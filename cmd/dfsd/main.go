@@ -26,6 +26,9 @@ func main() {
 		volumes     = flag.Int("volumes", 2, "number of volumes")
 		interval    = flag.Duration("wd-interval", time.Second, "watchdog check interval")
 		timeout     = flag.Duration("wd-timeout", 6*time.Second, "watchdog liveness timeout")
+		wdBreaker   = flag.Int("wd-breaker", 0, "trip a checker's circuit breaker after this many consecutive failures (0 disables)")
+		wdDamp      = flag.Duration("wd-damp", 0, "suppress duplicate watchdog alarms within this window (0 disables)")
+		wdHangCap   = flag.Int("wd-hang-budget", 0, "max leaked hung checker goroutines before checks degrade to skips (0 = unlimited)")
 		failVolume  = flag.Int("fail-volume", -1, "volume to fail (-1 = none)")
 		failKind    = flag.String("fail-kind", "error", "volume fault kind: error|hang|delay")
 		injectAfter = flag.Duration("inject-after", 5*time.Second, "delay before injection")
@@ -44,11 +47,11 @@ func main() {
 	}
 	log.Printf("dfsd: DataNode up with %d volumes under %s", *volumes, *dir)
 
-	driver := watchdog.New(
+	driver := watchdog.New(append([]watchdog.Option{
 		watchdog.WithFactory(factory),
 		watchdog.WithInterval(*interval),
 		watchdog.WithTimeout(*timeout),
-	)
+	}, hardeningOptions(*wdBreaker, *wdDamp, *wdHangCap)...)...)
 	dn.InstallWatchdog(driver)
 	driver.OnReport(func(rep watchdog.Report) {
 		if rep.Status.Abnormal() {
@@ -100,4 +103,20 @@ func main() {
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
 	log.Print("dfsd: shutting down")
+}
+
+// hardeningOptions translates the -wd-breaker/-wd-damp/-wd-hang-budget flags
+// into driver options; zero values leave the corresponding defense disabled.
+func hardeningOptions(breaker int, damp time.Duration, hangBudget int) []watchdog.Option {
+	var opts []watchdog.Option
+	if breaker > 0 {
+		opts = append(opts, watchdog.WithBreaker(watchdog.BreakerConfig{Threshold: breaker}))
+	}
+	if damp > 0 {
+		opts = append(opts, watchdog.WithAlarmDamping(damp))
+	}
+	if hangBudget > 0 {
+		opts = append(opts, watchdog.WithHangBudget(hangBudget))
+	}
+	return opts
 }

@@ -38,6 +38,9 @@ func main() {
 		useWatchdog = flag.Bool("watchdog", true, "run the generated watchdog suite")
 		interval    = flag.Duration("wd-interval", time.Second, "watchdog check interval")
 		timeout     = flag.Duration("wd-timeout", 6*time.Second, "watchdog liveness timeout")
+		wdBreaker   = flag.Int("wd-breaker", 0, "trip a checker's circuit breaker after this many consecutive failures (0 disables)")
+		wdDamp      = flag.Duration("wd-damp", 0, "suppress duplicate watchdog alarms within this window (0 disables)")
+		wdHangCap   = flag.Int("wd-hang-budget", 0, "max leaked hung checker goroutines before checks degrade to skips (0 = unlimited)")
 		inject      = flag.String("inject", "", "fault to inject: <point>=<hang|error|delay|corrupt>")
 		injectAfter = flag.Duration("inject-after", 5*time.Second, "delay before injecting")
 		capsuleDir  = flag.String("capsules", "", "directory to record failure capsules (§5.2)")
@@ -83,11 +86,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("kvsd: shadow fs: %v", err)
 		}
-		driver := watchdog.New(
+		driver := watchdog.New(append([]watchdog.Option{
 			watchdog.WithFactory(factory),
 			watchdog.WithInterval(*interval),
 			watchdog.WithTimeout(*timeout),
-		)
+		}, hardeningOptions(*wdBreaker, *wdDamp, *wdHangCap)...)...)
 		store.InstallWatchdog(driver, shadow)
 		driver.OnAlarm(func(a watchdog.Alarm) {
 			log.Printf("WATCHDOG ALARM: %s (consecutive=%d)", a.Report, a.Consecutive)
@@ -199,4 +202,20 @@ func waitForSignal() {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
+}
+
+// hardeningOptions translates the -wd-breaker/-wd-damp/-wd-hang-budget flags
+// into driver options; zero values leave the corresponding defense disabled.
+func hardeningOptions(breaker int, damp time.Duration, hangBudget int) []watchdog.Option {
+	var opts []watchdog.Option
+	if breaker > 0 {
+		opts = append(opts, watchdog.WithBreaker(watchdog.BreakerConfig{Threshold: breaker}))
+	}
+	if damp > 0 {
+		opts = append(opts, watchdog.WithAlarmDamping(damp))
+	}
+	if hangBudget > 0 {
+		opts = append(opts, watchdog.WithHangBudget(hangBudget))
+	}
+	return opts
 }

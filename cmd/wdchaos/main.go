@@ -1,0 +1,134 @@
+// Command wdchaos runs a randomized fault-injection campaign against one of
+// the watchdog-instrumented substrates and prints the scored verdict. It is
+// the CI face of internal/campaign: a nonzero exit means the self-hardening
+// loop misbehaved (false positives in fault-free phases, detection rate below
+// threshold, or a blown hang budget).
+//
+// Usage:
+//
+//	wdchaos -substrate synth -seed 42 -json
+//	wdchaos -substrate kvs -dir /tmp/chaos -interval 20ms -storm 20
+//	wdchaos -substrate synth -seed 7 -breaker 3 -damp 30s -hang-budget 2
+//
+// The synthetic substrate runs on a virtual clock by default, so a full
+// campaign completes in milliseconds and is reproducible bit-for-bit from the
+// seed. The kvs and dfs substrates exercise real stores on the real clock;
+// keep -interval small and the tick counts modest there.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gowatchdog/internal/campaign"
+	"gowatchdog/internal/clock"
+	"gowatchdog/internal/watchdog"
+)
+
+func main() {
+	var (
+		substrate = flag.String("substrate", "synth", "system under campaign: synth|kvs|dfs")
+		dir       = flag.String("dir", "", "scratch directory for disk-backed substrates (default: temp dir)")
+		seed      = flag.Int64("seed", 1, "schedule-generation seed")
+		realClock = flag.Bool("real-clock", false, "run the synth substrate on the real clock instead of a virtual one")
+
+		interval = flag.Duration("interval", 100*time.Millisecond, "campaign tick interval")
+		warmup   = flag.Int("warmup", 10, "fault-free warmup ticks")
+		storm    = flag.Int("storm", 40, "storm-phase ticks (faults are armed here)")
+		cooldown = flag.Int("cooldown", 20, "fault-free cooldown ticks")
+		grace    = flag.Int("grace", 5, "leading cooldown ticks where residue counts as collateral")
+		maxConc  = flag.Int("max-concurrent", 2, "max simultaneously armed faults in generated schedules")
+		minRate  = flag.Float64("min-detection-rate", 0.75, "pass threshold on detected/injected")
+
+		breaker    = flag.Int("breaker", 3, "checker circuit-breaker threshold (0 disables)")
+		backoff    = flag.Duration("breaker-backoff", 0, "breaker backoff base (0 = 2x checker interval)")
+		damp       = flag.Duration("damp", 30*time.Second, "alarm-damping suppression window (0 disables)")
+		hangBudget = flag.Int("hang-budget", 2, "leaked hung-goroutine budget (0 disables)")
+
+		timeout = flag.Duration("wd-timeout", 0, "checker liveness timeout override (0 = substrate default)")
+		rawJSON = flag.Bool("json", false, "print the verdict as JSON instead of the human rendering")
+	)
+	flag.Parse()
+
+	var opts []watchdog.Option
+	if *breaker > 0 {
+		opts = append(opts, watchdog.WithBreaker(watchdog.BreakerConfig{
+			Threshold:   *breaker,
+			BackoffBase: *backoff,
+			// Jitter decorrelates probe storms in production; a campaign wants
+			// the same verdict for the same seed, so disable it.
+			JitterFrac: -1,
+		}))
+	}
+	if *damp > 0 {
+		opts = append(opts, watchdog.WithAlarmDamping(*damp))
+	}
+	if *hangBudget > 0 {
+		opts = append(opts, watchdog.WithHangBudget(*hangBudget))
+	}
+	if *timeout > 0 {
+		opts = append(opts, watchdog.WithTimeout(*timeout))
+	}
+	opts = append(opts, watchdog.WithJitterSeed(*seed))
+
+	tgt, err := buildTarget(*substrate, *dir, *realClock, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if tgt.Close != nil {
+		defer tgt.Close()
+	}
+
+	verdict, err := campaign.Run(tgt, campaign.Config{
+		Seed:             *seed,
+		Interval:         *interval,
+		WarmupTicks:      *warmup,
+		StormTicks:       *storm,
+		CooldownTicks:    *cooldown,
+		GraceTicks:       *grace,
+		MaxConcurrent:    *maxConc,
+		MinDetectionRate: *minRate,
+		HangBudget:       *hangBudget,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *rawJSON {
+		data, err := verdict.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Print(verdict.Render())
+	}
+	if !verdict.Pass {
+		os.Exit(1)
+	}
+}
+
+func buildTarget(substrate, dir string, realClock bool, opts []watchdog.Option) (*campaign.Target, error) {
+	if substrate == "synth" {
+		clk := clock.Clock(clock.Real())
+		if !realClock {
+			clk = clock.NewVirtual()
+		}
+		return campaign.NewSynthTarget(clk, opts...), nil
+	}
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "wdchaos-*")
+		if err != nil {
+			return nil, err
+		}
+		dir = tmp
+	}
+	return campaign.NewTarget(substrate, dir, opts...)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wdchaos: %v\n", err)
+	os.Exit(1)
+}

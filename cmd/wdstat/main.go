@@ -112,7 +112,7 @@ func render(w io.Writer, addr string, snap *wdobs.Snapshot) {
 
 	rows := [][]string{{
 		"CHECKER", "STATUS", "RUNS", "ABN", "CONSEC", "TRANS", "STUCK",
-		"P50", "P99", "CTX AGE", "LAST",
+		"BREAKER", "FLAPS", "P50", "P99", "CTX AGE", "LAST",
 	}}
 	checkers := append([]wdobs.CheckerSnapshot(nil), snap.Checkers...)
 	sort.SliceStable(checkers, func(i, j int) bool { return checkers[i].Name < checkers[j].Name })
@@ -136,11 +136,29 @@ func render(w io.Writer, addr string, snap *wdobs.Snapshot) {
 			c.Name, status,
 			fmt.Sprint(c.Runs), fmt.Sprint(c.Abnormal), fmt.Sprint(c.Consecutive),
 			fmt.Sprint(c.Transitions), fmt.Sprint(c.Stuck),
+			breakerCell(c), fmt.Sprint(c.Flaps),
 			shortDur(time.Duration(c.Latency.P50NS)), shortDur(time.Duration(c.Latency.P99NS)),
 			ctxAge, last,
 		})
 	}
 	printTable(w, rows)
+}
+
+// breakerCell renders a checker's circuit-breaker column: "-" when no breaker
+// is configured, the state name otherwise, the retry countdown while open, and
+// the cumulative trip count once there is one.
+func breakerCell(c wdobs.CheckerSnapshot) string {
+	if c.Breaker == "" {
+		return "-"
+	}
+	cell := c.Breaker
+	if c.BreakerRetryNS > 0 {
+		cell += "(" + shortDur(time.Duration(c.BreakerRetryNS)) + ")"
+	}
+	if c.BreakerTrips > 0 {
+		cell += fmt.Sprintf(" x%d", c.BreakerTrips)
+	}
+	return cell
 }
 
 // shortDur formats a duration with two significant units at most.

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/wdobs"
+)
+
+// TestRenderGolden pins the operator-facing table layout, including the
+// BREAKER and FLAPS columns added with the self-hardening loop: breaker state
+// with retry countdown and trip count, "-" for checkers without a breaker,
+// and the per-checker damped-alarm tally.
+func TestRenderGolden(t *testing.T) {
+	snap := &wdobs.Snapshot{
+		Time:       time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+		Healthy:    false,
+		Reports:    120,
+		Alarms:     4,
+		JournalSeq: 124,
+		Checkers: []wdobs.CheckerSnapshot{
+			{
+				Name:        "kvs.wal",
+				Status:      watchdog.StatusError,
+				Runs:        41,
+				Abnormal:    12,
+				Consecutive: 1,
+				Transitions: 9,
+				Flaps:       5,
+				LastReport:  &watchdog.Report{Err: errors.New("wal append: injected error")},
+				Latency:     wdobs.LatencySummary{P50NS: 0, P99NS: int64(300 * time.Microsecond)},
+				Context:     wdobs.ContextSnapshot{StalenessNS: -1},
+			},
+			{
+				Name:           "kvs.flusher",
+				Status:         watchdog.StatusSkipped,
+				Runs:           40,
+				Abnormal:       6,
+				Consecutive:    3,
+				Transitions:    4,
+				Stuck:          6,
+				Breaker:        "open",
+				BreakerTrips:   2,
+				BreakerRetryNS: int64(2500 * time.Millisecond),
+				Latency:        wdobs.LatencySummary{P50NS: int64(1200 * time.Microsecond), P99NS: int64(2 * time.Second)},
+				LastReport:     &watchdog.Report{Err: errors.New("checker still blocked from previous execution")},
+				Context:        wdobs.ContextSnapshot{StalenessNS: int64(500 * time.Millisecond)},
+			},
+			{
+				Name:    "kvs.indexer",
+				Status:  watchdog.StatusHealthy,
+				Runs:    42,
+				Breaker: "closed",
+				Latency: wdobs.LatencySummary{P50NS: int64(800 * time.Microsecond), P99NS: int64(1500 * time.Microsecond)},
+				Context: wdobs.ContextSnapshot{StalenessNS: int64(50 * time.Millisecond)},
+			},
+		},
+	}
+
+	var b strings.Builder
+	render(&b, "test:9120", snap)
+	got := b.String()
+
+	// Column widths are byte-based (the table code pads on len), which is why
+	// the µ rows carry one byte of extra pad.
+	golden := strings.Join([]string{
+		"watchdog @ test:9120 — UNHEALTHY  (reports=120 alarms=4 journal=124)  12:00:00",
+		"CHECKER      STATUS   RUNS  ABN  CONSEC  TRANS  STUCK  BREAKER        FLAPS  P50     P99     CTX AGE  LAST",
+		"kvs.flusher  skipped  40    6    3       4      6      open(2.5s) x2  0      1.2ms   2.0s    500.0ms  checker still blocked from previous e...",
+		"kvs.indexer  healthy  42    0    0       0      0      closed         0      800µs  1.5ms   50.0ms",
+		"kvs.wal      error    41    12   1       9      0      -              5      0       300µs  never    wal append: injected error",
+		"",
+	}, "\n")
+	if got != golden {
+		t.Errorf("render mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}

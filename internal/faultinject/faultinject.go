@@ -45,6 +45,11 @@ const (
 	Panic
 	// Leak retains memory on every firing, modelling a memory leak.
 	Leak
+	// Flap alternates deterministically between firing an error and passing
+	// on a FlapOn/FlapOff cycle, modelling an intermittent fault (a link
+	// that drops every other packet, a disk that fails in bursts). Campaigns
+	// use it to exercise alarm damping and breaker half-open probes.
+	Flap
 )
 
 // String returns the kind's name.
@@ -64,6 +69,8 @@ func (k Kind) String() string {
 		return "panic"
 	case Leak:
 		return "leak"
+	case Flap:
+		return "flap"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -92,6 +99,13 @@ type Fault struct {
 	// LeakBytes is the number of bytes retained per firing for Leak faults
 	// (default 1 MiB).
 	LeakBytes int
+	// FlapOn and FlapOff shape Flap faults: each cycle errors FlapOn
+	// invocations, then passes FlapOff invocations. Zero values default
+	// to 1, i.e. strict alternation. For Flap faults, Fired (and the Count
+	// limit) counts invocations, not just errors, so the phase stays
+	// deterministic.
+	FlapOn  int
+	FlapOff int
 }
 
 type armed struct {
@@ -276,6 +290,21 @@ func (in *Injector) fireArmed(point string, a *armed) error {
 		in.hanging.Add(-1)
 	case Panic:
 		panic(PanicValue{Point: point})
+	case Flap:
+		on, off := a.fault.FlapOn, a.fault.FlapOff
+		if on <= 0 {
+			on = 1
+		}
+		if off <= 0 {
+			off = 1
+		}
+		seq := a.fired.Load() - 1 // this invocation's zero-based sequence
+		if seq%int64(on+off) < int64(on) {
+			if a.fault.Err != nil {
+				return fmt.Errorf("%s: %w", point, a.fault.Err)
+			}
+			return fmt.Errorf("%s: %w", point, ErrInjected)
+		}
 	case Leak:
 		n := a.fault.LeakBytes
 		if n <= 0 {

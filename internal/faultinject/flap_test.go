@@ -1,0 +1,75 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+
+	"gowatchdog/internal/clock"
+)
+
+// TestFlapAlternates: the default Flap fault errors on odd invocations and
+// passes on even ones, deterministically.
+func TestFlapAlternates(t *testing.T) {
+	in := New(clock.NewVirtual())
+	in.Arm("p", Fault{Kind: Flap})
+	for i := 0; i < 8; i++ {
+		err := in.Fire("p")
+		if wantErr := i%2 == 0; (err != nil) != wantErr {
+			t.Fatalf("invocation %d: err=%v, want error=%v", i, err, wantErr)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("flap error not ErrInjected: %v", err)
+		}
+	}
+	if got := in.Fired("p"); got != 8 {
+		t.Fatalf("Fired = %d, want 8 (invocations, not errors)", got)
+	}
+}
+
+// TestFlapBurstShape: FlapOn/FlapOff shape the on/off burst lengths, and a
+// custom error propagates.
+func TestFlapBurstShape(t *testing.T) {
+	in := New(clock.NewVirtual())
+	custom := errors.New("link down")
+	in.Arm("p", Fault{Kind: Flap, FlapOn: 3, FlapOff: 2, Err: custom})
+	var got []bool
+	for i := 0; i < 10; i++ {
+		err := in.Fire("p")
+		got = append(got, err != nil)
+		if err != nil && !errors.Is(err, custom) {
+			t.Fatalf("flap error lost the custom cause: %v", err)
+		}
+	}
+	want := []bool{true, true, true, false, false, true, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("burst shape = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFlapCountLimit: the Count cap applies to invocations, after which the
+// point goes quiet.
+func TestFlapCountLimit(t *testing.T) {
+	in := New(clock.NewVirtual())
+	in.Arm("p", Fault{Kind: Flap, Count: 3})
+	errs := 0
+	for i := 0; i < 10; i++ {
+		if in.Fire("p") != nil {
+			errs++
+		}
+	}
+	if errs != 2 { // invocations 0,1,2 ran the flap: error, pass, error
+		t.Fatalf("errors = %d, want 2", errs)
+	}
+	if in.Fired("p") != 3 {
+		t.Fatalf("Fired = %d, want 3", in.Fired("p"))
+	}
+}
+
+// TestFlapKindString pins the rendering used by flags and verdicts.
+func TestFlapKindString(t *testing.T) {
+	if Flap.String() != "flap" {
+		t.Fatalf("Flap.String() = %q", Flap.String())
+	}
+}

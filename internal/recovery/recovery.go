@@ -89,6 +89,9 @@ const (
 	EventEscalated
 	// EventUnmatched means no action matched the alarm.
 	EventUnmatched
+	// EventRetried means an attempt failed and a retry is scheduled; only
+	// the final failure of a cycle is logged as EventFailed.
+	EventRetried
 )
 
 // String returns the kind name.
@@ -100,6 +103,8 @@ func (k EventKind) String() string {
 		return "failed"
 	case EventEscalated:
 		return "escalated"
+	case EventRetried:
+		return "retried"
 	default:
 		return "unmatched"
 	}
@@ -113,23 +118,38 @@ type Event struct {
 	Checker string
 	// Action is the action that ran (empty for unmatched).
 	Action string
-	// Err is the action error for EventFailed.
+	// Err is the action error for EventFailed/EventRetried.
 	Err error
 	// Time is when the event was recorded.
 	Time time.Time
+	// Attempt is the zero-based attempt number within a recovery cycle.
+	Attempt int
 }
 
-// Manager routes alarms to actions with per-checker escalation.
+// Manager routes alarms to actions with per-checker escalation. A failed
+// action optionally retries with exponential backoff (WithRetry); a whole
+// recovery cycle — initial attempt plus retries — counts as one attempt
+// toward escalation only once it completes, so a transiently-failing repair
+// that succeeds on retry never escalates. Sustained checker health clears
+// the escalation state (WithHealthyReset).
 type Manager struct {
-	clk         clock.Clock
-	maxAttempts int
-	window      time.Duration
-	escalation  Action
+	clk          clock.Clock
+	maxAttempts  int
+	window       time.Duration
+	escalation   Action
+	retries      int
+	retryBase    time.Duration
+	healthyReset time.Duration
+	eventCap     int
 
-	mu       sync.Mutex
-	actions  []Action
-	attempts map[string][]time.Time
-	events   []Event
+	mu        sync.Mutex
+	actions   []Action
+	attempts  map[string][]time.Time
+	lastCycle map[string]time.Time // per-checker completion time of the last cycle
+	ring      []Event              // fixed-size event ring, eventCap entries
+	ringNext  int
+	ringTotal int64
+	wg        sync.WaitGroup // in-flight retry goroutines
 }
 
 // Option configures a Manager.
@@ -148,17 +168,50 @@ func WithWindow(d time.Duration) Option { return func(m *Manager) { m.window = d
 // WithEscalation sets the last-resort action (e.g. full restart).
 func WithEscalation(a Action) Option { return func(m *Manager) { m.escalation = a } }
 
+// WithRetry makes failed actions retry up to n more times with exponential
+// backoff starting at base (base, 2·base, 4·base, …). Retries run on a
+// background goroutine paced by the manager's clock; use Wait in tests. The
+// default (0) keeps the original fail-once behaviour.
+func WithRetry(n int, base time.Duration) Option {
+	return func(m *Manager) {
+		m.retries = n
+		m.retryBase = base
+	}
+}
+
+// WithHealthyReset clears a checker's escalation state once it has stayed
+// healthy for d after its last recovery cycle. Wire the manager with
+// driver.OnReport(m.ObserveReport) to feed it health signals. Zero means the
+// escalation window (the default).
+func WithHealthyReset(d time.Duration) Option { return func(m *Manager) { m.healthyReset = d } }
+
+// WithEventCap sets the event-ring capacity (default 1024). Older events are
+// dropped and counted once the ring wraps.
+func WithEventCap(n int) Option { return func(m *Manager) { m.eventCap = n } }
+
 // New returns a Manager.
 func New(opts ...Option) *Manager {
 	m := &Manager{
 		clk:         clock.Real(),
 		maxAttempts: 3,
 		window:      time.Minute,
+		eventCap:    1024,
 		attempts:    make(map[string][]time.Time),
+		lastCycle:   make(map[string]time.Time),
 	}
 	for _, o := range opts {
 		o(m)
 	}
+	if m.eventCap < 1 {
+		m.eventCap = 1
+	}
+	if m.healthyReset <= 0 {
+		m.healthyReset = m.window
+	}
+	if m.retryBase <= 0 {
+		m.retryBase = time.Second
+	}
+	m.ring = make([]Event, 0, m.eventCap)
 	return m
 }
 
@@ -180,16 +233,17 @@ func (m *Manager) HandleAlarm(a watchdog.Alarm) {
 	now := m.clk.Now()
 
 	m.mu.Lock()
-	// Escalation bookkeeping: recent attempts for this checker.
+	// Escalation bookkeeping: completed recovery cycles for this checker
+	// inside the window. The current cycle is counted when it completes
+	// (finishCycle), so retries inside one cycle are one attempt.
 	recent := m.attempts[rep.Checker][:0]
 	for _, t := range m.attempts[rep.Checker] {
 		if now.Sub(t) <= m.window {
 			recent = append(recent, t)
 		}
 	}
-	m.attempts[rep.Checker] = append(recent, now)
-	attemptCount := len(m.attempts[rep.Checker])
-	escalate := attemptCount > m.maxAttempts && m.escalation != nil
+	m.attempts[rep.Checker] = recent
+	escalate := len(recent) >= m.maxAttempts && m.escalation != nil
 	var action Action
 	if !escalate {
 		for _, cand := range m.actions {
@@ -210,35 +264,131 @@ func (m *Manager) HandleAlarm(a watchdog.Alarm) {
 		m.log(Event{Kind: EventUnmatched, Checker: rep.Checker, Time: now})
 	default:
 		err := action.Recover(rep)
-		kind := EventRecovered
-		if err != nil {
-			kind = EventFailed
+		if err == nil {
+			m.log(Event{Kind: EventRecovered, Checker: rep.Checker,
+				Action: action.Name(), Time: now})
+			m.finishCycle(rep.Checker, now)
+			return
 		}
-		m.log(Event{Kind: kind, Checker: rep.Checker, Action: action.Name(),
-			Err: err, Time: now})
+		if m.retries <= 0 {
+			m.log(Event{Kind: EventFailed, Checker: rep.Checker,
+				Action: action.Name(), Err: err, Time: now})
+			m.finishCycle(rep.Checker, now)
+			return
+		}
+		m.log(Event{Kind: EventRetried, Checker: rep.Checker,
+			Action: action.Name(), Err: err, Time: now})
+		m.wg.Add(1)
+		go m.retryLoop(action, rep)
 	}
 }
 
-func (m *Manager) log(e Event) {
+// retryLoop re-runs action with exponential backoff until it succeeds or the
+// retry budget is exhausted, then completes the cycle.
+func (m *Manager) retryLoop(action Action, rep watchdog.Report) {
+	defer m.wg.Done()
+	delay := m.retryBase
+	for attempt := 1; attempt <= m.retries; attempt++ {
+		m.clk.Sleep(delay)
+		delay *= 2
+		err := action.Recover(rep)
+		now := m.clk.Now()
+		switch {
+		case err == nil:
+			m.log(Event{Kind: EventRecovered, Checker: rep.Checker,
+				Action: action.Name(), Time: now, Attempt: attempt})
+			m.finishCycle(rep.Checker, now)
+			return
+		case attempt == m.retries:
+			m.log(Event{Kind: EventFailed, Checker: rep.Checker,
+				Action: action.Name(), Err: err, Time: now, Attempt: attempt})
+			m.finishCycle(rep.Checker, now)
+			return
+		default:
+			m.log(Event{Kind: EventRetried, Checker: rep.Checker,
+				Action: action.Name(), Err: err, Time: now, Attempt: attempt})
+		}
+	}
+}
+
+// finishCycle records one completed recovery cycle toward escalation.
+func (m *Manager) finishCycle(checker string, at time.Time) {
 	m.mu.Lock()
-	m.events = append(m.events, e)
+	m.attempts[checker] = append(m.attempts[checker], at)
+	m.lastCycle[checker] = at
 	m.mu.Unlock()
 }
 
-// Events returns a copy of the recovery log.
+// ObserveReport feeds checker health back into escalation state: once a
+// checker has stayed healthy for the healthy-reset period after its last
+// recovery cycle, its attempt history is cleared. Wire it with
+// driver.OnReport(m.ObserveReport).
+func (m *Manager) ObserveReport(rep watchdog.Report) {
+	if rep.Status != watchdog.StatusHealthy {
+		return
+	}
+	now := m.clk.Now()
+	m.mu.Lock()
+	if last, ok := m.lastCycle[rep.Checker]; ok && now.Sub(last) >= m.healthyReset {
+		delete(m.attempts, rep.Checker)
+		delete(m.lastCycle, rep.Checker)
+	}
+	m.mu.Unlock()
+}
+
+// Wait blocks until all in-flight retry cycles have completed; tests use it
+// to make retry outcomes deterministic.
+func (m *Manager) Wait() { m.wg.Wait() }
+
+func (m *Manager) log(e Event) {
+	m.mu.Lock()
+	if len(m.ring) < m.eventCap {
+		m.ring = append(m.ring, e)
+	} else {
+		m.ring[m.ringNext] = e
+	}
+	m.ringNext = (m.ringNext + 1) % m.eventCap
+	m.ringTotal++
+	m.mu.Unlock()
+}
+
+// Events returns a copy of the retained recovery log, oldest first. Once
+// more than the event cap (WithEventCap) have been logged, the oldest are
+// gone; DroppedEvents counts them.
 func (m *Manager) Events() []Event {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make([]Event, len(m.events))
-	copy(out, m.events)
+	out := make([]Event, 0, len(m.ring))
+	if len(m.ring) < m.eventCap {
+		out = append(out, m.ring...)
+		return out
+	}
+	out = append(out, m.ring[m.ringNext:]...)
+	out = append(out, m.ring[:m.ringNext]...)
 	return out
+}
+
+// DroppedEvents returns how many events fell out of the bounded ring.
+func (m *Manager) DroppedEvents() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n := m.ringTotal - int64(len(m.ring)); n > 0 {
+		return n
+	}
+	return 0
 }
 
 // Summary renders the log compactly.
 func (m *Manager) Summary() string {
 	var b strings.Builder
+	if dropped := m.DroppedEvents(); dropped > 0 {
+		fmt.Fprintf(&b, "(%d earlier events dropped)\n", dropped)
+	}
 	for _, e := range m.Events() {
 		fmt.Fprintf(&b, "[%s] checker=%s action=%s", e.Kind, e.Checker, e.Action)
+		if e.Attempt > 0 {
+			fmt.Fprintf(&b, " attempt=%d", e.Attempt)
+		}
 		if e.Err != nil {
 			fmt.Fprintf(&b, " err=%v", e.Err)
 		}

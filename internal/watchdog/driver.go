@@ -3,6 +3,7 @@ package watchdog
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -32,17 +33,27 @@ type Driver struct {
 	defaultInterval time.Duration
 	defaultTimeout  time.Duration
 	historyCap      int
+	breakerCfg      BreakerConfig // default per-checker breaker; zero = disabled
+	hangBudget      int           // max concurrently-leaked hung goroutines; 0 = unlimited
+	dampWindow      time.Duration // alarm suppression window; 0 = no damping
+	jitterSeed      int64
 
-	mu        sync.Mutex
-	checkers  map[string]*registered
-	order     []string // registration order, for deterministic iteration
-	listeners []func(Report)
-	alarmFns  []func(Alarm)
-	obs       Observer
-	history   []Report
-	running   bool
-	stop      chan struct{}
-	wg        sync.WaitGroup
+	mu           sync.Mutex
+	checkers     map[string]*registered
+	order        []string // registration order, for deterministic iteration
+	listeners    []func(Report)
+	alarmFns     []func(Alarm)
+	obs          Observer
+	history      []Report
+	running      bool
+	stop         chan struct{}
+	wg           sync.WaitGroup
+	rng          *rand.Rand // breaker backoff jitter; guarded by mu
+	gate         *AlarmGate // non-nil when dampWindow > 0
+	leakedHung   int        // hung checker goroutines currently awaiting reaping
+	breakerSkips int64      // executions skipped because a breaker was open
+	budgetSkips  int64      // executions skipped because the hang budget was exhausted
+	suppressed   int64      // alarms swallowed by the damping gate
 }
 
 // registered couples a checker with its context and policy. Mutable fields
@@ -63,6 +74,14 @@ type registered struct {
 	abnormal    int64
 	latest      Report
 	hasLatest   bool
+
+	brk         BreakerConfig // resolved breaker policy; disabled when Threshold <= 0
+	brkState    BreakerState
+	brkFailures int       // consecutive breaker-countable failures while closed
+	brkStreak   int       // consecutive trips without an intervening close
+	brkTrips    int64     // lifetime trip count
+	brkNext     time.Time // next probe-eligible time while open
+	flaps       int64     // alarms suppressed by damping for this checker
 }
 
 // Option configures a Driver.
@@ -87,6 +106,29 @@ func WithFactory(f *Factory) Option { return func(d *Driver) { d.factory = f } }
 
 // WithObserver sets the driver's execution observer (see Observer).
 func WithObserver(o Observer) Option { return func(d *Driver) { d.obs = o } }
+
+// WithBreaker sets the default circuit breaker for every checker (overridable
+// per checker with the Breaker option). The breaker is off by default: tests
+// and experiments that deliberately crash-loop checkers rely on every
+// execution running.
+func WithBreaker(cfg BreakerConfig) Option { return func(d *Driver) { d.breakerCfg = cfg } }
+
+// WithHangBudget caps how many hung checker goroutines the driver will leak
+// concurrently. At the cap, executions that would start a new goroutine are
+// skipped with a budget-exhausted StatusSkipped report until a hung checker
+// returns and is reaped. Zero (the default) means unlimited.
+func WithHangBudget(n int) Option { return func(d *Driver) { d.hangBudget = n } }
+
+// WithAlarmDamping suppresses duplicate (checker, site, status) alarms inside
+// window; the next escaped alarm carries the suppressed count in Flaps. Zero
+// (the default) disables damping.
+func WithAlarmDamping(window time.Duration) Option {
+	return func(d *Driver) { d.dampWindow = window }
+}
+
+// WithJitterSeed seeds the breaker's backoff jitter for reproducible runs
+// (default seed 1, so unseeded drivers are deterministic too).
+func WithJitterSeed(seed int64) Option { return func(d *Driver) { d.jitterSeed = seed } }
 
 // Observer receives execution telemetry from the driver: one callback per
 // checker execution and one per raised alarm. It exists so an observability
@@ -114,6 +156,7 @@ func New(opts ...Option) *Driver {
 		defaultInterval: time.Second,
 		defaultTimeout:  6 * time.Second,
 		historyCap:      1024,
+		jitterSeed:      1,
 		checkers:        make(map[string]*registered),
 		stop:            make(chan struct{}),
 	}
@@ -122,6 +165,10 @@ func New(opts ...Option) *Driver {
 	}
 	if d.factory == nil {
 		d.factory = NewFactory()
+	}
+	d.rng = rand.New(rand.NewSource(d.jitterSeed))
+	if d.dampWindow > 0 {
+		d.gate = NewAlarmGate(d.clk, d.dampWindow)
 	}
 	return d
 }
@@ -163,6 +210,11 @@ func ValidateWith(fn func(Report) bool) CheckerOption {
 // factory-managed context named after the checker.
 func WithContext(ctx *Context) CheckerOption { return func(r *registered) { r.ctx = ctx } }
 
+// Breaker overrides the driver-wide circuit breaker for this checker. Pass a
+// zero BreakerConfig to disable the breaker for a checker on a driver
+// configured with WithBreaker.
+func Breaker(cfg BreakerConfig) CheckerOption { return func(r *registered) { r.brk = cfg } }
+
 // Register adds a checker. It panics if the driver is running or the name is
 // already taken — checker sets are assembled at startup, mirroring the
 // generated watchdogs that register every checker before the driver starts.
@@ -181,6 +233,7 @@ func (d *Driver) Register(c Checker, opts ...CheckerOption) {
 		interval:  d.defaultInterval,
 		timeout:   d.defaultTimeout,
 		threshold: 1,
+		brk:       d.breakerCfg,
 	}
 	for _, o := range opts {
 		o(r)
@@ -188,6 +241,7 @@ func (d *Driver) Register(c Checker, opts ...CheckerOption) {
 	if r.ctx == nil {
 		r.ctx = d.factory.Context(name)
 	}
+	r.brk = r.brk.withDefaults(r.interval)
 	d.checkers[name] = r
 	d.order = append(d.order, name)
 }
@@ -344,6 +398,26 @@ func (d *Driver) executeOnce(r *registered) Report {
 		d.record(r, rep)
 		return rep
 	}
+	if r.brk.enabled() && r.brkState == BreakerOpen {
+		now := d.clk.Now()
+		if now.Before(r.brkNext) {
+			d.breakerSkips++
+			next := r.brkNext
+			trips := r.brkTrips
+			d.mu.Unlock()
+			rep := Report{
+				Checker: name,
+				Status:  StatusSkipped,
+				Err: fmt.Errorf("breaker open after %d trip(s); next probe eligible in %v",
+					trips, next.Sub(now)),
+				Time: now,
+			}
+			d.record(r, rep)
+			return rep
+		}
+		// Backoff elapsed: admit exactly one probe execution.
+		r.brkState = BreakerHalfOpen
+	}
 	if r.inFlight {
 		// The previous execution is still blocked: every tick past the
 		// timeout re-confirms the liveness violation.
@@ -356,6 +430,23 @@ func (d *Driver) executeOnce(r *registered) Report {
 			Site:    site,
 			Latency: r.timeout,
 			Time:    d.clk.Now(),
+		}
+		d.record(r, rep)
+		return rep
+	}
+	if d.hangBudget > 0 && d.leakedHung >= d.hangBudget {
+		// Starting another execution could leak another goroutine; degrade
+		// gracefully instead of hanging the watchdog one goroutine at a time.
+		d.budgetSkips++
+		leaked := d.leakedHung
+		budget := d.hangBudget
+		d.mu.Unlock()
+		rep := Report{
+			Checker: name,
+			Status:  StatusSkipped,
+			Err: fmt.Errorf("hang budget exhausted: %d hung checker goroutine(s) awaiting reaping (budget %d)",
+				leaked, budget),
+			Time: d.clk.Now(),
 		}
 		d.record(r, rep)
 		return rep
@@ -392,12 +483,14 @@ func (d *Driver) executeOnce(r *registered) Report {
 		site, _ := ctx.CurrentOp()
 		d.mu.Lock()
 		r.inFlight = true
+		d.leakedHung++
 		d.mu.Unlock()
 		// Reap the abandoned execution whenever it finally returns.
 		go func() {
 			<-resCh
 			d.mu.Lock()
 			r.inFlight = false
+			d.leakedHung--
 			d.mu.Unlock()
 		}()
 		rep := Report{
@@ -450,7 +543,7 @@ func (d *Driver) record(r *registered, rep Report) {
 	r.runs++
 	var alarm *Alarm
 	switch {
-	case rep.Status == StatusContextPending:
+	case rep.Status == StatusContextPending || rep.Status == StatusSkipped:
 		// neither healthy nor abnormal; leave the streak untouched
 	case rep.Status.Abnormal():
 		r.abnormal++
@@ -463,6 +556,29 @@ func (d *Driver) record(r *registered, rep Report) {
 		r.consecutive = 0
 		r.alarmed = false
 	}
+	if r.brk.enabled() {
+		switch rep.Status {
+		case StatusError, StatusStuck, StatusCrashed:
+			if r.brkState == BreakerHalfOpen {
+				// Failed probe: reopen with a deeper backoff.
+				d.tripLocked(r, rep.Time)
+			} else if r.brkState == BreakerClosed {
+				r.brkFailures++
+				if r.brkFailures >= r.brk.Threshold {
+					d.tripLocked(r, rep.Time)
+				}
+			}
+		case StatusContextPending, StatusSkipped:
+			// No execution happened; no breaker signal either way.
+		default:
+			// Healthy or slow: the checker completed, so it is serviceable.
+			if r.brkState == BreakerHalfOpen {
+				r.brkState = BreakerClosed
+				r.brkStreak = 0
+			}
+			r.brkFailures = 0
+		}
+	}
 	d.history = append(d.history, rep)
 	if len(d.history) > d.historyCap {
 		d.history = d.history[len(d.history)-d.historyCap:]
@@ -471,6 +587,7 @@ func (d *Driver) record(r *registered, rep Report) {
 	alarmFns := d.alarmFns
 	validator := r.validator
 	obs := d.obs
+	gate := d.gate
 	d.mu.Unlock()
 
 	if obs != nil {
@@ -484,6 +601,19 @@ func (d *Driver) record(r *registered, rep Report) {
 			v := validator(rep)
 			alarm.Validated = &v
 		}
+		if gate != nil {
+			damped, ok := gate.Admit(*alarm)
+			if !ok {
+				// A duplicate inside the suppression window: swallow it so
+				// recovery and the journal see the storm as one damped alarm.
+				d.mu.Lock()
+				r.flaps++
+				d.suppressed++
+				d.mu.Unlock()
+				return
+			}
+			*alarm = damped
+		}
 		if obs != nil {
 			obs.ObserveAlarm(*alarm)
 		}
@@ -491,6 +621,64 @@ func (d *Driver) record(r *registered, rep Report) {
 			fn(*alarm)
 		}
 	}
+}
+
+// tripLocked opens r's breaker: bump the trip counters, compute the capped
+// exponential backoff for the current trip streak, add jitter from the
+// driver's seeded RNG, and set the next probe-eligible time. Caller holds
+// d.mu.
+func (d *Driver) tripLocked(r *registered, now time.Time) {
+	r.brkTrips++
+	r.brkStreak++
+	r.brkState = BreakerOpen
+	r.brkFailures = 0
+	backoff := r.brk.backoff(r.brkStreak)
+	if r.brk.JitterFrac > 0 {
+		backoff += time.Duration(d.rng.Float64() * r.brk.JitterFrac * float64(backoff))
+	}
+	r.brkNext = now.Add(backoff)
+}
+
+// LeakedHung returns how many hung checker goroutines are currently leaked
+// (abandoned past their timeout and awaiting reaping).
+func (d *Driver) LeakedHung() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.leakedHung
+}
+
+// BreakerSkips returns the total executions skipped because a checker's
+// breaker was open.
+func (d *Driver) BreakerSkips() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.breakerSkips
+}
+
+// BudgetSkips returns the total executions skipped because the hang budget
+// was exhausted.
+func (d *Driver) BudgetSkips() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.budgetSkips
+}
+
+// BreakerTrips returns the total breaker trips across all checkers.
+func (d *Driver) BreakerTrips() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var n int64
+	for _, r := range d.checkers {
+		n += r.brkTrips
+	}
+	return n
+}
+
+// AlarmsSuppressed returns the total alarms swallowed by damping.
+func (d *Driver) AlarmsSuppressed() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.suppressed
 }
 
 // Latest returns the most recent report for the named checker.
@@ -582,6 +770,18 @@ type CheckerState struct {
 	ContextReady   bool
 	ContextVersion uint64
 	ContextSync    time.Time
+	// BreakerEnabled reports whether a circuit breaker is configured for the
+	// checker; the remaining breaker fields are meaningful only when true.
+	BreakerEnabled bool
+	// Breaker is the current breaker state.
+	Breaker BreakerState
+	// BreakerTrips counts how many times the breaker has tripped open.
+	BreakerTrips int64
+	// BreakerNext is the next probe-eligible time while the breaker is open;
+	// zero otherwise.
+	BreakerNext time.Time
+	// Flaps counts alarms suppressed by damping for this checker.
+	Flaps int64
 }
 
 // State returns a snapshot of every registered checker in registration
@@ -604,6 +804,15 @@ func (d *Driver) State() []CheckerState {
 			Alarmed:     r.alarmed,
 			Latest:      r.latest,
 			HasLatest:   r.hasLatest,
+			Flaps:       r.flaps,
+		}
+		if r.brk.enabled() {
+			cs.BreakerEnabled = true
+			cs.Breaker = r.brkState
+			cs.BreakerTrips = r.brkTrips
+			if r.brkState == BreakerOpen {
+				cs.BreakerNext = r.brkNext
+			}
 		}
 		// Context methods take only the context's own lock; contexts never
 		// take the driver lock, so this nesting cannot invert.

@@ -43,6 +43,12 @@ const (
 	// StatusSlow means the checker completed but took anomalously long,
 	// implying fail-slow behaviour rather than a full hang.
 	StatusSlow
+	// StatusSkipped means the driver declined to execute the checker to
+	// protect itself: its circuit breaker is open, or the hung-goroutine
+	// budget is exhausted (§3.2 isolation — a misbehaving checker must not
+	// take the watchdog down with it). Not a fault of the main program; Err
+	// explains which guard fired.
+	StatusSkipped
 )
 
 // String returns the status name.
@@ -60,6 +66,8 @@ func (s Status) String() string {
 		return "crashed"
 	case StatusSlow:
 		return "slow"
+	case StatusSkipped:
+		return "skipped"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -67,7 +75,7 @@ func (s Status) String() string {
 
 // ParseStatus converts a status name produced by String back to a Status.
 func ParseStatus(name string) (Status, error) {
-	for s := StatusHealthy; s <= StatusSlow; s++ {
+	for s := StatusHealthy; s <= StatusSkipped; s++ {
 		if s.String() == name {
 			return s, nil
 		}
@@ -237,6 +245,10 @@ type Alarm struct {
 	// Validated is nil when no validator is configured; otherwise it points
 	// to the validator's verdict (true = fault confirmed impactful).
 	Validated *bool `json:"validated,omitempty"`
+	// Flaps counts identical alarms an AlarmGate suppressed since the last
+	// alarm it let through for this (checker, site, status); zero when no
+	// damping is configured or nothing flapped.
+	Flaps int `json:"flaps,omitempty"`
 }
 
 // OpError wraps an error with the vulnerable-operation site that produced it.

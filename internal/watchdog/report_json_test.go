@@ -13,7 +13,7 @@ import (
 // UnmarshalText, the contract that keeps the journal, the /watchdog
 // endpoint, and wdreplay on one wire format.
 func TestStatusTextRoundTrip(t *testing.T) {
-	for s := StatusHealthy; s <= StatusSlow; s++ {
+	for s := StatusHealthy; s <= StatusSkipped; s++ {
 		text, err := s.MarshalText()
 		if err != nil {
 			t.Fatalf("MarshalText(%v): %v", s, err)

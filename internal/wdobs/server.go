@@ -19,7 +19,7 @@ func statusRank(s watchdog.Status) int {
 	switch s {
 	case watchdog.StatusHealthy:
 		return 0
-	case watchdog.StatusContextPending:
+	case watchdog.StatusContextPending, watchdog.StatusSkipped:
 		return 1
 	case watchdog.StatusSlow:
 		return 2
@@ -123,6 +123,21 @@ func (o *Obs) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP watchdog_healthy Whether no checker is currently abnormal.\n")
 	fmt.Fprintf(w, "# TYPE watchdog_healthy gauge\n")
 	fmt.Fprintf(w, "watchdog_healthy %d\n", boolToInt(snap.Healthy))
+	fmt.Fprintf(w, "# HELP watchdog_alarms_suppressed_total Alarms swallowed by flap damping.\n")
+	fmt.Fprintf(w, "# TYPE watchdog_alarms_suppressed_total counter\n")
+	fmt.Fprintf(w, "watchdog_alarms_suppressed_total %d\n", snap.AlarmsSuppressed)
+	fmt.Fprintf(w, "# HELP watchdog_breaker_trips_total Checker circuit-breaker trips.\n")
+	fmt.Fprintf(w, "# TYPE watchdog_breaker_trips_total counter\n")
+	fmt.Fprintf(w, "watchdog_breaker_trips_total %d\n", snap.BreakerTrips)
+	fmt.Fprintf(w, "# HELP watchdog_breaker_skips_total Executions skipped by open breakers.\n")
+	fmt.Fprintf(w, "# TYPE watchdog_breaker_skips_total counter\n")
+	fmt.Fprintf(w, "watchdog_breaker_skips_total %d\n", snap.BreakerSkips)
+	fmt.Fprintf(w, "# HELP watchdog_budget_skips_total Executions skipped by the hang budget.\n")
+	fmt.Fprintf(w, "# TYPE watchdog_budget_skips_total counter\n")
+	fmt.Fprintf(w, "watchdog_budget_skips_total %d\n", snap.BudgetSkips)
+	fmt.Fprintf(w, "# HELP watchdog_hung_leaked Hung checker goroutines currently awaiting reaping.\n")
+	fmt.Fprintf(w, "# TYPE watchdog_hung_leaked gauge\n")
+	fmt.Fprintf(w, "watchdog_hung_leaked %d\n", snap.LeakedHung)
 
 	if len(snap.Checkers) > 0 {
 		fmt.Fprintf(w, "# HELP watchdog_checker_runs_total Checker executions by resulting status.\n")
@@ -150,11 +165,41 @@ func (o *Obs) serveMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "watchdog_checker_stuck_total{checker=%q} %d\n",
 				escapeLabel(c.Name), c.Stuck)
 		}
-		fmt.Fprintf(w, "# HELP watchdog_checker_status Current status code (0 healthy, 1 context-pending, 2 error, 3 stuck, 4 crashed, 5 slow).\n")
+		fmt.Fprintf(w, "# HELP watchdog_checker_status Current status code (0 healthy, 1 context-pending, 2 error, 3 stuck, 4 crashed, 5 slow, 6 skipped).\n")
 		fmt.Fprintf(w, "# TYPE watchdog_checker_status gauge\n")
 		for _, c := range snap.Checkers {
 			fmt.Fprintf(w, "watchdog_checker_status{checker=%q} %d\n",
 				escapeLabel(c.Name), int(c.Status))
+		}
+		fmt.Fprintf(w, "# HELP watchdog_checker_breaker_state Circuit-breaker state (0 closed, 1 half-open, 2 open); absent when no breaker.\n")
+		fmt.Fprintf(w, "# TYPE watchdog_checker_breaker_state gauge\n")
+		for _, c := range snap.Checkers {
+			var code int
+			switch c.Breaker {
+			case "":
+				continue
+			case "half-open":
+				code = 1
+			case "open":
+				code = 2
+			}
+			fmt.Fprintf(w, "watchdog_checker_breaker_state{checker=%q} %d\n",
+				escapeLabel(c.Name), code)
+		}
+		fmt.Fprintf(w, "# HELP watchdog_checker_breaker_trips_total Breaker trips per checker.\n")
+		fmt.Fprintf(w, "# TYPE watchdog_checker_breaker_trips_total counter\n")
+		for _, c := range snap.Checkers {
+			if c.Breaker == "" {
+				continue
+			}
+			fmt.Fprintf(w, "watchdog_checker_breaker_trips_total{checker=%q} %d\n",
+				escapeLabel(c.Name), c.BreakerTrips)
+		}
+		fmt.Fprintf(w, "# HELP watchdog_checker_flaps_total Alarms suppressed by damping per checker.\n")
+		fmt.Fprintf(w, "# TYPE watchdog_checker_flaps_total counter\n")
+		for _, c := range snap.Checkers {
+			fmt.Fprintf(w, "watchdog_checker_flaps_total{checker=%q} %d\n",
+				escapeLabel(c.Name), c.Flaps)
 		}
 		fmt.Fprintf(w, "# HELP watchdog_context_staleness_seconds Time since the checker context last synced; -1 when never.\n")
 		fmt.Fprintf(w, "# TYPE watchdog_context_staleness_seconds gauge\n")

@@ -19,6 +19,15 @@ type Snapshot struct {
 	Alarms  int64 `json:"alarms_total"`
 	// JournalSeq is the total number of journal events ever appended.
 	JournalSeq int64 `json:"journal_seq"`
+	// AlarmsSuppressed counts alarms swallowed by damping; BreakerTrips,
+	// BreakerSkips, and BudgetSkips total the driver's self-protection
+	// actions; LeakedHung is the current leaked hung-goroutine count. All
+	// zero (and omitted) on drivers without the hardening options.
+	AlarmsSuppressed int64 `json:"alarms_suppressed_total,omitempty"`
+	BreakerTrips     int64 `json:"breaker_trips_total,omitempty"`
+	BreakerSkips     int64 `json:"breaker_skips_total,omitempty"`
+	BudgetSkips      int64 `json:"budget_skips_total,omitempty"`
+	LeakedHung       int   `json:"leaked_hung,omitempty"`
 	// Checkers lists every registered checker in registration order.
 	Checkers []CheckerSnapshot `json:"checkers"`
 }
@@ -48,6 +57,15 @@ type CheckerSnapshot struct {
 	Latency LatencySummary `json:"latency"`
 	// Context describes hook synchronization state.
 	Context ContextSnapshot `json:"context"`
+	// Breaker is the circuit-breaker state name ("closed", "half-open",
+	// "open"); empty when no breaker is configured for the checker.
+	Breaker string `json:"breaker,omitempty"`
+	// BreakerTrips counts breaker trips; BreakerRetryNS is the time until
+	// the next probe while open (0 otherwise).
+	BreakerTrips   int64 `json:"breaker_trips,omitempty"`
+	BreakerRetryNS int64 `json:"breaker_retry_ns,omitempty"`
+	// Flaps counts alarms suppressed by damping for this checker.
+	Flaps int64 `json:"flaps,omitempty"`
 }
 
 // LatencySummary carries histogram quantiles in nanoseconds.
@@ -86,6 +104,14 @@ func (o *Obs) Snapshot() *Snapshot {
 		return snap
 	}
 	snap.Healthy = d.Healthy()
+	// Breaker deadlines live on the driver's clock (virtual in tests), not
+	// necessarily wall time.
+	dnow := d.Clock().Now()
+	snap.AlarmsSuppressed = d.AlarmsSuppressed()
+	snap.BreakerTrips = d.BreakerTrips()
+	snap.BreakerSkips = d.BreakerSkips()
+	snap.BudgetSkips = d.BudgetSkips()
+	snap.LeakedHung = d.LeakedHung()
 	for _, st := range d.State() {
 		cm := o.checker(st.Name)
 		hist := cm.latency.Snapshot()
@@ -119,6 +145,16 @@ func (o *Obs) Snapshot() *Snapshot {
 			cs.LastReport = &rep
 			cs.Status = rep.Status
 		}
+		if st.BreakerEnabled {
+			cs.Breaker = st.Breaker.String()
+			cs.BreakerTrips = st.BreakerTrips
+			if !st.BreakerNext.IsZero() {
+				if wait := st.BreakerNext.Sub(dnow); wait > 0 {
+					cs.BreakerRetryNS = int64(wait)
+				}
+			}
+		}
+		cs.Flaps = st.Flaps
 		if !st.ContextSync.IsZero() {
 			cs.Context.StalenessNS = int64(now.Sub(st.ContextSync))
 		}

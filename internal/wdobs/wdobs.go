@@ -30,7 +30,7 @@ import (
 )
 
 // numStatuses bounds the per-status counter array; statuses are small ints.
-const numStatuses = int(watchdog.StatusSlow) + 1
+const numStatuses = int(watchdog.StatusSkipped) + 1
 
 // checkerMetrics aggregates one checker's execution telemetry.
 type checkerMetrics struct {
@@ -145,7 +145,7 @@ func (o *Obs) ObserveReport(rep watchdog.Report, prev watchdog.Status, first boo
 	if s := int(rep.Status); s >= 0 && s < numStatuses {
 		cm.runs[s].Inc()
 	}
-	if rep.Status != watchdog.StatusContextPending {
+	if rep.Status != watchdog.StatusContextPending && rep.Status != watchdog.StatusSkipped {
 		cm.latency.Observe(rep.Latency)
 	}
 	transition := !first && prev != rep.Status
