@@ -6,7 +6,7 @@ GO ?= go
 # coordination service, the fake clock they share, the lock-free metric
 # paths (gauge registry, wdobs histograms/journal), and the alarm-driven
 # recovery/campaign loop.
-RACE_PKGS := ./internal/watchdog ./internal/coord ./internal/clock ./internal/gauge ./internal/wdobs ./internal/recovery ./internal/campaign
+RACE_PKGS := ./internal/watchdog ./internal/coord ./internal/clock ./internal/gauge ./internal/wdobs ./internal/recovery ./internal/campaign ./internal/wdruntime
 
 .PHONY: build test vet lint race smoke check golden
 
@@ -27,13 +27,22 @@ lint:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# smoke runs a short seeded fault-injection campaign against the synthetic
-# substrate on a virtual clock: instant, deterministic, and exits nonzero if
-# the self-hardening loop false-positives or misses too much.
+# smoke runs short seeded fault-injection campaigns against every substrate.
+# The synth campaign is virtual-clock (instant, bit-deterministic from the
+# seed); the kvs and dfs campaigns exercise the real stores through the same
+# wdruntime stack the daemons deploy, on the real clock with tick-scale
+# breaker backoff. Any exit is nonzero if the self-hardening loop
+# false-positives or misses too much.
 smoke:
 	$(GO) run ./cmd/wdchaos -substrate synth -seed 42 -interval 1s \
 		-warmup 5 -storm 30 -cooldown 15 -grace 8 \
 		-breaker 3 -breaker-backoff 10s -damp 20s -hang-budget 2
+	$(GO) run ./cmd/wdchaos -substrate kvs -seed 2 -interval 20ms \
+		-warmup 5 -storm 20 -cooldown 10 -grace 8 \
+		-breaker 3 -breaker-backoff 100ms -damp 20s -hang-budget 2
+	$(GO) run ./cmd/wdchaos -substrate dfs -seed 42 -interval 20ms \
+		-warmup 5 -storm 20 -cooldown 10 -grace 8 \
+		-breaker 3 -breaker-backoff 100ms -damp 20s -hang-budget 2
 
 # golden refreshes the AutoWatchdog reduction goldens after an intentional
 # generator change.

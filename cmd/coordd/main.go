@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
@@ -19,7 +20,7 @@ import (
 	"gowatchdog/internal/faultinject"
 	"gowatchdog/internal/watchdog"
 	"gowatchdog/internal/watchdog/wdio"
-	"gowatchdog/internal/wdobs"
+	"gowatchdog/internal/wdruntime"
 )
 
 func main() {
@@ -33,15 +34,10 @@ func main() {
 		snapDir     = flag.String("snapshots", "coord-snapshots", "snapshot service directory")
 		logDir      = flag.String("log", "coord-log", "transaction log directory (empty disables)")
 		snapEvery   = flag.Duration("snapshot-interval", 30*time.Second, "snapshot cadence")
-		interval    = flag.Duration("wd-interval", time.Second, "watchdog check interval")
-		timeout     = flag.Duration("wd-timeout", 6*time.Second, "watchdog liveness timeout")
-		wdBreaker   = flag.Int("wd-breaker", 0, "trip a checker's circuit breaker after this many consecutive failures (0 disables)")
-		wdDamp      = flag.Duration("wd-damp", 0, "suppress duplicate watchdog alarms within this window (0 disables)")
-		wdHangCap   = flag.Int("wd-hang-budget", 0, "max leaked hung checker goroutines before checks degrade to skips (0 = unlimited)")
 		zk2201      = flag.Bool("zk2201", false, "inject the ZOOKEEPER-2201 network hang")
 		injectAfter = flag.Duration("inject-after", 10*time.Second, "delay before injection")
-		obsAddr     = flag.String("obs-addr", "", "observability listen address (/metrics, /healthz, /watchdog, pprof)")
 	)
+	wdf := wdruntime.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *follower {
@@ -65,7 +61,7 @@ func main() {
 			log.Fatalf("coordd: %v", err)
 		}
 	}
-	hb := detect.NewHeartbeat(clock.Real(), *timeout)
+	hb := detect.NewHeartbeat(clock.Real(), wdf.Timeout)
 	leader.OnHeartbeat(hb.Beat)
 	leader.Start()
 	defer leader.Close()
@@ -94,11 +90,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("coordd: %v", err)
 	}
-	driver := watchdog.New(append([]watchdog.Option{
-		watchdog.WithFactory(factory),
-		watchdog.WithInterval(*interval),
-		watchdog.WithTimeout(*timeout),
-	}, hardeningOptions(*wdBreaker, *wdDamp, *wdHangCap)...)...)
+	rt, err := wdruntime.New(append(wdf.Options(), wdruntime.WithFactory(factory))...)
+	if err != nil {
+		log.Fatalf("coordd: %v", err)
+	}
+	driver := rt.Driver()
 	leader.InstallWatchdog(driver, shadow)
 	driver.OnAlarm(func(a watchdog.Alarm) {
 		log.Printf("WATCHDOG ALARM: %s", a.Report)
@@ -106,18 +102,20 @@ func main() {
 			log.Printf("  pinpoint: %s", a.Report.Site)
 		}
 	})
-	if *obsAddr != "" {
-		obs := wdobs.New()
-		obs.Attach(driver)
-		osrv, err := obs.Serve(*obsAddr)
-		if err != nil {
-			log.Fatalf("coordd: obs: %v", err)
-		}
-		defer osrv.Close()
-		log.Printf("coordd: observability on http://%s", osrv.Addr())
+	if err := rt.Start(context.Background()); err != nil {
+		log.Fatalf("coordd: %v", err)
 	}
-	driver.Start()
-	defer driver.Stop()
+	defer func() {
+		if err := rt.Close(); err != nil {
+			log.Printf("coordd: watchdog shutdown: %v", err)
+		}
+	}()
+	if wdf.Journal != "" {
+		log.Printf("coordd: streaming detection journal to %s", wdf.Journal)
+	}
+	if obsAddr := rt.ObsAddr(); obsAddr != "" {
+		log.Printf("coordd: observability on http://%s", obsAddr)
+	}
 
 	// Steady write traffic so the pipeline (and hooks) stay active.
 	go func() {
@@ -162,20 +160,4 @@ func waitForSignal() {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
-}
-
-// hardeningOptions translates the -wd-breaker/-wd-damp/-wd-hang-budget flags
-// into driver options; zero values leave the corresponding defense disabled.
-func hardeningOptions(breaker int, damp time.Duration, hangBudget int) []watchdog.Option {
-	var opts []watchdog.Option
-	if breaker > 0 {
-		opts = append(opts, watchdog.WithBreaker(watchdog.BreakerConfig{Threshold: breaker}))
-	}
-	if damp > 0 {
-		opts = append(opts, watchdog.WithAlarmDamping(damp))
-	}
-	if hangBudget > 0 {
-		opts = append(opts, watchdog.WithHangBudget(hangBudget))
-	}
-	return opts
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,23 +18,18 @@ import (
 	"gowatchdog/internal/dfs"
 	"gowatchdog/internal/faultinject"
 	"gowatchdog/internal/watchdog"
-	"gowatchdog/internal/wdobs"
+	"gowatchdog/internal/wdruntime"
 )
 
 func main() {
 	var (
 		dir         = flag.String("dir", "dfs-data", "base directory for volumes")
 		volumes     = flag.Int("volumes", 2, "number of volumes")
-		interval    = flag.Duration("wd-interval", time.Second, "watchdog check interval")
-		timeout     = flag.Duration("wd-timeout", 6*time.Second, "watchdog liveness timeout")
-		wdBreaker   = flag.Int("wd-breaker", 0, "trip a checker's circuit breaker after this many consecutive failures (0 disables)")
-		wdDamp      = flag.Duration("wd-damp", 0, "suppress duplicate watchdog alarms within this window (0 disables)")
-		wdHangCap   = flag.Int("wd-hang-budget", 0, "max leaked hung checker goroutines before checks degrade to skips (0 = unlimited)")
 		failVolume  = flag.Int("fail-volume", -1, "volume to fail (-1 = none)")
 		failKind    = flag.String("fail-kind", "error", "volume fault kind: error|hang|delay")
 		injectAfter = flag.Duration("inject-after", 5*time.Second, "delay before injection")
-		obsAddr     = flag.String("obs-addr", "", "observability listen address (/metrics, /healthz, /watchdog, pprof)")
 	)
+	wdf := wdruntime.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	dirs := make([]string, *volumes)
@@ -47,29 +43,31 @@ func main() {
 	}
 	log.Printf("dfsd: DataNode up with %d volumes under %s", *volumes, *dir)
 
-	driver := watchdog.New(append([]watchdog.Option{
-		watchdog.WithFactory(factory),
-		watchdog.WithInterval(*interval),
-		watchdog.WithTimeout(*timeout),
-	}, hardeningOptions(*wdBreaker, *wdDamp, *wdHangCap)...)...)
+	rt, err := wdruntime.New(append(wdf.Options(), wdruntime.WithFactory(factory))...)
+	if err != nil {
+		log.Fatalf("dfsd: %v", err)
+	}
+	driver := rt.Driver()
 	dn.InstallWatchdog(driver)
 	driver.OnReport(func(rep watchdog.Report) {
 		if rep.Status.Abnormal() {
 			log.Printf("WATCHDOG: %s", rep)
 		}
 	})
-	if *obsAddr != "" {
-		obs := wdobs.New()
-		obs.Attach(driver)
-		osrv, err := obs.Serve(*obsAddr)
-		if err != nil {
-			log.Fatalf("dfsd: obs: %v", err)
-		}
-		defer osrv.Close()
-		log.Printf("dfsd: observability on http://%s", osrv.Addr())
+	if err := rt.Start(context.Background()); err != nil {
+		log.Fatalf("dfsd: %v", err)
 	}
-	driver.Start()
-	defer driver.Stop()
+	defer func() {
+		if err := rt.Close(); err != nil {
+			log.Printf("dfsd: watchdog shutdown: %v", err)
+		}
+	}()
+	if wdf.Journal != "" {
+		log.Printf("dfsd: streaming detection journal to %s", wdf.Journal)
+	}
+	if obsAddr := rt.ObsAddr(); obsAddr != "" {
+		log.Printf("dfsd: observability on http://%s", obsAddr)
+	}
 
 	// Steady block traffic.
 	go func() {
@@ -94,7 +92,7 @@ func main() {
 		go func() {
 			time.Sleep(*injectAfter)
 			point := fmt.Sprintf("%s%d", dfs.FaultVolumeWritePrefix, *failVolume)
-			dn.Injector().Arm(point, faultinject.Fault{Kind: kind, Delay: 2 * *timeout})
+			dn.Injector().Arm(point, faultinject.Fault{Kind: kind, Delay: 2 * wdf.Timeout})
 			log.Printf("dfsd: injected %s at %s", *failKind, point)
 		}()
 	}
@@ -103,20 +101,4 @@ func main() {
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
 	log.Print("dfsd: shutting down")
-}
-
-// hardeningOptions translates the -wd-breaker/-wd-damp/-wd-hang-budget flags
-// into driver options; zero values leave the corresponding defense disabled.
-func hardeningOptions(breaker int, damp time.Duration, hangBudget int) []watchdog.Option {
-	var opts []watchdog.Option
-	if breaker > 0 {
-		opts = append(opts, watchdog.WithBreaker(watchdog.BreakerConfig{Threshold: breaker}))
-	}
-	if damp > 0 {
-		opts = append(opts, watchdog.WithAlarmDamping(damp))
-	}
-	if hangBudget > 0 {
-		opts = append(opts, watchdog.WithHangBudget(hangBudget))
-	}
-	return opts
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,7 +26,7 @@ import (
 	"gowatchdog/internal/recovery"
 	"gowatchdog/internal/watchdog"
 	"gowatchdog/internal/watchdog/wdio"
-	"gowatchdog/internal/wdobs"
+	"gowatchdog/internal/wdruntime"
 )
 
 func main() {
@@ -36,18 +37,12 @@ func main() {
 		serveRepl   = flag.Bool("serve-replica", false, "run as a replica (apply stream on -addr)")
 		inMemory    = flag.Bool("in-memory", false, "disable WAL and SSTables")
 		useWatchdog = flag.Bool("watchdog", true, "run the generated watchdog suite")
-		interval    = flag.Duration("wd-interval", time.Second, "watchdog check interval")
-		timeout     = flag.Duration("wd-timeout", 6*time.Second, "watchdog liveness timeout")
-		wdBreaker   = flag.Int("wd-breaker", 0, "trip a checker's circuit breaker after this many consecutive failures (0 disables)")
-		wdDamp      = flag.Duration("wd-damp", 0, "suppress duplicate watchdog alarms within this window (0 disables)")
-		wdHangCap   = flag.Int("wd-hang-budget", 0, "max leaked hung checker goroutines before checks degrade to skips (0 = unlimited)")
 		inject      = flag.String("inject", "", "fault to inject: <point>=<hang|error|delay|corrupt>")
 		injectAfter = flag.Duration("inject-after", 5*time.Second, "delay before injecting")
 		capsuleDir  = flag.String("capsules", "", "directory to record failure capsules (§5.2)")
 		autoRecover = flag.Bool("recover", false, "enable cheap recovery on alarms (§5.2)")
-		obsAddr     = flag.String("obs-addr", "", "observability listen address (/metrics, /healthz, /watchdog, pprof)")
-		journalPath = flag.String("journal", "", "file to stream the detection journal to as JSONL (wdreplay-compatible)")
 	)
+	wdf := wdruntime.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	factory := watchdog.NewFactory()
@@ -86,11 +81,33 @@ func main() {
 		if err != nil {
 			log.Fatalf("kvsd: shadow fs: %v", err)
 		}
-		driver := watchdog.New(append([]watchdog.Option{
-			watchdog.WithFactory(factory),
-			watchdog.WithInterval(*interval),
-			watchdog.WithTimeout(*timeout),
-		}, hardeningOptions(*wdBreaker, *wdDamp, *wdHangCap)...)...)
+		ropts := append(wdf.Options(),
+			wdruntime.WithFactory(factory),
+			wdruntime.WithRegistry(store.Metrics()),
+		)
+		if *autoRecover {
+			mgr := recovery.New()
+			mgr.Register(recovery.ForSiteOp("quarantine-corrupt-tables", "sstable.VerifyChecksum",
+				func(rep watchdog.Report) error {
+					total := 0
+					for i := 0; i < store.Partitions(); i++ {
+						n, err := store.RepairPartition(i)
+						if err != nil {
+							return err
+						}
+						total += n
+					}
+					log.Printf("kvsd: recovery quarantined %d corrupt tables", total)
+					return nil
+				}))
+			ropts = append(ropts, wdruntime.WithRecovery(mgr))
+			log.Print("kvsd: cheap recovery enabled")
+		}
+		rt, err := wdruntime.New(ropts...)
+		if err != nil {
+			log.Fatalf("kvsd: %v", err)
+		}
+		driver := rt.Driver()
 		store.InstallWatchdog(driver, shadow)
 		driver.OnAlarm(func(a watchdog.Alarm) {
 			log.Printf("WATCHDOG ALARM: %s (consecutive=%d)", a.Report, a.Consecutive)
@@ -114,50 +131,22 @@ func main() {
 			})
 			log.Printf("kvsd: recording failure capsules to %s", *capsuleDir)
 		}
-		if *autoRecover {
-			mgr := recovery.New()
-			mgr.Register(recovery.ForSiteOp("quarantine-corrupt-tables", "sstable.VerifyChecksum",
-				func(rep watchdog.Report) error {
-					total := 0
-					for i := 0; i < store.Partitions(); i++ {
-						n, err := store.RepairPartition(i)
-						if err != nil {
-							return err
-						}
-						total += n
-					}
-					log.Printf("kvsd: recovery quarantined %d corrupt tables", total)
-					return nil
-				}))
-			driver.OnAlarm(mgr.HandleAlarm)
-			log.Print("kvsd: cheap recovery enabled")
+		if err := rt.Start(context.Background()); err != nil {
+			log.Fatalf("kvsd: %v", err)
 		}
-		if *obsAddr != "" || *journalPath != "" {
-			opts := []wdobs.Option{wdobs.WithRegistry(store.Metrics())}
-			if *journalPath != "" {
-				f, err := os.Create(*journalPath)
-				if err != nil {
-					log.Fatalf("kvsd: journal: %v", err)
-				}
-				defer f.Close()
-				opts = append(opts, wdobs.WithSink(f))
-				log.Printf("kvsd: streaming detection journal to %s", *journalPath)
+		defer func() {
+			if err := rt.Close(); err != nil {
+				log.Printf("kvsd: watchdog shutdown: %v", err)
 			}
-			obs := wdobs.New(opts...)
-			obs.Attach(driver)
-			if *obsAddr != "" {
-				osrv, err := obs.Serve(*obsAddr)
-				if err != nil {
-					log.Fatalf("kvsd: obs: %v", err)
-				}
-				defer osrv.Close()
-				log.Printf("kvsd: observability on http://%s (/metrics /healthz /watchdog /debug/pprof)", osrv.Addr())
-			}
+		}()
+		if wdf.Journal != "" {
+			log.Printf("kvsd: streaming detection journal to %s", wdf.Journal)
 		}
-		driver.Start()
-		defer driver.Stop()
+		if obsAddr := rt.ObsAddr(); obsAddr != "" {
+			log.Printf("kvsd: observability on http://%s (/metrics /healthz /watchdog /debug/pprof)", obsAddr)
+		}
 		log.Printf("kvsd: watchdog running with %d checkers (interval=%v timeout=%v)",
-			len(driver.Checkers()), *interval, *timeout)
+			len(driver.Checkers()), wdf.Interval, wdf.Timeout)
 	}
 
 	if *inject != "" {
@@ -167,7 +156,7 @@ func main() {
 		}
 		go func() {
 			time.Sleep(*injectAfter)
-			store.Injector().Arm(point, faultinject.Fault{Kind: kind, Delay: 2 * *timeout})
+			store.Injector().Arm(point, faultinject.Fault{Kind: kind, Delay: 2 * wdf.Timeout})
 			log.Printf("kvsd: injected %s at %s", kind, point)
 		}()
 	}
@@ -202,20 +191,4 @@ func waitForSignal() {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
-}
-
-// hardeningOptions translates the -wd-breaker/-wd-damp/-wd-hang-budget flags
-// into driver options; zero values leave the corresponding defense disabled.
-func hardeningOptions(breaker int, damp time.Duration, hangBudget int) []watchdog.Option {
-	var opts []watchdog.Option
-	if breaker > 0 {
-		opts = append(opts, watchdog.WithBreaker(watchdog.BreakerConfig{Threshold: breaker}))
-	}
-	if damp > 0 {
-		opts = append(opts, watchdog.WithAlarmDamping(damp))
-	}
-	if hangBudget > 0 {
-		opts = append(opts, watchdog.WithHangBudget(hangBudget))
-	}
-	return opts
 }

@@ -25,6 +25,7 @@ import (
 	"gowatchdog/internal/campaign"
 	"gowatchdog/internal/clock"
 	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/wdruntime"
 )
 
 func main() {
@@ -52,9 +53,9 @@ func main() {
 	)
 	flag.Parse()
 
-	var opts []watchdog.Option
+	var opts []wdruntime.Option
 	if *breaker > 0 {
-		opts = append(opts, watchdog.WithBreaker(watchdog.BreakerConfig{
+		opts = append(opts, wdruntime.WithBreaker(watchdog.BreakerConfig{
 			Threshold:   *breaker,
 			BackoffBase: *backoff,
 			// Jitter decorrelates probe storms in production; a campaign wants
@@ -63,15 +64,15 @@ func main() {
 		}))
 	}
 	if *damp > 0 {
-		opts = append(opts, watchdog.WithAlarmDamping(*damp))
+		opts = append(opts, wdruntime.WithAlarmDamping(*damp))
 	}
 	if *hangBudget > 0 {
-		opts = append(opts, watchdog.WithHangBudget(*hangBudget))
+		opts = append(opts, wdruntime.WithHangBudget(*hangBudget))
 	}
 	if *timeout > 0 {
-		opts = append(opts, watchdog.WithTimeout(*timeout))
+		opts = append(opts, wdruntime.WithTimeout(*timeout))
 	}
-	opts = append(opts, watchdog.WithJitterSeed(*seed))
+	opts = append(opts, wdruntime.WithJitterSeed(*seed))
 
 	tgt, err := buildTarget(*substrate, *dir, *realClock, opts)
 	if err != nil {
@@ -110,7 +111,7 @@ func main() {
 	}
 }
 
-func buildTarget(substrate, dir string, realClock bool, opts []watchdog.Option) (*campaign.Target, error) {
+func buildTarget(substrate, dir string, realClock bool, opts []wdruntime.Option) (*campaign.Target, error) {
 	if substrate == "synth" {
 		clk := clock.Clock(clock.Real())
 		if !realClock {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -22,6 +23,7 @@ import (
 	"gowatchdog/internal/watchdog"
 	"gowatchdog/internal/watchdog/wdio"
 	"gowatchdog/internal/wdobs"
+	"gowatchdog/internal/wdruntime"
 )
 
 func main() {
@@ -51,23 +53,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	driver := watchdog.New(
-		watchdog.WithFactory(factory),
-		watchdog.WithInterval(100*time.Millisecond),
-		watchdog.WithTimeout(400*time.Millisecond),
-	)
-	store.InstallWatchdog(driver, shadow)
-
-	var obs *wdobs.Obs
-	if *journalPath != "" {
-		jf, err := os.Create(*journalPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer jf.Close()
-		obs = wdobs.New(wdobs.WithSink(jf))
-		obs.Attach(driver)
+	ropts := []wdruntime.Option{
+		wdruntime.WithFactory(factory),
+		wdruntime.WithInterval(100 * time.Millisecond),
+		wdruntime.WithTimeout(400 * time.Millisecond),
 	}
+	if *journalPath != "" {
+		ropts = append(ropts, wdruntime.WithJournalPath(*journalPath))
+	}
+	rt, err := wdruntime.New(ropts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	driver := rt.Driver()
+	store.InstallWatchdog(driver, shadow)
 
 	alarm := make(chan watchdog.Alarm, 1)
 	driver.OnAlarm(func(a watchdog.Alarm) {
@@ -89,8 +88,9 @@ func main() {
 		}
 	}
 	store.FlushAll(true)
-	driver.Start()
-	defer driver.Stop()
+	if err := rt.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("kvs serving on %s with %d watchdog checkers: %v\n",
 		srv.Addr(), len(driver.Checkers()), driver.Checkers())
 
@@ -128,11 +128,14 @@ func main() {
 		log.Fatal("watchdog never detected the fault")
 	}
 
-	if obs != nil {
-		driver.Stop()
-		if err := obs.Journal().SinkErr(); err != nil {
-			log.Fatalf("journal sink: %v", err)
-		}
+	// Disarm the fault so the hung checker goroutine can unwind, then Close:
+	// it drains the driver and flushes the journal before releasing it; a
+	// sink write error surfaces here.
+	store.Injector().Clear()
+	if err := rt.Close(); err != nil {
+		log.Fatalf("watchdog shutdown: %v", err)
+	}
+	if *journalPath != "" {
 		// Self-verify the JSONL round-trips before handing it to wdreplay.
 		jf, err := os.Open(*journalPath)
 		if err != nil {

@@ -9,12 +9,14 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
 
 	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/wdruntime"
 )
 
 // uploader simulates a flaky remote dependency shared by the main program
@@ -32,11 +34,16 @@ func main() {
 	up := &uploader{}
 	up.healthy.Store(true)
 
-	// 1. One driver per process; checkers are registered before Start.
-	driver := watchdog.New(
-		watchdog.WithInterval(50*time.Millisecond),
-		watchdog.WithTimeout(500*time.Millisecond),
+	// 1. One runtime per process owns the watchdog stack; checkers are
+	//    registered on its driver before Start.
+	rt, err := wdruntime.New(
+		wdruntime.WithInterval(50*time.Millisecond),
+		wdruntime.WithTimeout(500*time.Millisecond),
 	)
+	if err != nil {
+		panic(err)
+	}
+	driver := rt.Driver()
 
 	// 2. A mimic checker: re-run the vulnerable operation with the payload
 	//    the hook captured, wrapped in watchdog.Op for pinpointing.
@@ -62,8 +69,10 @@ func main() {
 		}
 	}
 
-	driver.Start()
-	defer driver.Stop()
+	if err := rt.Start(context.Background()); err != nil {
+		panic(err)
+	}
+	defer rt.Close()
 
 	fmt.Println("healthy phase: consuming items...")
 	for i := 0; i < 5; i++ {

@@ -20,6 +20,7 @@ import (
 	"gowatchdog/internal/recovery"
 	"gowatchdog/internal/watchdog"
 	"gowatchdog/internal/watchdog/wdio"
+	"gowatchdog/internal/wdruntime"
 )
 
 func main() {
@@ -40,9 +41,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	driver := watchdog.New(watchdog.WithFactory(factory), watchdog.WithTimeout(time.Second))
-	store.InstallWatchdog(driver, shadow)
-
 	// Recovery: quarantine corrupt tables when the partition checker alarms.
 	mgr := recovery.New()
 	mgr.Register(recovery.ForSiteOp("quarantine-corrupt-tables", "sstable.VerifyChecksum",
@@ -58,7 +56,20 @@ func main() {
 			fmt.Printf("RECOVERY: quarantined %d corrupt table(s) in place\n", total)
 			return nil
 		}))
-	driver.OnAlarm(mgr.HandleAlarm)
+
+	// The runtime composes driver + recovery; the demo steps the driver with
+	// CheckNow instead of starting it, so detection stays synchronous.
+	rt, err := wdruntime.New(
+		wdruntime.WithFactory(factory),
+		wdruntime.WithTimeout(time.Second),
+		wdruntime.WithRecovery(mgr),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+	driver := rt.Driver()
+	store.InstallWatchdog(driver, shadow)
 
 	// Data in two generations so the repair provably keeps the healthy one.
 	store.Set([]byte("gen1/key"), []byte("survives"))

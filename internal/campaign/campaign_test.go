@@ -10,6 +10,7 @@ import (
 	"gowatchdog/internal/clock"
 	"gowatchdog/internal/faultinject"
 	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/wdruntime"
 )
 
 // TestSeededCampaignSelfHardening is the acceptance scenario for the whole
@@ -27,12 +28,12 @@ import (
 func TestSeededCampaignSelfHardening(t *testing.T) {
 	v := clock.NewVirtual()
 	tgt := NewSynthTarget(v,
-		watchdog.WithBreaker(watchdog.BreakerConfig{
+		wdruntime.WithBreaker(watchdog.BreakerConfig{
 			Threshold: 3, BackoffBase: 20 * time.Second, JitterFrac: -1,
 		}),
-		watchdog.WithAlarmDamping(30*time.Second),
-		watchdog.WithHangBudget(2),
-		watchdog.WithJitterSeed(7),
+		wdruntime.WithAlarmDamping(30*time.Second),
+		wdruntime.WithHangBudget(2),
+		wdruntime.WithJitterSeed(7),
 	)
 	cfg := Config{
 		Seed:          7,
@@ -140,7 +141,7 @@ func TestSeededCampaignSelfHardening(t *testing.T) {
 // leak stays exactly at the budget.
 func TestCampaignCorrelatedHangsRespectBudget(t *testing.T) {
 	v := clock.NewVirtual()
-	tgt := NewSynthTarget(v, watchdog.WithHangBudget(1))
+	tgt := NewSynthTarget(v, wdruntime.WithHangBudget(1))
 	cfg := Config{
 		Interval:         time.Second,
 		WarmupTicks:      4,
@@ -184,11 +185,11 @@ func TestGeneratedCampaignDeterministic(t *testing.T) {
 	run := func() *Verdict {
 		v := clock.NewVirtual()
 		tgt := NewSynthTarget(v,
-			watchdog.WithBreaker(watchdog.BreakerConfig{
+			wdruntime.WithBreaker(watchdog.BreakerConfig{
 				Threshold: 3, BackoffBase: 10 * time.Second, JitterFrac: -1,
 			}),
-			watchdog.WithAlarmDamping(20*time.Second),
-			watchdog.WithHangBudget(2),
+			wdruntime.WithAlarmDamping(20*time.Second),
+			wdruntime.WithHangBudget(2),
 		)
 		verdict, err := Run(tgt, Config{
 			Seed:          42,

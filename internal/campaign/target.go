@@ -16,6 +16,7 @@ import (
 	"gowatchdog/internal/recovery"
 	"gowatchdog/internal/watchdog"
 	"gowatchdog/internal/watchdog/wdio"
+	"gowatchdog/internal/wdruntime"
 )
 
 // FaultPoint maps one injector point to the checker that guards it and the
@@ -29,18 +30,23 @@ type FaultPoint struct {
 	Kinds []faultinject.Kind
 }
 
-// Target is one system under campaign: a driver with registered checkers, the
+// Target is one system under campaign: a runtime-composed watchdog stack, the
 // injector its fault points live on, and the attribution table between them.
+// Every substrate builds its stack through wdruntime — the same layer the
+// daemons deploy — so a campaign verdict scores the production wiring, not a
+// parallel copy of it.
 type Target struct {
 	// Name labels the substrate in the verdict ("synth", "kvs", "dfs").
 	Name string
-	// Driver is the watchdog driver; the runner steps it with CheckAll, so
-	// it must not be started.
+	// Runtime is the composed watchdog stack. The runner steps its driver
+	// with CheckAll, so the runtime must not be started.
+	Runtime *wdruntime.Runtime
+	// Driver is Runtime.Driver(), kept as a field for the runner's hot path.
 	Driver *watchdog.Driver
 	// Injector hosts the fault points.
 	Injector *faultinject.Injector
 	// Recovery, when set, is consulted for the verdict's recovery outcomes.
-	// The target wires it to the driver itself.
+	// The runtime wires it to the driver.
 	Recovery *recovery.Manager
 	// Points is the fault-point attribution table.
 	Points []FaultPoint
@@ -73,35 +79,14 @@ const (
 // shape WithRetry exists for), and an escalation counter. Deterministic on a
 // virtual clock; opts are appended after the defaults so callers can layer
 // the hardening options (breaker, damping, hang budget) or retune timeouts.
-func NewSynthTarget(clk clock.Clock, opts ...watchdog.Option) *Target {
+// The synth substrate takes no disk-backed options, so runtime composition
+// cannot fail; a bad option set panics rather than forcing an error return on
+// every chained call site.
+func NewSynthTarget(clk clock.Clock, opts ...wdruntime.Option) *Target {
 	if clk == nil {
 		clk = clock.Real()
 	}
 	inj := faultinject.New(clk)
-	base := []watchdog.Option{
-		watchdog.WithClock(clk),
-		watchdog.WithInterval(time.Second),
-		watchdog.WithTimeout(3 * time.Second),
-	}
-	d := watchdog.New(append(base, opts...)...)
-
-	points := []FaultPoint{
-		{Point: SynthPointAlpha, Checker: "synth.alpha",
-			Kinds: []faultinject.Kind{faultinject.Error, faultinject.Flap}},
-		{Point: SynthPointBeta, Checker: "synth.beta",
-			Kinds: []faultinject.Kind{faultinject.Hang, faultinject.Error}},
-		{Point: SynthPointGamma, Checker: "synth.gamma",
-			Kinds: []faultinject.Kind{faultinject.Error, faultinject.Panic}},
-	}
-	for _, p := range points {
-		site := watchdog.Site{Function: "campaign.synth", Op: p.Point}
-		point := p.Point
-		d.Register(watchdog.NewChecker(p.Checker, func(ctx *watchdog.Context) error {
-			return watchdog.Op(ctx, site, func() error {
-				return inj.Fire(point)
-			})
-		}), watchdog.WithContext(readyContext()))
-	}
 
 	rec := recovery.New(
 		recovery.WithClock(clk),
@@ -133,22 +118,52 @@ func NewSynthTarget(clk clock.Clock, opts ...watchdog.Option) *Target {
 			return nil
 		},
 	})
-	d.OnAlarm(rec.HandleAlarm)
-	d.OnReport(rec.ObserveReport)
+
+	base := []wdruntime.Option{
+		wdruntime.WithClock(clk),
+		wdruntime.WithInterval(time.Second),
+		wdruntime.WithTimeout(3 * time.Second),
+		wdruntime.WithRecovery(rec),
+	}
+	rt, err := wdruntime.New(append(base, opts...)...)
+	if err != nil {
+		panic(fmt.Sprintf("campaign: synth runtime: %v", err))
+	}
+	d := rt.Driver()
+
+	points := []FaultPoint{
+		{Point: SynthPointAlpha, Checker: "synth.alpha",
+			Kinds: []faultinject.Kind{faultinject.Error, faultinject.Flap}},
+		{Point: SynthPointBeta, Checker: "synth.beta",
+			Kinds: []faultinject.Kind{faultinject.Hang, faultinject.Error}},
+		{Point: SynthPointGamma, Checker: "synth.gamma",
+			Kinds: []faultinject.Kind{faultinject.Error, faultinject.Panic}},
+	}
+	for _, p := range points {
+		site := watchdog.Site{Function: "campaign.synth", Op: p.Point}
+		point := p.Point
+		d.Register(watchdog.NewChecker(p.Checker, func(ctx *watchdog.Context) error {
+			return watchdog.Op(ctx, site, func() error {
+				return inj.Fire(point)
+			})
+		}), watchdog.WithContext(readyContext()))
+	}
 
 	return &Target{
 		Name:     "synth",
+		Runtime:  rt,
 		Driver:   d,
 		Injector: inj,
 		Recovery: rec,
 		Points:   points,
+		Close:    rt.Close,
 	}
 }
 
 // NewKVSTarget opens a kvs store under dir and wires its generated checker
 // suite. The store runs on the real clock (its flusher and compaction
 // goroutines do), so campaigns against it should use real-time intervals.
-func NewKVSTarget(dir string, opts ...watchdog.Option) (*Target, error) {
+func NewKVSTarget(dir string, opts ...wdruntime.Option) (*Target, error) {
 	factory := watchdog.NewFactory()
 	store, err := kvs.Open(kvs.Config{
 		Dir:                 dir,
@@ -163,13 +178,6 @@ func NewKVSTarget(dir string, opts ...watchdog.Option) (*Target, error) {
 		store.Close()
 		return nil, err
 	}
-	base := []watchdog.Option{
-		watchdog.WithFactory(factory),
-		watchdog.WithInterval(50 * time.Millisecond),
-		watchdog.WithTimeout(250 * time.Millisecond),
-	}
-	d := watchdog.New(append(base, opts...)...)
-	store.InstallWatchdog(d, shadow)
 
 	rec := recovery.New(
 		recovery.WithRetry(2, 50*time.Millisecond),
@@ -179,13 +187,26 @@ func NewKVSTarget(dir string, opts ...watchdog.Option) (*Target, error) {
 	rec.Register(recovery.ForChecker("kvs.verify", "kvs.", func(watchdog.Report) error {
 		return store.VerifyPartition(0)
 	}))
-	d.OnAlarm(rec.HandleAlarm)
-	d.OnReport(rec.ObserveReport)
+
+	base := []wdruntime.Option{
+		wdruntime.WithFactory(factory),
+		wdruntime.WithInterval(50 * time.Millisecond),
+		wdruntime.WithTimeout(250 * time.Millisecond),
+		wdruntime.WithRecovery(rec),
+	}
+	rt, err := wdruntime.New(append(base, opts...)...)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	d := rt.Driver()
+	store.InstallWatchdog(d, shadow)
 
 	payload := []byte("campaign-payload")
 	var inflight atomic.Bool
 	return &Target{
 		Name:     "kvs",
+		Runtime:  rt,
 		Driver:   d,
 		Injector: store.Injector(),
 		Recovery: rec,
@@ -215,7 +236,7 @@ func NewKVSTarget(dir string, opts ...watchdog.Option) (*Target, error) {
 		},
 		Close: func() error {
 			drainInflight(&inflight)
-			return store.Close()
+			return errors.Join(rt.Close(), store.Close())
 		},
 	}, nil
 }
@@ -230,7 +251,7 @@ func drainInflight(inflight *atomic.Bool) {
 }
 
 // NewDFSTarget builds a two-volume DataNode and wires its disk checkers.
-func NewDFSTarget(dir string, opts ...watchdog.Option) (*Target, error) {
+func NewDFSTarget(dir string, opts ...wdruntime.Option) (*Target, error) {
 	factory := watchdog.NewFactory()
 	dn, err := dfs.New(dfs.Config{
 		VolumeDirs:      []string{filepath.Join(dir, "vol0"), filepath.Join(dir, "vol1")},
@@ -239,13 +260,6 @@ func NewDFSTarget(dir string, opts ...watchdog.Option) (*Target, error) {
 	if err != nil {
 		return nil, err
 	}
-	base := []watchdog.Option{
-		watchdog.WithFactory(factory),
-		watchdog.WithInterval(50 * time.Millisecond),
-		watchdog.WithTimeout(250 * time.Millisecond),
-	}
-	d := watchdog.New(append(base, opts...)...)
-	dn.InstallWatchdog(d)
 
 	rec := recovery.New(
 		recovery.WithRetry(2, 50*time.Millisecond),
@@ -256,13 +270,25 @@ func NewDFSTarget(dir string, opts ...watchdog.Option) (*Target, error) {
 		_, err := dn.ScanBlocks()
 		return err
 	}))
-	d.OnAlarm(rec.HandleAlarm)
-	d.OnReport(rec.ObserveReport)
+
+	base := []wdruntime.Option{
+		wdruntime.WithFactory(factory),
+		wdruntime.WithInterval(50 * time.Millisecond),
+		wdruntime.WithTimeout(250 * time.Millisecond),
+		wdruntime.WithRecovery(rec),
+	}
+	rt, err := wdruntime.New(append(base, opts...)...)
+	if err != nil {
+		return nil, err
+	}
+	d := rt.Driver()
+	dn.InstallWatchdog(d)
 
 	payload := []byte("campaign block payload")
 	var inflight atomic.Bool
 	return &Target{
 		Name:     "dfs",
+		Runtime:  rt,
 		Driver:   d,
 		Injector: dn.Injector(),
 		Recovery: rec,
@@ -283,14 +309,14 @@ func NewDFSTarget(dir string, opts ...watchdog.Option) (*Target, error) {
 		},
 		Close: func() error {
 			drainInflight(&inflight)
-			return nil
+			return rt.Close()
 		},
 	}, nil
 }
 
 // NewTarget builds the named substrate ("synth", "kvs", "dfs"); dir is the
 // scratch directory for disk-backed substrates.
-func NewTarget(name, dir string, opts ...watchdog.Option) (*Target, error) {
+func NewTarget(name, dir string, opts ...wdruntime.Option) (*Target, error) {
 	switch name {
 	case "synth":
 		return NewSynthTarget(clock.Real(), opts...), nil

@@ -1,0 +1,61 @@
+package wdlint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// RuntimeCfgAnalyzer enforces the single-wiring-surface rule: deployment
+// packages — commands (package main) and the fault-campaign layer — must
+// compose their watchdog stack through wdruntime.New instead of constructing
+// the driver directly with watchdog.New. Hand-wired drivers in those packages
+// drift from the production lifecycle (flag parity, hardening options,
+// journal/obs shutdown ordering), which is exactly the divergence the paper's
+// §3 uniform-deployment argument warns about. Library and test code may still
+// build bare drivers; a deliberately bespoke deployment driver can carry a
+// `//wdlint:ignore runtimecfg <reason>` directive.
+type RuntimeCfgAnalyzer struct{}
+
+// Name implements Analyzer.
+func (*RuntimeCfgAnalyzer) Name() string { return "runtimecfg" }
+
+// Doc implements Analyzer.
+func (*RuntimeCfgAnalyzer) Doc() string {
+	return "daemons and campaign targets must wire watchdogs through wdruntime"
+}
+
+// deploymentScope reports whether p is a package whose watchdog wiring ships
+// to production: a command (package main) or the campaign layer that scores
+// the production stack.
+func deploymentScope(p *Package) bool {
+	return p.Name == "main" || strings.Contains(p.ImportPath, "/campaign")
+}
+
+// Run implements Analyzer.
+func (a *RuntimeCfgAnalyzer) Run(u *Unit) []Diag {
+	var diags []Diag
+	for _, p := range u.Pkgs {
+		if !deploymentScope(p) {
+			continue
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || watchdogFunc(p, call.Fun) != "New" {
+					return true
+				}
+				diags = append(diags, Diag{
+					Pos:      p.Pos(call.Pos()),
+					Analyzer: a.Name(),
+					Severity: SevWarn,
+					Message: fmt.Sprintf(
+						"deployment package %s constructs the driver with watchdog.New; compose the stack through wdruntime.New so flags, hardening, and shutdown ordering stay uniform (//wdlint:ignore runtimecfg to keep a bespoke driver)",
+						p.ImportPath),
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}

@@ -3,16 +3,19 @@ package wdlint
 import "testing"
 
 // TestSelfLint keeps the repository's own watchdog deployments honest: the
-// coordination service, the DFS DataNode, the KV store, and the committed
-// AutoWatchdog output must produce no finding at warn or above (after
-// justified //wdlint:ignore directives). Info findings are expected —
-// contexts legitimately carry report payload keys no checker reads (§5.2).
+// coordination service, the DFS DataNode, the KV store, the committed
+// AutoWatchdog output, the campaign layer, and the runtime layer itself must
+// produce no finding at warn or above (after justified //wdlint:ignore
+// directives). Info findings are expected — contexts legitimately carry
+// report payload keys no checker reads (§5.2).
 func TestSelfLint(t *testing.T) {
 	diags, err := Run(".", []string{
 		"../coord",
 		"../dfs",
 		"../kvs",
 		"../autowatchdog/genexample",
+		"../campaign",
+		"../wdruntime",
 	}, All())
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,29 @@
+// Package main hand-wires a watchdog driver inside a deployment package —
+// the runtimecfg analyzer demands such packages compose their stack through
+// wdruntime.New so flag parity, hardening, and shutdown ordering stay
+// uniform across daemons.
+package main
+
+import (
+	"gowatchdog/internal/watchdog"
+)
+
+// BadWire constructs the driver directly in a command package. // want: wdruntime.New
+func BadWire() *watchdog.Driver {
+	d := watchdog.New(
+		watchdog.WithInterval(1000000000),
+	)
+	d.OnReport(func(watchdog.Report) {})
+	return d
+}
+
+// BespokeWire keeps a hand-built driver with an explicit justification; the
+// ignore directive suppresses the finding.
+func BespokeWire() *watchdog.Driver {
+	//wdlint:ignore runtimecfg bespoke single-checker probe, no lifecycle needed
+	d := watchdog.New()
+	d.OnReport(func(watchdog.Report) {})
+	return d
+}
+
+func main() {}

@@ -3,7 +3,7 @@
 // The watchdog abstraction (§3 of the paper) only delivers its guarantees —
 // side-effect isolation, accurate hang pinpointing, synchronized contexts —
 // when checker code follows a handful of conventions that the compiler does
-// not enforce. wdlint closes that gap with five analyzers:
+// not enforce. wdlint closes that gap with six analyzers:
 //
 //	isolation   checkers must not mutate state shared with the main program
 //	            (§3.2: "watchdogs should not incur side effects")
@@ -12,6 +12,8 @@
 //	fateshare   vulnerable operations inside checkers must run under
 //	            watchdog.Op so hangs are pinpointed and confined (§3.3)
 //	drivercfg   checker registrations need sane timeouts/thresholds
+//	runtimecfg  deployment packages (commands, the campaign layer) must
+//	            compose the stack through wdruntime, not bare watchdog.New
 //	genfresh    *_wd_gen.go files must match the current AutoWatchdog
 //	            reduction output (§4)
 //
@@ -126,6 +128,7 @@ func All() []Analyzer {
 		&ContextSyncAnalyzer{},
 		&FateShareAnalyzer{},
 		&DriverCfgAnalyzer{},
+		&RuntimeCfgAnalyzer{},
 		&GenFreshAnalyzer{},
 	}
 }

@@ -130,6 +130,28 @@ func TestDriverCfgFixture(t *testing.T) {
 	}
 }
 
+func TestRuntimeCfgFixture(t *testing.T) {
+	diags := lint(t, &RuntimeCfgAnalyzer{}, "runtimecfgbad")
+	d := wantDiag(t, diags, "watchdog.New", "wdruntime.New")
+	if d.Severity != SevWarn {
+		t.Errorf("runtimecfg severity = %s, want warn", d.Severity)
+	}
+	// The second construction carries //wdlint:ignore runtimecfg; only the
+	// bare one may surface.
+	if n := len(diags); n != 1 {
+		t.Errorf("want 1 runtimecfg finding, got %d:\n%s", n, render(diags))
+	}
+}
+
+// TestRuntimeCfgScope: library packages may build bare drivers — only
+// commands and the campaign layer are deployment scope.
+func TestRuntimeCfgScope(t *testing.T) {
+	diags := lint(t, &RuntimeCfgAnalyzer{}, "drivercfgbad")
+	if len(diags) != 0 {
+		t.Errorf("runtimecfg flagged a non-deployment package:\n%s", render(diags))
+	}
+}
+
 func TestGenFreshFixture(t *testing.T) {
 	diags := lint(t, &GenFreshAnalyzer{}, "genfreshbad")
 	d := wantDiag(t, diags, "stale_wd_gen.go drifted", "regenerate")

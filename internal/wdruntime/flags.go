@@ -1,0 +1,62 @@
+package wdruntime
+
+import (
+	"flag"
+	"time"
+
+	"gowatchdog/internal/watchdog"
+)
+
+// Flags holds the parsed values of the shared watchdog flag set. Every daemon
+// binds the same names, defaults, and help text through BindFlags, so `kvsd
+// -h`, `dfsd -h`, and `coordd -h` describe one uniform watchdog surface.
+type Flags struct {
+	Interval   time.Duration
+	Timeout    time.Duration
+	Breaker    int
+	Damp       time.Duration
+	HangBudget int
+	ObsAddr    string
+	Journal    string
+}
+
+// BindFlags registers the canonical -wd-interval/-wd-timeout/-wd-breaker/
+// -wd-damp/-wd-hang-budget/-obs-addr/-journal flags on fs and returns the
+// struct their parsed values land in. Call fs.Parse (or flag.Parse for the
+// command line) before Options.
+func BindFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.DurationVar(&f.Interval, "wd-interval", time.Second, "watchdog check interval")
+	fs.DurationVar(&f.Timeout, "wd-timeout", 6*time.Second, "watchdog liveness timeout")
+	fs.IntVar(&f.Breaker, "wd-breaker", 0, "trip a checker's circuit breaker after this many consecutive failures (0 disables)")
+	fs.DurationVar(&f.Damp, "wd-damp", 0, "suppress duplicate watchdog alarms within this window (0 disables)")
+	fs.IntVar(&f.HangBudget, "wd-hang-budget", 0, "max leaked hung checker goroutines before checks degrade to skips (0 = unlimited)")
+	fs.StringVar(&f.ObsAddr, "obs-addr", "", "observability listen address (/metrics, /healthz, /watchdog, pprof)")
+	fs.StringVar(&f.Journal, "journal", "", "file to stream the detection journal to as JSONL (wdreplay-compatible)")
+	return f
+}
+
+// Options translates the parsed flag values into runtime options; zero values
+// leave the corresponding defense or endpoint disabled.
+func (f *Flags) Options() []Option {
+	opts := []Option{
+		WithInterval(f.Interval),
+		WithTimeout(f.Timeout),
+	}
+	if f.Breaker > 0 {
+		opts = append(opts, WithBreaker(watchdog.BreakerConfig{Threshold: f.Breaker}))
+	}
+	if f.Damp > 0 {
+		opts = append(opts, WithAlarmDamping(f.Damp))
+	}
+	if f.HangBudget > 0 {
+		opts = append(opts, WithHangBudget(f.HangBudget))
+	}
+	if f.ObsAddr != "" {
+		opts = append(opts, WithObsAddr(f.ObsAddr))
+	}
+	if f.Journal != "" {
+		opts = append(opts, WithJournalPath(f.Journal))
+	}
+	return opts
+}

@@ -1,0 +1,363 @@
+// Package wdruntime is the single lifecycle layer for the watchdog stack.
+//
+// The paper's watchdog is one abstraction — checkers + driver + context sync
+// + isolation (§3.1–§3.2) — but a deployment also carries the pieces around
+// it: hardening options (circuit breakers, alarm damping, hang budget),
+// observability (wdobs metrics server + JSONL detection journal), and the
+// recovery manager. wdruntime composes all of them behind one Config so that
+// daemons, examples, and fault campaigns wire the exact same stack instead of
+// each re-assembling it by hand.
+//
+// Lifecycle:
+//
+//	created ──Start──▶ started ──Drain──▶ drained ──Close──▶ closed
+//
+// Start serves the observability endpoint (if configured) and begins
+// scheduling checks; a cancelled Start context stops scheduling early.
+// Drain stops scheduling and waits — within the drain budget — for hung
+// checker goroutines to be reaped. Close drains, then flushes and closes the
+// journal sink, then shuts the observability server down, and finally waits
+// for in-flight recovery retries: journal before obs so the last detection
+// events hit disk while the server still answers /healthz, recovery last so
+// every retry it spawned has a live stack to act on.
+package wdruntime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"gowatchdog/internal/clock"
+	"gowatchdog/internal/gauge"
+	"gowatchdog/internal/recovery"
+	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/wdobs"
+)
+
+// Config is the fully-resolved runtime configuration. Build one through New's
+// functional options (or BindFlags for CLI daemons); zero values of the
+// hardening fields leave the corresponding defense disabled, matching the
+// driver's own defaults.
+type Config struct {
+	// Interval is the driver check interval (default 1s).
+	Interval time.Duration
+	// Timeout is the checker liveness timeout (default 6s).
+	Timeout time.Duration
+	// Breaker configures per-checker circuit breakers; Threshold 0 disables.
+	Breaker watchdog.BreakerConfig
+	// DampWindow suppresses duplicate alarms inside the window; 0 disables.
+	DampWindow time.Duration
+	// HangBudget caps leaked hung checker goroutines; 0 means unlimited.
+	HangBudget int
+	// JitterSeed seeds scheduling jitter (default 1, the driver default).
+	JitterSeed int64
+	// DrainBudget bounds how long Drain waits for hung checker goroutines to
+	// be reaped after scheduling stops (default 2×Timeout).
+	DrainBudget time.Duration
+
+	// ObsAddr, when non-empty, serves /metrics /healthz /watchdog /debug/pprof
+	// there on Start.
+	ObsAddr string
+	// JournalPath, when non-empty, streams the detection journal to that file
+	// as JSONL (wdreplay-compatible). Takes precedence over JournalSink.
+	JournalPath string
+	// JournalSink, when non-nil, receives the JSONL journal stream. The sink
+	// stays caller-owned: Close flushes it (if it implements Flush() error)
+	// but never closes it.
+	JournalSink io.Writer
+	// Registry, when non-nil, is exported alongside the watchdog metrics.
+	Registry *gauge.Registry
+
+	// Factory, when non-nil, is the context factory the driver resolves
+	// checker contexts from (hook-instrumented systems pass theirs here).
+	Factory *watchdog.Factory
+	// Clock, when non-nil, replaces the real clock (campaigns pass a virtual
+	// one for bit-deterministic runs).
+	Clock clock.Clock
+	// Recovery, when non-nil, is wired to the driver (HandleAlarm on alarms,
+	// ObserveReport on reports) before any other listener, and waited on
+	// during Close.
+	Recovery *recovery.Manager
+
+	// DriverOptions are appended verbatim after the options derived from the
+	// fields above, so they win on conflict (escape hatch for driver knobs
+	// the Config does not model, e.g. WithHistory).
+	DriverOptions []watchdog.Option
+	// ObsOptions are prepended to the derived wdobs options. Setting any
+	// forces the observability layer on even without ObsAddr/JournalPath.
+	ObsOptions []wdobs.Option
+}
+
+// Option mutates a Config during New.
+type Option func(*Config)
+
+// WithInterval sets the driver check interval.
+func WithInterval(d time.Duration) Option { return func(c *Config) { c.Interval = d } }
+
+// WithTimeout sets the checker liveness timeout.
+func WithTimeout(d time.Duration) Option { return func(c *Config) { c.Timeout = d } }
+
+// WithBreaker enables per-checker circuit breakers.
+func WithBreaker(cfg watchdog.BreakerConfig) Option { return func(c *Config) { c.Breaker = cfg } }
+
+// WithAlarmDamping suppresses duplicate alarms inside the window.
+func WithAlarmDamping(window time.Duration) Option {
+	return func(c *Config) { c.DampWindow = window }
+}
+
+// WithHangBudget caps leaked hung checker goroutines.
+func WithHangBudget(n int) Option { return func(c *Config) { c.HangBudget = n } }
+
+// WithJitterSeed seeds scheduling (and breaker probe) jitter.
+func WithJitterSeed(seed int64) Option { return func(c *Config) { c.JitterSeed = seed } }
+
+// WithDrainBudget bounds how long Drain waits for hung goroutines.
+func WithDrainBudget(d time.Duration) Option { return func(c *Config) { c.DrainBudget = d } }
+
+// WithObsAddr serves the observability endpoints there on Start.
+func WithObsAddr(addr string) Option { return func(c *Config) { c.ObsAddr = addr } }
+
+// WithJournalPath streams the detection journal to the file as JSONL.
+func WithJournalPath(path string) Option { return func(c *Config) { c.JournalPath = path } }
+
+// WithJournalSink streams the detection journal to a caller-owned writer.
+func WithJournalSink(w io.Writer) Option { return func(c *Config) { c.JournalSink = w } }
+
+// WithRegistry exports the registry's gauges alongside the watchdog metrics.
+func WithRegistry(r *gauge.Registry) Option { return func(c *Config) { c.Registry = r } }
+
+// WithFactory sets the watchdog context factory.
+func WithFactory(f *watchdog.Factory) Option { return func(c *Config) { c.Factory = f } }
+
+// WithClock replaces the real clock.
+func WithClock(clk clock.Clock) Option { return func(c *Config) { c.Clock = clk } }
+
+// WithRecovery wires the manager to the driver and waits on it during Close.
+func WithRecovery(m *recovery.Manager) Option { return func(c *Config) { c.Recovery = m } }
+
+// WithDriverOptions appends raw driver options after the derived ones.
+func WithDriverOptions(opts ...watchdog.Option) Option {
+	return func(c *Config) { c.DriverOptions = append(c.DriverOptions, opts...) }
+}
+
+// WithObsOptions appends raw wdobs options (and forces the obs layer on).
+func WithObsOptions(opts ...wdobs.Option) Option {
+	return func(c *Config) { c.ObsOptions = append(c.ObsOptions, opts...) }
+}
+
+// Runtime owns one composed watchdog stack: driver, observability, journal
+// sink, and recovery manager, with a deterministic shutdown ordering.
+type Runtime struct {
+	cfg      Config
+	driver   *watchdog.Driver
+	obs      *wdobs.Obs
+	rec      *recovery.Manager
+	journalF *os.File // owned only when opened from JournalPath
+
+	mu        sync.Mutex
+	started   bool
+	srv       *wdobs.Server
+	watchStop chan struct{}
+
+	drainOnce sync.Once
+	drainErr  error
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New resolves the options into a Config and composes the stack: driver with
+// hardening options, recovery listeners (always registered first, so campaign
+// or daemon listeners added afterwards observe the same ordering), and — when
+// any observability field is set — a wdobs instance with an optional JSONL
+// journal sink. The driver is not started; register checkers first, then call
+// Start.
+func New(opts ...Option) (*Runtime, error) {
+	cfg := Config{
+		Interval:   time.Second,
+		Timeout:    6 * time.Second,
+		JitterSeed: 1,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("wdruntime: non-positive interval %v", cfg.Interval)
+	}
+	if cfg.Timeout <= 0 {
+		return nil, fmt.Errorf("wdruntime: non-positive timeout %v", cfg.Timeout)
+	}
+	if cfg.DrainBudget <= 0 {
+		cfg.DrainBudget = 2 * cfg.Timeout
+	}
+
+	dopts := []watchdog.Option{
+		watchdog.WithInterval(cfg.Interval),
+		watchdog.WithTimeout(cfg.Timeout),
+		watchdog.WithJitterSeed(cfg.JitterSeed),
+	}
+	if cfg.Clock != nil {
+		dopts = append(dopts, watchdog.WithClock(cfg.Clock))
+	}
+	if cfg.Factory != nil {
+		dopts = append(dopts, watchdog.WithFactory(cfg.Factory))
+	}
+	if cfg.Breaker.Threshold > 0 {
+		dopts = append(dopts, watchdog.WithBreaker(cfg.Breaker))
+	}
+	if cfg.DampWindow > 0 {
+		dopts = append(dopts, watchdog.WithAlarmDamping(cfg.DampWindow))
+	}
+	if cfg.HangBudget > 0 {
+		dopts = append(dopts, watchdog.WithHangBudget(cfg.HangBudget))
+	}
+	dopts = append(dopts, cfg.DriverOptions...)
+
+	rt := &Runtime{cfg: cfg, driver: watchdog.New(dopts...), rec: cfg.Recovery}
+
+	if cfg.ObsAddr != "" || cfg.JournalPath != "" || cfg.JournalSink != nil || len(cfg.ObsOptions) > 0 {
+		oopts := append([]wdobs.Option(nil), cfg.ObsOptions...)
+		if cfg.Registry != nil {
+			oopts = append(oopts, wdobs.WithRegistry(cfg.Registry))
+		}
+		sink := cfg.JournalSink
+		if cfg.JournalPath != "" {
+			f, err := os.Create(cfg.JournalPath)
+			if err != nil {
+				return nil, fmt.Errorf("wdruntime: journal: %w", err)
+			}
+			rt.journalF = f
+			sink = f
+		}
+		if sink != nil {
+			oopts = append(oopts, wdobs.WithSink(sink))
+		}
+		rt.obs = wdobs.New(oopts...)
+		rt.obs.Attach(rt.driver)
+	}
+
+	if rt.rec != nil {
+		rt.driver.OnAlarm(rt.rec.HandleAlarm)
+		rt.driver.OnReport(rt.rec.ObserveReport)
+	}
+	return rt, nil
+}
+
+// Driver exposes the composed driver for checker registration and listeners.
+func (rt *Runtime) Driver() *watchdog.Driver { return rt.driver }
+
+// Obs returns the observability instance, or nil when none was configured.
+func (rt *Runtime) Obs() *wdobs.Obs { return rt.obs }
+
+// Recovery returns the wired recovery manager, or nil.
+func (rt *Runtime) Recovery() *recovery.Manager { return rt.rec }
+
+// Config returns a copy of the resolved configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// ObsAddr returns the bound observability address after Start ("" when not
+// serving).
+func (rt *Runtime) ObsAddr() string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.srv == nil {
+		return ""
+	}
+	return rt.srv.Addr()
+}
+
+// Start serves the observability endpoint (when configured) and begins
+// scheduling checks. When ctx is cancellable, its cancellation stops the
+// driver's scheduling; the rest of the teardown still belongs to Close.
+func (rt *Runtime) Start(ctx context.Context) error {
+	rt.mu.Lock()
+	if rt.started {
+		rt.mu.Unlock()
+		return errors.New("wdruntime: Start called twice")
+	}
+	rt.started = true
+	rt.mu.Unlock()
+
+	if rt.obs != nil && rt.cfg.ObsAddr != "" {
+		srv, err := rt.obs.Serve(rt.cfg.ObsAddr)
+		if err != nil {
+			return fmt.Errorf("wdruntime: obs: %w", err)
+		}
+		rt.mu.Lock()
+		rt.srv = srv
+		rt.mu.Unlock()
+	}
+	rt.driver.Start()
+	if ctx != nil && ctx.Done() != nil {
+		stop := make(chan struct{})
+		rt.mu.Lock()
+		rt.watchStop = stop
+		rt.mu.Unlock()
+		go func() {
+			select {
+			case <-ctx.Done():
+				rt.driver.Stop()
+			case <-stop:
+			}
+		}()
+	}
+	return nil
+}
+
+// Drain stops scheduling and waits — up to the drain budget — for hung
+// checker goroutines to be reaped, so a shutdown never races in-flight
+// checks. It is idempotent; the first call's verdict is returned to all.
+func (rt *Runtime) Drain() error {
+	rt.drainOnce.Do(func() {
+		rt.mu.Lock()
+		if rt.watchStop != nil {
+			close(rt.watchStop)
+			rt.watchStop = nil
+		}
+		rt.mu.Unlock()
+		rt.driver.Stop()
+		// Hung checker goroutines outlive Stop by design (the reaper abandons
+		// them); poll in real time — even under a virtual clock the leaked
+		// goroutines run on the OS scheduler.
+		deadline := time.Now().Add(rt.cfg.DrainBudget)
+		for rt.driver.LeakedHung() > 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if n := rt.driver.LeakedHung(); n > 0 {
+			rt.drainErr = fmt.Errorf("wdruntime: %d hung checker goroutine(s) still leaked after the %v drain budget", n, rt.cfg.DrainBudget)
+		}
+	})
+	return rt.drainErr
+}
+
+// Close tears the stack down in order: drain the driver, flush and release
+// the journal sink, close the observability server, then wait for in-flight
+// recovery retries. Idempotent; errors along the way are joined.
+func (rt *Runtime) Close() error {
+	rt.closeOnce.Do(func() {
+		errs := []error{rt.Drain()}
+		if rt.journalF != nil {
+			errs = append(errs, rt.journalF.Sync(), rt.journalF.Close())
+		} else if f, ok := rt.cfg.JournalSink.(interface{ Flush() error }); ok {
+			errs = append(errs, f.Flush())
+		}
+		if rt.obs != nil {
+			errs = append(errs, rt.obs.Journal().SinkErr())
+		}
+		rt.mu.Lock()
+		srv := rt.srv
+		rt.srv = nil
+		rt.mu.Unlock()
+		if srv != nil {
+			errs = append(errs, srv.Close())
+		}
+		if rt.rec != nil {
+			rt.rec.Wait()
+		}
+		rt.closeErr = errors.Join(errs...)
+	})
+	return rt.closeErr
+}

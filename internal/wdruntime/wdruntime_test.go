@@ -1,0 +1,367 @@
+package wdruntime_test
+
+import (
+	"context"
+	"flag"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gowatchdog/internal/recovery"
+	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/wdruntime"
+)
+
+func readyContext() *watchdog.Context {
+	ctx := watchdog.NewContext()
+	ctx.MarkReady()
+	return ctx
+}
+
+// waitFor polls cond for up to timeout.
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestLifecycleLeavesNoGoroutines proves Start → Drain → Close returns the
+// process to its pre-runtime goroutine count even after a checker hung: once
+// the hang is released, Drain reaps the leaked goroutine before Close returns.
+func TestLifecycleLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	release := make(chan struct{})
+	rt, err := wdruntime.New(
+		wdruntime.WithInterval(5*time.Millisecond),
+		wdruntime.WithTimeout(25*time.Millisecond),
+		wdruntime.WithDrainBudget(5*time.Second),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	d := rt.Driver()
+	d.Register(watchdog.NewChecker("ok", func(*watchdog.Context) error { return nil }),
+		watchdog.WithContext(readyContext()))
+	var hungOnce sync.Once
+	hung := make(chan struct{})
+	d.Register(watchdog.NewChecker("hang", func(*watchdog.Context) error {
+		hungOnce.Do(func() { close(hung) })
+		<-release
+		return nil
+	}), watchdog.WithContext(readyContext()))
+
+	if err := rt.Start(context.Background()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	<-hung
+	waitFor(t, 5*time.Second, func() bool { return d.LeakedHung() >= 1 },
+		"the hung checker goroutine to be abandoned")
+
+	close(release) // the hang resolves; Drain must now reap it
+	if err := rt.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if n := d.LeakedHung(); n != 0 {
+		t.Fatalf("LeakedHung after Drain = %d, want 0", n)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	waitFor(t, 5*time.Second, func() bool { return runtime.NumGoroutine() <= before },
+		"goroutine count to return to the pre-runtime baseline")
+}
+
+// TestDrainReportsBlownBudget: a checker that never returns must surface as a
+// Drain error naming the leak, not hang the shutdown forever.
+func TestDrainReportsBlownBudget(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+
+	rt, err := wdruntime.New(
+		wdruntime.WithInterval(5*time.Millisecond),
+		wdruntime.WithTimeout(25*time.Millisecond),
+		wdruntime.WithDrainBudget(50*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	d := rt.Driver()
+	d.Register(watchdog.NewChecker("stuck", func(*watchdog.Context) error {
+		<-release
+		return nil
+	}), watchdog.WithContext(readyContext()))
+
+	if err := rt.Start(context.Background()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return d.LeakedHung() >= 1 },
+		"the stuck checker goroutine to be abandoned")
+
+	err = rt.Drain()
+	if err == nil || !strings.Contains(err.Error(), "drain budget") {
+		t.Fatalf("Drain error = %v, want a drain-budget violation", err)
+	}
+	// Close must report the same verdict, not double-drain or hang.
+	if cerr := rt.Close(); cerr == nil || !strings.Contains(cerr.Error(), "drain budget") {
+		t.Fatalf("Close error = %v, want the drain-budget violation joined in", cerr)
+	}
+}
+
+// orderSink is a journal sink that records, at flush time, whether the obs
+// HTTP server was still answering — the shutdown-ordering contract says the
+// journal is flushed strictly before the server closes.
+type orderSink struct {
+	mu             sync.Mutex
+	lines          int
+	addr           func() string
+	servingAtFlush bool
+	flushed        bool
+}
+
+func (s *orderSink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lines++
+	return len(p), nil
+}
+
+func (s *orderSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushed = true
+	resp, err := http.Get("http://" + s.addr() + "/healthz")
+	if err == nil {
+		resp.Body.Close()
+		s.servingAtFlush = resp.StatusCode == http.StatusOK
+	}
+	return nil
+}
+
+// TestCloseFlushesJournalBeforeObsServer pins the shutdown ordering: the
+// journal sink's flush still sees a live /healthz, and after Close the
+// observability server is gone.
+func TestCloseFlushesJournalBeforeObsServer(t *testing.T) {
+	sink := &orderSink{}
+	rt, err := wdruntime.New(
+		wdruntime.WithInterval(5*time.Millisecond),
+		wdruntime.WithTimeout(time.Second),
+		wdruntime.WithObsAddr("127.0.0.1:0"),
+		wdruntime.WithJournalSink(sink),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	d := rt.Driver()
+	d.Register(watchdog.NewChecker("c", func(*watchdog.Context) error { return nil }),
+		watchdog.WithContext(readyContext()))
+
+	if err := rt.Start(context.Background()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	addr := rt.ObsAddr()
+	if addr == "" {
+		t.Fatal("ObsAddr empty after Start")
+	}
+	sink.addr = func() string { return addr }
+
+	if _, err := d.CheckNow("c"); err != nil {
+		t.Fatalf("CheckNow: %v", err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		sink.mu.Lock()
+		defer sink.mu.Unlock()
+		return sink.lines >= 1
+	}, "a journal line to reach the sink")
+
+	if err := rt.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	sink.mu.Lock()
+	flushed, serving := sink.flushed, sink.servingAtFlush
+	sink.mu.Unlock()
+	if !flushed {
+		t.Fatal("journal sink was never flushed during Close")
+	}
+	if !serving {
+		t.Fatal("obs server was already down when the journal flushed — shutdown order violated")
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("obs server still answering after Close")
+	}
+}
+
+// TestRecoveryWiring: a runtime-wired manager receives the alarm and runs the
+// matching action, and Close waits for the retry machinery to settle.
+func TestRecoveryWiring(t *testing.T) {
+	var acted sync.WaitGroup
+	acted.Add(1)
+	var once sync.Once
+	mgr := recovery.New()
+	mgr.Register(recovery.ActionFunc{
+		ActionName: "test.reset",
+		Match:      func(watchdog.Report) bool { return true },
+		Fn: func(watchdog.Report) error {
+			once.Do(acted.Done)
+			return nil
+		},
+	})
+
+	rt, err := wdruntime.New(
+		wdruntime.WithTimeout(time.Second),
+		wdruntime.WithRecovery(mgr),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if rt.Recovery() != mgr {
+		t.Fatal("Recovery() does not expose the wired manager")
+	}
+	boom := watchdog.NewChecker("boom", func(*watchdog.Context) error {
+		return context.DeadlineExceeded
+	})
+	rt.Driver().Register(boom, watchdog.WithContext(readyContext()))
+	if _, err := rt.Driver().CheckNow("boom"); err != nil {
+		t.Fatalf("CheckNow: %v", err)
+	}
+	done := make(chan struct{})
+	go func() { acted.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("recovery action never ran from the runtime-wired alarm path")
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestContextCancelStopsScheduling: cancelling the Start context stops the
+// driver's scheduling loop without tearing the rest of the stack down.
+func TestContextCancelStopsScheduling(t *testing.T) {
+	rt, err := wdruntime.New(
+		wdruntime.WithInterval(2*time.Millisecond),
+		wdruntime.WithTimeout(time.Second),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var mu sync.Mutex
+	checks := 0
+	rt.Driver().Register(watchdog.NewChecker("tick", func(*watchdog.Context) error {
+		mu.Lock()
+		checks++
+		mu.Unlock()
+		return nil
+	}), watchdog.WithContext(readyContext()))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := rt.Start(ctx); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return checks >= 2
+	}, "scheduled checks to run")
+	cancel()
+	// After cancellation settles, the check count must stop advancing.
+	waitFor(t, 5*time.Second, func() bool {
+		mu.Lock()
+		a := checks
+		mu.Unlock()
+		time.Sleep(20 * time.Millisecond)
+		mu.Lock()
+		b := checks
+		mu.Unlock()
+		return a == b
+	}, "scheduling to stop after context cancellation")
+	if err := rt.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestBindFlagsParity pins the shared flag surface: names, defaults, help
+// text, and the translation into a resolved Config. Every daemon binds this
+// exact set, so this is the single place flag parity is enforced.
+func TestBindFlagsParity(t *testing.T) {
+	fs := flag.NewFlagSet("daemon", flag.ContinueOnError)
+	f := wdruntime.BindFlags(fs)
+
+	wantDefaults := map[string]string{
+		"wd-interval":    "1s",
+		"wd-timeout":     "6s",
+		"wd-breaker":     "0",
+		"wd-damp":        "0s",
+		"wd-hang-budget": "0",
+		"obs-addr":       "",
+		"journal":        "",
+	}
+	for name, def := range wantDefaults {
+		fl := fs.Lookup(name)
+		if fl == nil {
+			t.Fatalf("flag -%s not bound", name)
+		}
+		if fl.DefValue != def {
+			t.Errorf("flag -%s default = %q, want %q", name, fl.DefValue, def)
+		}
+		if fl.Usage == "" {
+			t.Errorf("flag -%s has no help text", name)
+		}
+	}
+
+	args := []string{
+		"-wd-interval", "250ms", "-wd-timeout", "2s",
+		"-wd-breaker", "4", "-wd-damp", "15s", "-wd-hang-budget", "3",
+	}
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	rt, err := wdruntime.New(f.Options()...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer rt.Close()
+	cfg := rt.Config()
+	if cfg.Interval != 250*time.Millisecond || cfg.Timeout != 2*time.Second {
+		t.Errorf("Interval/Timeout = %v/%v, want 250ms/2s", cfg.Interval, cfg.Timeout)
+	}
+	if cfg.Breaker.Threshold != 4 {
+		t.Errorf("Breaker.Threshold = %d, want 4", cfg.Breaker.Threshold)
+	}
+	if cfg.DampWindow != 15*time.Second {
+		t.Errorf("DampWindow = %v, want 15s", cfg.DampWindow)
+	}
+	if cfg.HangBudget != 3 {
+		t.Errorf("HangBudget = %d, want 3", cfg.HangBudget)
+	}
+	if cfg.DrainBudget != 4*time.Second {
+		t.Errorf("DrainBudget = %v, want 2×timeout = 4s", cfg.DrainBudget)
+	}
+	if cfg.JitterSeed != 1 {
+		t.Errorf("JitterSeed = %d, want the driver default 1", cfg.JitterSeed)
+	}
+}
+
+// TestNewRejectsBadConfig: non-positive interval/timeout fail fast.
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := wdruntime.New(wdruntime.WithInterval(-time.Second)); err == nil {
+		t.Error("New accepted a negative interval")
+	}
+	if _, err := wdruntime.New(wdruntime.WithTimeout(-time.Second)); err == nil {
+		t.Error("New accepted a negative timeout")
+	}
+	if _, err := wdruntime.New(wdruntime.WithJournalPath("/nonexistent-dir-zz/j.jsonl")); err == nil {
+		t.Error("New accepted an unopenable journal path")
+	}
+}
