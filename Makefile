@@ -4,11 +4,11 @@ GO ?= go
 
 # Packages whose concurrency matters most: the driver/context core, the
 # coordination service, the fake clock they share, the lock-free metric
-# paths (gauge registry, wdobs histograms/journal), and the alarm-driven
-# recovery/campaign loop.
-RACE_PKGS := ./internal/watchdog ./internal/coord ./internal/clock ./internal/gauge ./internal/wdobs ./internal/recovery ./internal/campaign ./internal/wdruntime
+# paths (gauge registry, wdobs histograms/journal), the alarm-driven
+# recovery/campaign loop, the fault injector, and the gossiping mesh.
+RACE_PKGS := ./internal/watchdog ./internal/coord ./internal/clock ./internal/gauge ./internal/wdobs ./internal/recovery ./internal/campaign ./internal/wdruntime ./internal/faultinject ./internal/wdmesh
 
-.PHONY: build test vet lint race smoke check golden
+.PHONY: build test vet lint race smoke mesh-smoke check golden
 
 build:
 	$(GO) build ./...
@@ -44,9 +44,18 @@ smoke:
 		-warmup 5 -storm 20 -cooldown 10 -grace 8 \
 		-breaker 3 -breaker-backoff 100ms -damp 20s -hang-budget 2
 
+# mesh-smoke runs the seeded 3-node in-process mesh campaign: a remote
+# fail-slow fault must be detected cluster-wide through gossiped intrinsic
+# verdicts (while plain reachability heartbeats stay quiet), verdicts must
+# clear on recovery, and a one-way partition must raise zero false positives
+# at quorum 2.
+mesh-smoke:
+	$(GO) run ./cmd/wdchaos -substrate mesh -seed 7 -nodes 3 -quorum 2 \
+		-mesh-interval 25ms
+
 # golden refreshes the AutoWatchdog reduction goldens after an intentional
 # generator change.
 golden:
 	$(GO) test ./internal/autowatchdog -run Golden -update
 
-check: build vet lint test race smoke
+check: build vet lint test race smoke mesh-smoke

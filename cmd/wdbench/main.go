@@ -11,11 +11,9 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
 	"path/filepath"
 	"time"
@@ -111,22 +109,10 @@ func main() {
 	})
 }
 
-// scrapeSnapshot fetches one /watchdog snapshot from a wdobs server.
+// scrapeSnapshot fetches one /watchdog snapshot from a wdobs server with an
+// explicit timeout and a single backoff-delayed retry.
 func scrapeSnapshot(addr string) (*wdobs.Snapshot, error) {
-	client := &http.Client{Timeout: 3 * time.Second}
-	resp, err := client.Get("http://" + addr + "/watchdog")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("status %s", resp.Status)
-	}
-	var snap wdobs.Snapshot
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		return nil, err
-	}
-	return &snap, nil
+	return wdobs.NewScrapeClient(3 * time.Second).Snapshot(addr)
 }
 
 // printScrapeDelta summarizes what the observed daemon's watchdog did over

@@ -9,11 +9,14 @@
 //	wdchaos -substrate synth -seed 42 -json
 //	wdchaos -substrate kvs -dir /tmp/chaos -interval 20ms -storm 20
 //	wdchaos -substrate synth -seed 7 -breaker 3 -damp 30s -hang-budget 2
+//	wdchaos -substrate mesh -seed 7 -nodes 3 -quorum 2 -mesh-interval 20ms
 //
 // The synthetic substrate runs on a virtual clock by default, so a full
 // campaign completes in milliseconds and is reproducible bit-for-bit from the
 // seed. The kvs and dfs substrates exercise real stores on the real clock;
-// keep -interval small and the tick counts modest there.
+// keep -interval small and the tick counts modest there. The mesh substrate
+// boots a seeded in-process cluster and scores remote gray-failure detection
+// and partition tolerance (see campaign.RunMesh).
 package main
 
 import (
@@ -30,7 +33,7 @@ import (
 
 func main() {
 	var (
-		substrate = flag.String("substrate", "synth", "system under campaign: synth|kvs|dfs")
+		substrate = flag.String("substrate", "synth", "system under campaign: synth|kvs|dfs|mesh")
 		dir       = flag.String("dir", "", "scratch directory for disk-backed substrates (default: temp dir)")
 		seed      = flag.Int64("seed", 1, "schedule-generation seed")
 		realClock = flag.Bool("real-clock", false, "run the synth substrate on the real clock instead of a virtual one")
@@ -50,8 +53,17 @@ func main() {
 
 		timeout = flag.Duration("wd-timeout", 0, "checker liveness timeout override (0 = substrate default)")
 		rawJSON = flag.Bool("json", false, "print the verdict as JSON instead of the human rendering")
+
+		nodes        = flag.Int("nodes", 3, "mesh substrate: cluster size")
+		quorum       = flag.Int("quorum", 2, "mesh substrate: cluster-verdict corroboration threshold")
+		meshInterval = flag.Duration("mesh-interval", 25*time.Millisecond, "mesh substrate: shared check + gossip period")
 	)
 	flag.Parse()
+
+	if *substrate == "mesh" {
+		runMesh(*seed, *nodes, *quorum, *meshInterval, *rawJSON)
+		return
+	}
 
 	var opts []wdruntime.Option
 	if *breaker > 0 {
@@ -127,6 +139,33 @@ func buildTarget(substrate, dir string, realClock bool, opts []wdruntime.Option)
 		dir = tmp
 	}
 	return campaign.NewTarget(substrate, dir, opts...)
+}
+
+// runMesh scores the multi-node mesh campaign: remote fail-slow detection via
+// gossiped intrinsic verdicts, verdict clearing, and false-positive counts
+// under a seeded one-way partition.
+func runMesh(seed int64, nodes, quorum int, interval time.Duration, rawJSON bool) {
+	verdict, err := campaign.RunMesh(campaign.MeshConfig{
+		Seed:     seed,
+		Nodes:    nodes,
+		Quorum:   quorum,
+		Interval: interval,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if rawJSON {
+		data, err := verdict.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Print(verdict.Render())
+	}
+	if !verdict.Pass {
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

@@ -10,19 +10,39 @@ import (
 )
 
 // showJournal renders a wdobs JSONL detection journal: the event timeline
-// followed by a per-checker rollup.
+// followed by a per-checker rollup. Reading is lenient — journals from crashed
+// daemons routinely end in a torn final write — but damage is reported, never
+// silently skipped.
 func showJournal(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	events, err := wdobs.ReadJournal(f)
+	events, stats, err := wdobs.ReadJournalLenient(f)
 	if err != nil {
 		return err
 	}
 	renderJournal(os.Stdout, events)
+	reportJournalDamage(os.Stdout, stats)
 	return nil
+}
+
+// reportJournalDamage prints what the lenient reader had to skip.
+func reportJournalDamage(w io.Writer, stats wdobs.JournalReadStats) {
+	if stats.Malformed == 0 {
+		return
+	}
+	if stats.TornTail && stats.Malformed == 1 {
+		fmt.Fprintf(w, "\nwarning: final line truncated (torn write — daemon likely died mid-append); %d of %d lines replayed\n",
+			stats.Events, stats.Lines)
+		return
+	}
+	fmt.Fprintf(w, "\nwarning: %d malformed line(s) skipped (first at line %d", stats.Malformed, stats.FirstMalformedLine)
+	if stats.TornTail {
+		fmt.Fprint(w, ", final line truncated — torn write")
+	}
+	fmt.Fprintf(w, "); %d of %d lines replayed\n", stats.Events, stats.Lines)
 }
 
 func renderJournal(w io.Writer, events []wdobs.Event) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -46,5 +47,45 @@ func TestRenderJournalEmpty(t *testing.T) {
 	renderJournal(&out, nil)
 	if !strings.Contains(out.String(), "empty journal") {
 		t.Errorf("empty render = %q", out.String())
+	}
+}
+
+// TestJournalDamageReport: a journal ending in a torn final write replays the
+// intact prefix and reports the truncation instead of silently skipping it.
+func TestJournalDamageReport(t *testing.T) {
+	intact, err := os.ReadFile(filepath.Join("testdata", "detections.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a daemon killed mid-append: the last line is cut short.
+	torn := append(append([]byte{}, intact...), []byte(`{"seq":7,"kind":"rep`)...)
+	events, stats, err := wdobs.ReadJournalLenient(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatalf("ReadJournalLenient: %v", err)
+	}
+	if len(events) != 6 {
+		t.Fatalf("replayed %d events from the torn journal, want the 6 intact ones", len(events))
+	}
+
+	var out strings.Builder
+	reportJournalDamage(&out, stats)
+	got := out.String()
+	if !strings.Contains(got, "torn write") || !strings.Contains(got, "6 of 7 lines replayed") {
+		t.Errorf("damage report = %q, want the torn-write warning with counts", got)
+	}
+
+	// Multi-line damage reports the first malformed line number.
+	out.Reset()
+	reportJournalDamage(&out, wdobs.JournalReadStats{Lines: 9, Events: 6, Malformed: 3, FirstMalformedLine: 4, TornTail: true})
+	got = out.String()
+	if !strings.Contains(got, "3 malformed line(s)") || !strings.Contains(got, "first at line 4") {
+		t.Errorf("multi-damage report = %q", got)
+	}
+
+	// A clean read prints nothing.
+	out.Reset()
+	reportJournalDamage(&out, wdobs.JournalReadStats{Lines: 6, Events: 6})
+	if out.Len() != 0 {
+		t.Errorf("clean read produced a damage report: %q", out.String())
 	}
 }

@@ -10,11 +10,9 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -29,15 +27,14 @@ func main() {
 		watch   = flag.Bool("watch", false, "poll continuously instead of one-shot")
 		every   = flag.Duration("every", time.Second, "poll interval with -watch")
 		rawJSON = flag.Bool("json", false, "print the raw JSON snapshot and exit")
-		timeout = flag.Duration("timeout", 3*time.Second, "HTTP request timeout")
+		timeout = flag.Duration("timeout", 3*time.Second, "per-attempt HTTP timeout (one retry with backoff on transient failures)")
 	)
 	flag.Parse()
 
-	client := &http.Client{Timeout: *timeout}
-	url := "http://" + *addr + "/watchdog"
+	client := wdobs.NewScrapeClient(*timeout)
 
 	if *rawJSON {
-		body, err := fetchRaw(client, url)
+		body, err := client.RawSnapshot(*addr)
 		if err != nil {
 			fatal(err)
 		}
@@ -46,7 +43,7 @@ func main() {
 	}
 
 	for {
-		snap, err := fetch(client, url)
+		snap, err := client.Snapshot(*addr)
 		if err != nil {
 			if !*watch {
 				fatal(err)
@@ -74,30 +71,6 @@ func snapOrNil(s *wdobs.Snapshot, err error) *wdobs.Snapshot {
 		return nil
 	}
 	return s
-}
-
-func fetchRaw(client *http.Client, url string) ([]byte, error) {
-	resp, err := client.Get(url)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
-	}
-	return io.ReadAll(resp.Body)
-}
-
-func fetch(client *http.Client, url string) (*wdobs.Snapshot, error) {
-	body, err := fetchRaw(client, url)
-	if err != nil {
-		return nil, err
-	}
-	var snap wdobs.Snapshot
-	if err := json.Unmarshal(body, &snap); err != nil {
-		return nil, fmt.Errorf("decode %s: %w", url, err)
-	}
-	return &snap, nil
 }
 
 // render prints the snapshot as an aligned table.

@@ -50,6 +50,15 @@ const (
 	// that drops every other packet, a disk that fails in bursts). Campaigns
 	// use it to exercise alarm damping and breaker half-open probes.
 	Flap
+	// Drop silently discards the message passing through a network fault
+	// point (FireNet): the sender believes the send succeeded and the
+	// receiver never hears it. Armed on one directional link point it models
+	// a one-way partition; armed on every link of a node it black-holes it.
+	Drop
+	// Duplicate delivers the message passing through a network fault point
+	// twice, modelling retransmission storms and at-least-once transports.
+	// Receivers must deduplicate (the mesh does, by digest sequence number).
+	Duplicate
 )
 
 // String returns the kind's name.
@@ -71,6 +80,10 @@ func (k Kind) String() string {
 		return "leak"
 	case Flap:
 		return "flap"
+	case Drop:
+		return "drop"
+	case Duplicate:
+		return "duplicate"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -271,19 +284,74 @@ func (in *Injector) FireData(point string, data []byte) ([]byte, error) {
 	return out, nil
 }
 
+// NetOutcome describes what an armed network fault does to one in-flight
+// message. The zero value means "deliver normally".
+type NetOutcome struct {
+	// Drop means the message is silently lost in transit: the sender's write
+	// appears to succeed and the receiver never sees the message.
+	Drop bool
+	// Duplicate means the message is delivered twice.
+	Duplicate bool
+	// Delay is how long delivery is deferred.
+	Delay time.Duration
+	// Err is returned to the sender (a visible transport error, unlike Drop).
+	Err error
+}
+
+// FireNet triggers the network fault at a directional link point, if one is
+// armed, and returns what should happen to the message. It understands the
+// message-shaped kinds — Drop, Duplicate, Delay, Error, and Flap (which
+// errors on its on-phase) — and treats every other kind as a clean delivery,
+// so link points can share an injector with process-level fault points.
+func (in *Injector) FireNet(point string) NetOutcome {
+	a := in.lookup(point)
+	if a == nil {
+		return NetOutcome{}
+	}
+	seq := a.fired.Add(1) - 1 // this invocation's zero-based sequence
+	switch a.fault.Kind {
+	case Drop:
+		return NetOutcome{Drop: true}
+	case Duplicate:
+		return NetOutcome{Duplicate: true}
+	case Delay:
+		return NetOutcome{Delay: a.fault.Delay}
+	case Error:
+		return NetOutcome{Err: in.pointErr(point, a)}
+	case Flap:
+		on, off := a.fault.FlapOn, a.fault.FlapOff
+		if on <= 0 {
+			on = 1
+		}
+		if off <= 0 {
+			off = 1
+		}
+		if seq%int64(on+off) < int64(on) {
+			return NetOutcome{Err: in.pointErr(point, a)}
+		}
+	}
+	return NetOutcome{}
+}
+
+// pointErr wraps the fault's error (or ErrInjected) with the point name.
+func (in *Injector) pointErr(point string, a *armed) error {
+	if a.fault.Err != nil {
+		return fmt.Errorf("%s: %w", point, a.fault.Err)
+	}
+	return fmt.Errorf("%s: %w", point, ErrInjected)
+}
+
 // fireArmed applies a's manifestation. Corrupt is a no-op here: it only has
-// an effect through FireData's payload path, so code paths without data flow
-// can still share the point name harmlessly.
+// an effect through FireData's payload path — and Drop/Duplicate likewise
+// only act through FireNet's message path — so code paths without data or
+// message flow can still share the point name harmlessly.
 func (in *Injector) fireArmed(point string, a *armed) error {
 	a.fired.Add(1)
 	switch a.fault.Kind {
 	case Delay:
 		in.clk.Sleep(a.fault.Delay)
 	case Error:
-		if a.fault.Err != nil {
-			return fmt.Errorf("%s: %w", point, a.fault.Err)
-		}
-		return fmt.Errorf("%s: %w", point, ErrInjected)
+		return in.pointErr(point, a)
 	case Hang:
 		in.hanging.Add(1)
 		<-a.release
@@ -300,10 +368,7 @@ func (in *Injector) fireArmed(point string, a *armed) error {
 		}
 		seq := a.fired.Load() - 1 // this invocation's zero-based sequence
 		if seq%int64(on+off) < int64(on) {
-			if a.fault.Err != nil {
-				return fmt.Errorf("%s: %w", point, a.fault.Err)
-			}
-			return fmt.Errorf("%s: %w", point, ErrInjected)
+			return in.pointErr(point, a)
 		}
 	case Leak:
 		n := a.fault.LeakBytes

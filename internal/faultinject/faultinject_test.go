@@ -3,6 +3,7 @@ package faultinject
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -280,5 +281,60 @@ func TestFireDataNonCorruptPassesThrough(t *testing.T) {
 	}
 	if string(out) != "xyz" {
 		t.Fatalf("payload changed: %q", out)
+	}
+}
+
+// TestFlapConcurrent: concurrent Fires through a flapping point must be
+// race-free and keep the on/off accounting exact — with FlapOn=1/FlapOff=1
+// every other global invocation errors, so the totals split exactly in half
+// regardless of goroutine interleaving. Run with -race.
+func TestFlapConcurrent(t *testing.T) {
+	inj := New(clock.Real())
+	inj.Arm("flappy", Fault{Kind: Flap})
+
+	const goroutines, fires = 8, 100
+	var failed, passed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < fires; i++ {
+				if err := inj.Fire("flappy"); err != nil {
+					failed.Add(1)
+				} else {
+					passed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := int64(goroutines * fires)
+	if failed.Load()+passed.Load() != total {
+		t.Fatalf("accounting lost fires: %d failed + %d passed != %d",
+			failed.Load(), passed.Load(), total)
+	}
+	if failed.Load() != total/2 {
+		t.Fatalf("strict alternation failed %d of %d fires, want exactly half", failed.Load(), total)
+	}
+
+	// The same alternation must hold through the message-shaped path.
+	inj.Arm("flappy.net", Fault{Kind: Flap, FlapOn: 2, FlapOff: 2})
+	var netErrs atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < fires; i++ {
+				if out := inj.FireNet("flappy.net"); out.Err != nil {
+					netErrs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if netErrs.Load() != total/2 {
+		t.Fatalf("FireNet flap errored %d of %d fires, want exactly half", netErrs.Load(), total)
 	}
 }

@@ -2,8 +2,10 @@ package recovery
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -240,5 +242,48 @@ func TestEndToEndKVSCorruptionRepair(t *testing.T) {
 	}
 	if store.Metrics().Counter("kvs.repairs").Value() == 0 {
 		t.Fatal("repair counter not incremented")
+	}
+}
+
+// TestEventRingOverflow: the bounded event ring keeps the newest events in
+// oldest-first order once it wraps, and DroppedEvents accounts for the rest —
+// including under concurrent alarm handling (meaningful under -race).
+func TestEventRingOverflow(t *testing.T) {
+	m := New(WithEventCap(4))
+	m.Register(ForChecker("fix", "c.", func(watchdog.Report) error { return nil }))
+	for i := 0; i < 10; i++ {
+		m.HandleAlarm(alarmFor(fmt.Sprintf("c.%d", i), watchdog.Site{}))
+	}
+	ev := m.Events()
+	if len(ev) != 4 {
+		t.Fatalf("ring retained %d events, want the cap of 4", len(ev))
+	}
+	for i, e := range ev {
+		if want := fmt.Sprintf("c.%d", 6+i); e.Checker != want {
+			t.Fatalf("event[%d] = %s, want %s (newest four, oldest first)", i, e.Checker, want)
+		}
+	}
+	if got := m.DroppedEvents(); got != 6 {
+		t.Fatalf("DroppedEvents = %d, want 6", got)
+	}
+
+	// Concurrent alarms must not corrupt the ring: total accounting stays
+	// exact and the retained window stays at the cap.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				m.HandleAlarm(alarmFor(fmt.Sprintf("c.g%d.%d", g, i), watchdog.Site{}))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := m.DroppedEvents(); got != 10+200-4 {
+		t.Fatalf("DroppedEvents after concurrent overflow = %d, want %d", got, 10+200-4)
+	}
+	if got := len(m.Events()); got != 4 {
+		t.Fatalf("ring retained %d events after concurrent overflow, want 4", got)
 	}
 }

@@ -42,17 +42,29 @@ func (a *RuntimeCfgAnalyzer) Run(u *Unit) []Diag {
 		for _, f := range p.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
-				if !ok || watchdogFunc(p, call.Fun) != "New" {
+				if !ok {
 					return true
 				}
-				diags = append(diags, Diag{
-					Pos:      p.Pos(call.Pos()),
-					Analyzer: a.Name(),
-					Severity: SevWarn,
-					Message: fmt.Sprintf(
-						"deployment package %s constructs the driver with watchdog.New; compose the stack through wdruntime.New so flags, hardening, and shutdown ordering stay uniform (//wdlint:ignore runtimecfg to keep a bespoke driver)",
-						p.ImportPath),
-				})
+				if watchdogFunc(p, call.Fun) == "New" {
+					diags = append(diags, Diag{
+						Pos:      p.Pos(call.Pos()),
+						Analyzer: a.Name(),
+						Severity: SevWarn,
+						Message: fmt.Sprintf(
+							"deployment package %s constructs the driver with watchdog.New; compose the stack through wdruntime.New so flags, hardening, and shutdown ordering stay uniform (//wdlint:ignore runtimecfg to keep a bespoke driver)",
+							p.ImportPath),
+					})
+				}
+				if meshFunc(p, call.Fun) == "New" {
+					diags = append(diags, Diag{
+						Pos:      p.Pos(call.Pos()),
+						Analyzer: a.Name(),
+						Severity: SevWarn,
+						Message: fmt.Sprintf(
+							"deployment package %s constructs the cluster health plane with wdmesh.New; join the mesh through wdruntime (WithMesh or the -wd-peers flags) so digests, journaling, and shutdown ordering stay wired (//wdlint:ignore runtimecfg to keep a bespoke mesh)",
+							p.ImportPath),
+					})
+				}
 				return true
 			})
 		}

@@ -37,6 +37,34 @@ func watchdogFunc(p *Package, e ast.Expr) string {
 	return sel.Sel.Name
 }
 
+// meshPath matches the wdmesh package by import-path suffix so the analyzers
+// work on this module and on fixtures alike.
+const meshPath = "/wdmesh"
+
+// isMeshPkg reports whether pkg is the cluster-health-plane package.
+func isMeshPkg(pkg *types.Package) bool {
+	return pkg != nil &&
+		(pkg.Path() == "wdmesh" || strings.HasSuffix(pkg.Path(), meshPath))
+}
+
+// meshFunc returns the wdmesh-package function name called by e ("New",
+// "ListenTCP", ...), or "" if e is not a wdmesh call.
+func meshFunc(p *Package, e ast.Expr) string {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok || !isMeshPkg(pn.Imported()) {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
 // constString returns the constant string value of e, if any.
 func constString(p *Package, e ast.Expr) (string, bool) {
 	tv, ok := p.Info.Types[e]

@@ -16,6 +16,7 @@ func TestSelfLint(t *testing.T) {
 		"../autowatchdog/genexample",
 		"../campaign",
 		"../wdruntime",
+		"../wdmesh",
 	}, All())
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,33 @@
+// Package main hand-wires a cluster health plane inside a deployment
+// package — the runtimecfg analyzer demands mesh-enabled mains join through
+// wdruntime (WithMesh or the -wd-peers flag set) so digest sourcing, verdict
+// journaling, and shutdown ordering come from the shared lifecycle.
+package main
+
+import (
+	"gowatchdog/internal/wdmesh"
+)
+
+// BadMeshWire builds the mesh directly in a command package. // want: wdruntime
+func BadMeshWire(tr wdmesh.Transport) (*wdmesh.Mesh, error) {
+	return wdmesh.New(wdmesh.Config{
+		Self:      "n1",
+		Peers:     []string{"n2", "n3"},
+		Transport: tr,
+		Source:    func() wdmesh.Digest { return wdmesh.Digest{Healthy: true} },
+	})
+}
+
+// BespokeMeshWire keeps a hand-built mesh with an explicit justification; the
+// ignore directive suppresses the finding.
+func BespokeMeshWire(tr wdmesh.Transport) (*wdmesh.Mesh, error) {
+	//wdlint:ignore runtimecfg standalone mesh probe, no runtime lifecycle
+	return wdmesh.New(wdmesh.Config{
+		Self:      "probe",
+		Peers:     []string{"n2"},
+		Transport: tr,
+		Source:    func() wdmesh.Digest { return wdmesh.Digest{Healthy: true} },
+	})
+}
+
+func main() {}

@@ -14,6 +14,7 @@
 //	drivercfg   checker registrations need sane timeouts/thresholds
 //	runtimecfg  deployment packages (commands, the campaign layer) must
 //	            compose the stack through wdruntime, not bare watchdog.New
+//	            or hand-wired wdmesh.New
 //	genfresh    *_wd_gen.go files must match the current AutoWatchdog
 //	            reduction output (§4)
 //

@@ -143,6 +143,20 @@ func TestRuntimeCfgFixture(t *testing.T) {
 	}
 }
 
+// TestRuntimeCfgMeshFixture: a deployment package building the cluster
+// health plane with wdmesh.New bypasses the shared lifecycle; joining must go
+// through wdruntime. The second construction carries an ignore directive.
+func TestRuntimeCfgMeshFixture(t *testing.T) {
+	diags := lint(t, &RuntimeCfgAnalyzer{}, "meshcfgbad")
+	d := wantDiag(t, diags, "wdmesh.New", "wdruntime", "-wd-peers")
+	if d.Severity != SevWarn {
+		t.Errorf("mesh runtimecfg severity = %s, want warn", d.Severity)
+	}
+	if n := len(diags); n != 1 {
+		t.Errorf("want 1 mesh runtimecfg finding, got %d:\n%s", n, render(diags))
+	}
+}
+
 // TestRuntimeCfgScope: library packages may build bare drivers — only
 // commands and the campaign layer are deployment scope.
 func TestRuntimeCfgScope(t *testing.T) {

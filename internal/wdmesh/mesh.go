@@ -1,0 +1,490 @@
+package wdmesh
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gowatchdog/internal/clock"
+)
+
+// Config parameterizes one mesh node.
+type Config struct {
+	// Self is this node's mesh identity. With the TCP transport it is the
+	// address peers dial, so digests are attributable without a directory.
+	Self string
+	// Peers are the other nodes' identities (TCP: their listen addresses).
+	// Self is filtered out; duplicates are collapsed.
+	Peers []string
+	// Interval is the gossip period (default 1s).
+	Interval time.Duration
+	// SuspectAfter is how long without a fresh digest — direct or relayed —
+	// before a peer is observed unreachable (default 4×Interval).
+	SuspectAfter time.Duration
+	// Quorum is how many observers (this node plus peers with fresh
+	// observations) must corroborate a suspicion before it becomes a
+	// cluster-level verdict (default 2; 1 degrades to plain heartbeating).
+	Quorum int
+	// QueueCap bounds each peer's outgoing queue; overflow drops the message
+	// and increments the peer's drop counter (default 8).
+	QueueCap int
+	// SendTimeout is the per-attempt send deadline (default Interval, capped
+	// at 2s so a hung link never stalls a sender past a couple of rounds).
+	SendTimeout time.Duration
+	// Retries is how many times a failed send is retried before the message
+	// is abandoned (default 2).
+	Retries int
+	// RetryBase seeds the capped exponential retry backoff (default
+	// Interval/8; the cap is Interval).
+	RetryBase time.Duration
+	// JitterSeed seeds retry jitter (default 1).
+	JitterSeed int64
+	// Clock replaces the real clock (virtual in deterministic tests).
+	Clock clock.Clock
+	// Transport carries messages; required.
+	Transport Transport
+	// Source builds this node's health digest each gossip round; required.
+	// The mesh fills Node, Seq, and Time itself.
+	Source func() Digest
+	// OnVerdict, when set, is called on every cluster-verdict transition:
+	// raised=true when the verdict is reached, false when it clears (the
+	// cleared verdict is passed so the subject and kind are known).
+	OnVerdict func(v Verdict, raised bool)
+	// Logf, when set, receives one-line mesh lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// peer is the per-peer send side: a bounded queue drained by one sender
+// goroutine, with drop/retry/failure counters.
+type peer struct {
+	name     string
+	queue    chan Message
+	drops    atomic.Int64
+	retries  atomic.Int64
+	failures atomic.Int64
+	sent     atomic.Int64
+}
+
+// obsRecord is one observer's most recent observation set.
+type obsRecord struct {
+	at    time.Time
+	kinds map[string]string // subject -> observation kind
+}
+
+// Mesh is one node's view of the cluster health plane.
+type Mesh struct {
+	cfg   Config
+	clk   clock.Clock
+	peers []*peer
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu       sync.Mutex
+	seq      uint64
+	digests  map[string]Digest    // freshest known digest per node (never self)
+	heard    map[string]time.Time // when a fresh digest for the node last arrived
+	obs      map[string]obsRecord // per-observer relayed observations
+	verdicts map[string]Verdict   // current cluster verdicts by subject
+
+	started  bool
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	closeOne sync.Once
+	closeErr error
+
+	sent            atomic.Int64
+	received        atomic.Int64
+	verdictsRaised  atomic.Int64
+	verdictsCleared atomic.Int64
+}
+
+// New validates cfg, applies defaults, and returns an unstarted Mesh.
+func New(cfg Config) (*Mesh, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("wdmesh: empty Self identity")
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("wdmesh: nil Transport")
+	}
+	if cfg.Source == nil {
+		return nil, errors.New("wdmesh: nil digest Source")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 4 * cfg.Interval
+	}
+	if cfg.Quorum <= 0 {
+		cfg.Quorum = 2
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 8
+	}
+	if cfg.SendTimeout <= 0 {
+		cfg.SendTimeout = cfg.Interval
+		if cfg.SendTimeout > 2*time.Second {
+			cfg.SendTimeout = 2 * time.Second
+		}
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = cfg.Interval / 8
+		if cfg.RetryBase <= 0 {
+			cfg.RetryBase = time.Millisecond
+		}
+	}
+	if cfg.JitterSeed == 0 {
+		cfg.JitterSeed = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real()
+	}
+
+	m := &Mesh{
+		cfg:      cfg,
+		clk:      cfg.Clock,
+		rng:      rand.New(rand.NewSource(cfg.JitterSeed)),
+		digests:  make(map[string]Digest),
+		heard:    make(map[string]time.Time),
+		obs:      make(map[string]obsRecord),
+		verdicts: make(map[string]Verdict),
+		stop:     make(chan struct{}),
+	}
+	seen := map[string]bool{cfg.Self: true}
+	for _, name := range cfg.Peers {
+		if name == "" || seen[name] {
+			continue
+		}
+		seen[name] = true
+		m.peers = append(m.peers, &peer{name: name, queue: make(chan Message, cfg.QueueCap)})
+	}
+	if len(m.peers) == 0 {
+		return nil, errors.New("wdmesh: no peers besides self")
+	}
+	return m, nil
+}
+
+// Self returns this node's mesh identity.
+func (m *Mesh) Self() string { return m.cfg.Self }
+
+// Quorum returns the effective corroboration quorum.
+func (m *Mesh) Quorum() int { return m.cfg.Quorum }
+
+// Start registers the inbound handler and launches the gossip loop and one
+// sender goroutine per peer. It is not idempotent; call once.
+func (m *Mesh) Start() {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		panic("wdmesh: Start called twice")
+	}
+	m.started = true
+	// Seed every peer as just-heard: a node is presumed alive at cold start
+	// and only becomes suspect after a full SuspectAfter of real silence.
+	// Without this, simultaneously booting nodes corroborate each other's
+	// "never heard yet" into a spurious cluster verdict.
+	now := m.clk.Now()
+	for _, p := range m.peers {
+		m.heard[p.name] = now
+	}
+	m.mu.Unlock()
+
+	m.cfg.Transport.SetHandler(m.receive)
+	for _, p := range m.peers {
+		m.wg.Add(1)
+		go m.sender(p)
+	}
+	m.wg.Add(1)
+	go m.gossipLoop()
+	m.logf("wdmesh: %s gossiping to %d peer(s) every %v (suspect-after %v, quorum %d)",
+		m.cfg.Self, len(m.peers), m.cfg.Interval, m.cfg.SuspectAfter, m.cfg.Quorum)
+}
+
+// Close stops gossiping and releases the transport. It is bounded even when
+// every link is down: in-flight sends are limited by the per-attempt
+// deadline, and retry backoffs abort on stop.
+func (m *Mesh) Close() error {
+	m.closeOne.Do(func() {
+		close(m.stop)
+		err := m.cfg.Transport.Close()
+		m.wg.Wait()
+		m.closeErr = err
+	})
+	return m.closeErr
+}
+
+// gossipLoop emits one digest exchange per interval until Close.
+func (m *Mesh) gossipLoop() {
+	defer m.wg.Done()
+	ticker := m.clk.NewTicker(m.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		m.tickOnce()
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C():
+		}
+	}
+}
+
+// tickOnce assembles this round's digest, re-evaluates suspicion and
+// verdicts, and enqueues the exchange to every peer.
+func (m *Mesh) tickOnce() {
+	d := m.cfg.Source()
+	now := m.clk.Now()
+	d.Node = m.cfg.Self
+	d.Time = now
+	if len(d.Abnormal) > maxAbnormalNames {
+		d.Abnormal = d.Abnormal[:maxAbnormalNames]
+	}
+
+	m.mu.Lock()
+	m.seq++
+	d.Seq = m.seq
+	msg := Message{From: m.cfg.Self, Self: d}
+	for _, known := range m.digests {
+		msg.Known = append(msg.Known, known)
+	}
+	sort.Slice(msg.Known, func(i, j int) bool { return msg.Known[i].Node < msg.Known[j].Node })
+	for _, p := range m.peers {
+		msg.Obs = append(msg.Obs, Observation{Node: p.name, Kind: m.observationLocked(p.name, now)})
+	}
+	m.evaluateVerdictsLocked(now)
+	m.mu.Unlock()
+
+	for _, p := range m.peers {
+		select {
+		case p.queue <- msg:
+		default:
+			p.drops.Add(1)
+		}
+	}
+}
+
+// maxAbnormalNames caps the abnormal-checker list carried per digest so a
+// pathological checker suite cannot bloat every gossip message.
+const maxAbnormalNames = 16
+
+// observationLocked classifies one peer right now. Callers hold m.mu.
+func (m *Mesh) observationLocked(node string, now time.Time) string {
+	heard, ok := m.heard[node]
+	if !ok || now.Sub(heard) > m.cfg.SuspectAfter {
+		return ObsUnreachable
+	}
+	if d, ok := m.digests[node]; ok && !d.Healthy {
+		return ObsAlarming
+	}
+	return ObsOK
+}
+
+// Observation returns this node's current classification of a peer.
+func (m *Mesh) Observation(node string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.observationLocked(node, m.clk.Now())
+}
+
+// evaluateVerdictsLocked recomputes cluster verdicts from local observations
+// plus fresh relayed ones, raising and clearing under the quorum gate.
+// Callers hold m.mu.
+func (m *Mesh) evaluateVerdictsLocked(now time.Time) {
+	for _, p := range m.peers {
+		subject := p.name
+		votes := map[string]int{m.observationLocked(subject, now): 1}
+		for observer, rec := range m.obs {
+			if observer == subject {
+				// A node's opinion of itself is its digest, which already
+				// drives the local observation; it is not corroboration.
+				continue
+			}
+			if now.Sub(rec.at) > m.cfg.SuspectAfter {
+				continue // the observer itself has gone quiet; its view is stale
+			}
+			if kind, ok := rec.kinds[subject]; ok {
+				votes[kind]++
+			}
+		}
+
+		var next *Verdict
+		switch {
+		case votes[ObsAlarming] >= m.cfg.Quorum:
+			next = &Verdict{Node: subject, Kind: VerdictIntrinsic,
+				Votes: votes[ObsAlarming], Worst: m.digests[subject].Worst}
+		case votes[ObsUnreachable] >= m.cfg.Quorum:
+			next = &Verdict{Node: subject, Kind: VerdictUnreachable,
+				Votes: votes[ObsUnreachable]}
+		}
+
+		cur, have := m.verdicts[subject]
+		switch {
+		case next == nil && have:
+			delete(m.verdicts, subject)
+			m.verdictsCleared.Add(1)
+			m.notifyVerdict(cur, false)
+		case next != nil && !have:
+			next.Since = now
+			m.verdicts[subject] = *next
+			m.verdictsRaised.Add(1)
+			m.notifyVerdict(*next, true)
+		case next != nil && have:
+			if next.Kind != cur.Kind {
+				// Kind changed (e.g. gray failure collapsed into a full
+				// crash): clear and re-raise so listeners see both edges.
+				m.verdictsCleared.Add(1)
+				m.notifyVerdict(cur, false)
+				next.Since = now
+				m.verdicts[subject] = *next
+				m.verdictsRaised.Add(1)
+				m.notifyVerdict(*next, true)
+			} else {
+				next.Since = cur.Since
+				m.verdicts[subject] = *next
+			}
+		}
+	}
+}
+
+// notifyVerdict invokes the verdict callback outside the usual hot path but
+// under m.mu; callbacks must not call back into the mesh.
+func (m *Mesh) notifyVerdict(v Verdict, raised bool) {
+	edge := "raised"
+	if !raised {
+		edge = "cleared"
+	}
+	m.logf("wdmesh: %s %s %s verdict on %s (votes=%d)", m.cfg.Self, edge, v.Kind, v.Node, v.Votes)
+	if m.cfg.OnVerdict != nil {
+		m.cfg.OnVerdict(v, raised)
+	}
+}
+
+// Verdicts returns the current cluster verdicts, sorted by subject.
+func (m *Mesh) Verdicts() []Verdict {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Verdict, 0, len(m.verdicts))
+	for _, v := range m.verdicts {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// receive merges one inbound exchange: the sender's digest, everything it
+// relayed, and its observation set.
+func (m *Mesh) receive(msg *Message) {
+	if msg == nil || msg.From == m.cfg.Self {
+		return
+	}
+	m.received.Add(1)
+	now := m.clk.Now()
+	m.mu.Lock()
+	m.mergeLocked(msg.Self, now)
+	for _, d := range msg.Known {
+		m.mergeLocked(d, now)
+	}
+	if msg.From != "" {
+		rec := obsRecord{at: now, kinds: make(map[string]string, len(msg.Obs))}
+		for _, o := range msg.Obs {
+			if o.Node == m.cfg.Self || o.Node == "" {
+				continue
+			}
+			rec.kinds[o.Node] = o.Kind
+		}
+		m.obs[msg.From] = rec
+	}
+	m.mu.Unlock()
+}
+
+// mergeLocked keeps the freshest digest per node; replays and duplicates are
+// rejected by sequence number. Callers hold m.mu.
+func (m *Mesh) mergeLocked(d Digest, now time.Time) {
+	if d.Node == "" || d.Node == m.cfg.Self {
+		return
+	}
+	if cur, ok := m.digests[d.Node]; ok && d.Seq <= cur.Seq {
+		return
+	}
+	m.digests[d.Node] = d
+	m.heard[d.Node] = now
+}
+
+// sender drains one peer's queue, applying the per-attempt deadline and the
+// capped, jittered exponential retry policy.
+func (m *Mesh) sender(p *peer) {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case msg := <-p.queue:
+			m.deliver(p, msg)
+		}
+	}
+}
+
+// deliver attempts one message with bounded retries; a message that exhausts
+// its retry budget is abandoned (the next gossip round supersedes it anyway).
+func (m *Mesh) deliver(p *peer, msg Message) {
+	backoff := m.cfg.RetryBase
+	for attempt := 0; ; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), m.cfg.SendTimeout)
+		err := m.cfg.Transport.Send(ctx, p.name, &msg)
+		cancel()
+		if err == nil {
+			p.sent.Add(1)
+			m.sent.Add(1)
+			return
+		}
+		if attempt >= m.cfg.Retries {
+			p.failures.Add(1)
+			return
+		}
+		p.retries.Add(1)
+		d := backoff
+		if max := m.cfg.Interval; d > max {
+			d = max
+		}
+		d += m.jitter(d / 2)
+		t := m.clk.NewTimer(d)
+		select {
+		case <-m.stop:
+			t.Stop()
+			return
+		case <-t.C():
+		}
+		backoff *= 2
+	}
+}
+
+// jitter returns a seeded random duration in [0, max).
+func (m *Mesh) jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	m.rngMu.Lock()
+	defer m.rngMu.Unlock()
+	return time.Duration(m.rng.Int63n(int64(max)))
+}
+
+func (m *Mesh) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+// String identifies the mesh in logs.
+func (m *Mesh) String() string {
+	return fmt.Sprintf("wdmesh(%s, %d peers)", m.cfg.Self, len(m.peers))
+}

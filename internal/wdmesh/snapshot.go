@@ -1,0 +1,114 @@
+package wdmesh
+
+import (
+	"sort"
+
+	"gowatchdog/internal/watchdog"
+)
+
+// PeerSnapshot is the observable state of one peer link.
+type PeerSnapshot struct {
+	// Node is the peer's mesh identity.
+	Node string `json:"node"`
+	// Observation is this node's current classification (ObsOK /
+	// ObsUnreachable / ObsAlarming).
+	Observation string `json:"observation"`
+	// LastHeardNS is nanoseconds since a fresh digest for the peer last
+	// arrived (direct or relayed); -1 means never.
+	LastHeardNS int64 `json:"last_heard_ns"`
+	// Seq is the freshest digest sequence number seen from the peer.
+	Seq uint64 `json:"seq"`
+	// Worst is the peer's self-reported worst checker status.
+	Worst watchdog.Status `json:"worst,omitempty"`
+	// QueueDrops counts messages dropped because the peer's bounded outgoing
+	// queue was full.
+	QueueDrops int64 `json:"queue_drops"`
+	// SendRetries counts retried send attempts to the peer.
+	SendRetries int64 `json:"send_retries"`
+	// SendFailures counts messages abandoned after the retry budget.
+	SendFailures int64 `json:"send_failures"`
+	// Sent counts messages successfully handed to the transport.
+	Sent int64 `json:"sent"`
+}
+
+// Snapshot is a point-in-time view of the mesh, exported via wdobs.
+type Snapshot struct {
+	// Self is this node's mesh identity.
+	Self string `json:"self"`
+	// Quorum is the corroboration threshold for cluster verdicts.
+	Quorum int `json:"quorum"`
+	// IntervalNS and SuspectAfterNS echo the effective timing config.
+	IntervalNS     int64 `json:"interval_ns"`
+	SuspectAfterNS int64 `json:"suspect_after_ns"`
+	// PeersAlive and PeersSuspect partition the peer set by observation
+	// (alive = ObsOK; suspect = ObsUnreachable or ObsAlarming).
+	PeersAlive   int `json:"peers_alive"`
+	PeersSuspect int `json:"peers_suspect"`
+	// MessagesSent and MessagesReceived are process-lifetime totals.
+	MessagesSent     int64 `json:"messages_sent"`
+	MessagesReceived int64 `json:"messages_received"`
+	// QueueDrops, SendRetries, SendFailures are totals across peers.
+	QueueDrops   int64 `json:"queue_drops"`
+	SendRetries  int64 `json:"send_retries"`
+	SendFailures int64 `json:"send_failures"`
+	// VerdictsRaised and VerdictsCleared count cluster-verdict transitions.
+	VerdictsRaised  int64 `json:"verdicts_raised"`
+	VerdictsCleared int64 `json:"verdicts_cleared"`
+	// Peers describes each peer link, sorted by node.
+	Peers []PeerSnapshot `json:"peers"`
+	// Verdicts are the current cluster verdicts, sorted by subject.
+	Verdicts []Verdict `json:"verdicts,omitempty"`
+}
+
+// Snapshot assembles the current mesh view. It is safe to call concurrently
+// with gossip.
+func (m *Mesh) Snapshot() *Snapshot {
+	now := m.clk.Now()
+	s := &Snapshot{
+		Self:             m.cfg.Self,
+		Quorum:           m.cfg.Quorum,
+		IntervalNS:       int64(m.cfg.Interval),
+		SuspectAfterNS:   int64(m.cfg.SuspectAfter),
+		MessagesSent:     m.sent.Load(),
+		MessagesReceived: m.received.Load(),
+		VerdictsRaised:   m.verdictsRaised.Load(),
+		VerdictsCleared:  m.verdictsCleared.Load(),
+	}
+
+	m.mu.Lock()
+	for _, p := range m.peers {
+		ps := PeerSnapshot{
+			Node:         p.name,
+			Observation:  m.observationLocked(p.name, now),
+			LastHeardNS:  -1,
+			QueueDrops:   p.drops.Load(),
+			SendRetries:  p.retries.Load(),
+			SendFailures: p.failures.Load(),
+			Sent:         p.sent.Load(),
+		}
+		if heard, ok := m.heard[p.name]; ok {
+			ps.LastHeardNS = int64(now.Sub(heard))
+		}
+		if d, ok := m.digests[p.name]; ok {
+			ps.Seq = d.Seq
+			ps.Worst = d.Worst
+		}
+		if ps.Observation == ObsOK {
+			s.PeersAlive++
+		} else {
+			s.PeersSuspect++
+		}
+		s.QueueDrops += ps.QueueDrops
+		s.SendRetries += ps.SendRetries
+		s.SendFailures += ps.SendFailures
+		s.Peers = append(s.Peers, ps)
+	}
+	for _, v := range m.verdicts {
+		s.Verdicts = append(s.Verdicts, v)
+	}
+	m.mu.Unlock()
+
+	sort.Slice(s.Peers, func(i, j int) bool { return s.Peers[i].Node < s.Peers[j].Node })
+	sort.Slice(s.Verdicts, func(i, j int) bool { return s.Verdicts[i].Node < s.Verdicts[j].Node })
+	return s
+}

@@ -1,0 +1,126 @@
+package wdmesh
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Transport carries gossip messages between mesh nodes. Implementations must
+// honour the context deadline on Send (the mesh's per-attempt send budget)
+// and must stop invoking the handler after Close returns.
+type Transport interface {
+	// Send delivers msg to the named peer, or returns an error. A nil error
+	// only means the message was handed to the network; with a lossy link
+	// the receiver may still never see it (that is what suspicion is for).
+	Send(ctx context.Context, peer string, msg *Message) error
+	// SetHandler installs the inbound message callback. It is called once,
+	// before any Send.
+	SetHandler(h func(*Message))
+	// Close releases the transport (listener, connections).
+	Close() error
+}
+
+// TCPTransport is the production transport: one short-lived TCP connection
+// per message, JSON on the wire. Peer names are dialable addresses, so the
+// mesh needs no separate membership directory.
+type TCPTransport struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	handler func(*Message)
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// ListenTCP binds addr (e.g. "127.0.0.1:7946") and starts accepting inbound
+// exchanges. The node's mesh identity should be the address peers dial.
+func ListenTCP(addr string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wdmesh: listen %s: %w", addr, err)
+	}
+	t := &TCPTransport{ln: ln}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// SetHandler installs the inbound message callback.
+func (t *TCPTransport) SetHandler(h func(*Message)) {
+	t.mu.Lock()
+	t.handler = h
+	t.mu.Unlock()
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			defer conn.Close()
+			dec := json.NewDecoder(conn)
+			for {
+				var msg Message
+				if err := dec.Decode(&msg); err != nil {
+					return
+				}
+				t.mu.Lock()
+				h := t.handler
+				closed := t.closed
+				t.mu.Unlock()
+				if closed {
+					return
+				}
+				if h != nil {
+					h(&msg)
+				}
+			}
+		}()
+	}
+}
+
+// Send dials the peer, writes one JSON message, and closes the connection,
+// all under the context deadline.
+func (t *TCPTransport) Send(ctx context.Context, peer string, msg *Message) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", peer)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetWriteDeadline(deadline)
+	}
+	return json.NewEncoder(conn).Encode(msg)
+}
+
+// Close stops the listener and waits for connection goroutines; handlers are
+// no longer invoked afterwards.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	err := t.ln.Close()
+	t.wg.Wait()
+	return err
+}
+
+// ErrUnreachable is returned by the in-process transport for unknown peers,
+// standing in for a connection-refused/black-holed node.
+var ErrUnreachable = errors.New("wdmesh: peer unreachable")

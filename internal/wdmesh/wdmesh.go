@@ -1,0 +1,141 @@
+// Package wdmesh is the partition-tolerant cluster health plane: it carries
+// each node's intrinsic watchdog verdicts to its peers over an extrinsic
+// gossip channel, closing the gap the paper's §2 gray-failure argument leaves
+// open in a cluster. An intrinsic watchdog catches the limping flusher that a
+// heartbeat misses — but its verdict dies on the node that produced it, so a
+// fail-slow kvsd still looks healthy to every peer that only measures
+// reachability. wdmesh piggybacks a compact health Digest (worst checker
+// status, abnormal checker names, alarm count) onto periodic peer exchanges,
+// relays the freshest digest it knows for every other node (rumor spreading),
+// and distinguishes two kinds of suspicion:
+//
+//	unreachable  no fresh digest — direct or relayed — within SuspectAfter:
+//	             the classic extrinsic signal (crash, full partition).
+//	wd-alarm     a fresh digest whose own watchdog reports abnormal: the
+//	             intrinsic gray-failure signal a heartbeat cannot see.
+//
+// Cluster-level verdicts are gated by quorum corroboration: at least Quorum
+// observers (this node plus peers whose relayed observations are fresh) must
+// classify the same node the same way. Relaying makes one-way partitions
+// benign — the cut-off side still hears the victim through a third node — and
+// the quorum gate keeps a single confused observer from convicting a healthy
+// peer.
+//
+// The mesh is built to share fate with nothing: per-peer bounded outgoing
+// queues (overflow increments a drop counter instead of blocking the gossip
+// loop), per-attempt send deadlines, capped exponential retry with seeded
+// jitter, and a Close that is bounded even when every link is black-holed. A
+// full mesh outage degrades the cluster to node-local detection; it never
+// wedges the watchdog driver or the runtime's Drain/Close ordering.
+package wdmesh
+
+import (
+	"time"
+
+	"gowatchdog/internal/watchdog"
+)
+
+// Digest is one node's self-assessment, produced by its own intrinsic
+// watchdog and gossiped (directly and by relay) to every peer.
+type Digest struct {
+	// Node is the producing node's mesh identity.
+	Node string `json:"node"`
+	// Seq is the producer's monotonic digest sequence number; receivers keep
+	// only the freshest digest per node and deduplicate replays with it.
+	Seq uint64 `json:"seq"`
+	// Time is the producer's clock when the digest was assembled.
+	Time time.Time `json:"time"`
+	// Healthy mirrors the producer's driver: no checker currently abnormal.
+	Healthy bool `json:"healthy"`
+	// Worst is the most severe current checker status.
+	Worst watchdog.Status `json:"worst"`
+	// Abnormal names the currently abnormal checkers (capped by the producer).
+	Abnormal []string `json:"abnormal,omitempty"`
+	// Alarms is the producer's process-lifetime alarm count.
+	Alarms int64 `json:"alarms"`
+}
+
+// Observation kinds: how one node currently classifies a peer.
+const (
+	// ObsOK means a fresh digest was seen and it reports healthy.
+	ObsOK = "ok"
+	// ObsUnreachable means no fresh digest, direct or relayed, within
+	// SuspectAfter — the extrinsic suspicion.
+	ObsUnreachable = "unreachable"
+	// ObsAlarming means a fresh digest was seen and its own watchdog reports
+	// abnormal — the intrinsic gray-failure suspicion.
+	ObsAlarming = "wd-alarm"
+)
+
+// Observation is one node's current classification of a peer, gossiped so
+// other nodes can corroborate suspicion into cluster-level verdicts.
+type Observation struct {
+	Node string `json:"node"`
+	Kind string `json:"kind"`
+}
+
+// Message is one gossip exchange: the sender's own digest, the freshest
+// digest it knows for every other node, and its current peer observations.
+type Message struct {
+	From string `json:"from"`
+	Self Digest `json:"self"`
+	// Known relays third-party digests so one-way partitions do not blind
+	// the cut-off side.
+	Known []Digest `json:"known,omitempty"`
+	// Obs carries the sender's observations for quorum corroboration.
+	Obs []Observation `json:"obs,omitempty"`
+}
+
+// Verdict kinds.
+const (
+	// VerdictIntrinsic means quorum observers saw the node's own watchdog
+	// alarm: the node is reachable but gray-failing.
+	VerdictIntrinsic = "intrinsic"
+	// VerdictUnreachable means quorum observers lost the node entirely.
+	VerdictUnreachable = "unreachable"
+)
+
+// Verdict is a quorum-corroborated cluster-level judgement about one node.
+type Verdict struct {
+	// Node is the suspect.
+	Node string `json:"node"`
+	// Kind is VerdictIntrinsic or VerdictUnreachable.
+	Kind string `json:"kind"`
+	// Votes is how many observers corroborated (>= the configured quorum).
+	Votes int `json:"votes"`
+	// Since is when this node first reached the verdict.
+	Since time.Time `json:"since"`
+	// Worst carries the suspect's own worst checker status for intrinsic
+	// verdicts (StatusHealthy otherwise).
+	Worst watchdog.Status `json:"worst,omitempty"`
+}
+
+// statusSeverity orders statuses from benign to severe so digests can carry
+// a single worst status; mirrors the wdobs /healthz ranking.
+func statusSeverity(s watchdog.Status) int {
+	switch s {
+	case watchdog.StatusHealthy:
+		return 0
+	case watchdog.StatusContextPending, watchdog.StatusSkipped:
+		return 1
+	case watchdog.StatusSlow:
+		return 2
+	case watchdog.StatusError:
+		return 3
+	case watchdog.StatusCrashed:
+		return 4
+	case watchdog.StatusStuck:
+		return 5
+	default:
+		return 3
+	}
+}
+
+// WorseStatus returns the more severe of a and b under the digest ranking
+// (healthy < pending/skipped < slow < error < crashed < stuck).
+func WorseStatus(a, b watchdog.Status) watchdog.Status {
+	if statusSeverity(b) > statusSeverity(a) {
+		return b
+	}
+	return a
+}

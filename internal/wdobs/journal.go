@@ -120,7 +120,9 @@ func (j *Journal) Seq() int64 {
 
 // ReadJournal parses a JSONL detection journal, one Event per line, skipping
 // blank lines. It is the decoding counterpart of the journal sink, shared by
-// wdreplay and anything else replaying a journal file.
+// wdreplay and anything else replaying a journal file. It is strict: the first
+// malformed line aborts the read. Use ReadJournalLenient when the file may end
+// in a torn write (a daemon killed mid-append).
 func ReadJournal(r io.Reader) ([]Event, error) {
 	sc := bufio.NewScanner(r)
 	// Report payloads can make lines large; allow up to 4 MiB per event.
@@ -143,4 +145,62 @@ func ReadJournal(r io.Reader) ([]Event, error) {
 		return nil, fmt.Errorf("wdobs: journal line %d: %w", line, err)
 	}
 	return events, nil
+}
+
+// JournalReadStats accounts for what ReadJournalLenient encountered, so a
+// replay over a crashed daemon's journal reports damage instead of silently
+// absorbing it.
+type JournalReadStats struct {
+	// Lines counts non-blank lines seen.
+	Lines int
+	// Events counts lines that decoded into events.
+	Events int
+	// Malformed counts lines that failed to decode.
+	Malformed int
+	// FirstMalformedLine is the 1-based line number of the first decode
+	// failure (0 when Malformed == 0).
+	FirstMalformedLine int
+	// TornTail reports that the final non-blank line was malformed — the
+	// signature of a torn final write: the daemon died mid-append and the
+	// line was truncated. Mid-file corruption is counted but not flagged
+	// as torn.
+	TornTail bool
+}
+
+// ReadJournalLenient parses a JSONL detection journal, tolerating malformed
+// lines: they are counted in the returned stats and skipped rather than
+// aborting the read. The error return is reserved for I/O failures (including
+// an over-long line overflowing the scanner buffer).
+func ReadJournalLenient(r io.Reader) ([]Event, JournalReadStats, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var (
+		events []Event
+		stats  JournalReadStats
+		line   int
+	)
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		stats.Lines++
+		var e Event
+		if err := json.Unmarshal(text, &e); err != nil {
+			stats.Malformed++
+			if stats.FirstMalformedLine == 0 {
+				stats.FirstMalformedLine = line
+			}
+			stats.TornTail = true
+			continue
+		}
+		stats.TornTail = false
+		stats.Events++
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return events, stats, fmt.Errorf("wdobs: journal line %d: %w", line, err)
+	}
+	return events, stats, nil
 }

@@ -118,3 +118,51 @@ func TestReadJournalSkipsBlankAndReportsLine(t *testing.T) {
 		t.Fatalf("err = %v, want line-2 parse error", err)
 	}
 }
+
+// TestReadJournalLenient: malformed lines are counted and skipped, a trailing
+// truncation is flagged as a torn tail, and mid-file damage is not.
+func TestReadJournalLenient(t *testing.T) {
+	good := `{"seq":1,"kind":"report","report":{"checker":"a","status":"healthy"}}`
+	t.Run("clean", func(t *testing.T) {
+		events, stats, err := ReadJournalLenient(strings.NewReader(good + "\n" + good + "\n"))
+		if err != nil {
+			t.Fatalf("ReadJournalLenient: %v", err)
+		}
+		if len(events) != 2 || stats.Malformed != 0 || stats.TornTail {
+			t.Fatalf("clean read: events=%d stats=%+v", len(events), stats)
+		}
+		if stats.Lines != 2 || stats.Events != 2 {
+			t.Fatalf("clean stats = %+v, want 2 lines / 2 events", stats)
+		}
+	})
+	t.Run("torn tail", func(t *testing.T) {
+		// The torn final write: the daemon died mid-append.
+		events, stats, err := ReadJournalLenient(strings.NewReader(good + "\n" + `{"seq":2,"kind":"rep`))
+		if err != nil {
+			t.Fatalf("ReadJournalLenient: %v", err)
+		}
+		if len(events) != 1 || stats.Malformed != 1 || !stats.TornTail {
+			t.Fatalf("torn read: events=%d stats=%+v, want 1 event, 1 malformed, torn tail", len(events), stats)
+		}
+		if stats.FirstMalformedLine != 2 {
+			t.Fatalf("first malformed line = %d, want 2", stats.FirstMalformedLine)
+		}
+	})
+	t.Run("mid-file damage is not torn", func(t *testing.T) {
+		events, stats, err := ReadJournalLenient(strings.NewReader("garbage\n" + good + "\n"))
+		if err != nil {
+			t.Fatalf("ReadJournalLenient: %v", err)
+		}
+		if len(events) != 1 || stats.Malformed != 1 || stats.TornTail {
+			t.Fatalf("mid-file read: events=%d stats=%+v, want damage counted but no torn tail", len(events), stats)
+		}
+		if stats.FirstMalformedLine != 1 {
+			t.Fatalf("first malformed line = %d, want 1", stats.FirstMalformedLine)
+		}
+	})
+	t.Run("strict reader still errors", func(t *testing.T) {
+		if _, err := ReadJournal(strings.NewReader("garbage\n")); err == nil {
+			t.Fatal("strict ReadJournal accepted a malformed line")
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package wdobs
+
+import (
+	"fmt"
+	"io"
+
+	"gowatchdog/internal/wdmesh"
+)
+
+// KindMesh marks a journaled cluster-verdict transition from the mesh health
+// plane: a quorum-corroborated verdict about a peer was raised or cleared.
+const KindMesh = "mesh"
+
+// SetMesh wires a mesh snapshot source (wdmesh.Mesh.Snapshot) into the
+// observability surface: /watchdog gains a "mesh" section and /metrics gains
+// the wdmesh_* series. Pass nil to detach.
+func (o *Obs) SetMesh(fn func() *wdmesh.Snapshot) {
+	o.mu.Lock()
+	o.meshFn = fn
+	o.mu.Unlock()
+}
+
+// meshSnapshot returns the mesh view, or nil when no mesh is wired.
+func (o *Obs) meshSnapshot() *wdmesh.Snapshot {
+	o.mu.RLock()
+	fn := o.meshFn
+	o.mu.RUnlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// writeMeshMetrics emits the wdmesh_* Prometheus series for one mesh view.
+func writeMeshMetrics(w io.Writer, m *wdmesh.Snapshot) {
+	fmt.Fprintf(w, "# HELP wdmesh_peers_alive Peers currently observed ok.\n")
+	fmt.Fprintf(w, "# TYPE wdmesh_peers_alive gauge\n")
+	fmt.Fprintf(w, "wdmesh_peers_alive %d\n", m.PeersAlive)
+	fmt.Fprintf(w, "# HELP wdmesh_peers_suspect Peers currently observed unreachable or alarming.\n")
+	fmt.Fprintf(w, "# TYPE wdmesh_peers_suspect gauge\n")
+	fmt.Fprintf(w, "wdmesh_peers_suspect %d\n", m.PeersSuspect)
+	fmt.Fprintf(w, "# HELP wdmesh_messages_sent_total Gossip messages handed to the transport.\n")
+	fmt.Fprintf(w, "# TYPE wdmesh_messages_sent_total counter\n")
+	fmt.Fprintf(w, "wdmesh_messages_sent_total %d\n", m.MessagesSent)
+	fmt.Fprintf(w, "# HELP wdmesh_messages_received_total Gossip messages received.\n")
+	fmt.Fprintf(w, "# TYPE wdmesh_messages_received_total counter\n")
+	fmt.Fprintf(w, "wdmesh_messages_received_total %d\n", m.MessagesReceived)
+	fmt.Fprintf(w, "# HELP wdmesh_queue_drops_total Messages dropped on full per-peer queues.\n")
+	fmt.Fprintf(w, "# TYPE wdmesh_queue_drops_total counter\n")
+	fmt.Fprintf(w, "wdmesh_queue_drops_total %d\n", m.QueueDrops)
+	fmt.Fprintf(w, "# HELP wdmesh_send_retries_total Retried send attempts.\n")
+	fmt.Fprintf(w, "# TYPE wdmesh_send_retries_total counter\n")
+	fmt.Fprintf(w, "wdmesh_send_retries_total %d\n", m.SendRetries)
+	fmt.Fprintf(w, "# HELP wdmesh_send_failures_total Messages abandoned after the retry budget.\n")
+	fmt.Fprintf(w, "# TYPE wdmesh_send_failures_total counter\n")
+	fmt.Fprintf(w, "wdmesh_send_failures_total %d\n", m.SendFailures)
+	fmt.Fprintf(w, "# HELP wdmesh_verdicts_raised_total Cluster verdicts raised.\n")
+	fmt.Fprintf(w, "# TYPE wdmesh_verdicts_raised_total counter\n")
+	fmt.Fprintf(w, "wdmesh_verdicts_raised_total %d\n", m.VerdictsRaised)
+	fmt.Fprintf(w, "# HELP wdmesh_verdicts_cleared_total Cluster verdicts cleared.\n")
+	fmt.Fprintf(w, "# TYPE wdmesh_verdicts_cleared_total counter\n")
+	fmt.Fprintf(w, "wdmesh_verdicts_cleared_total %d\n", m.VerdictsCleared)
+	fmt.Fprintf(w, "# HELP wdmesh_peer_observation Per-peer observation (0 ok, 1 unreachable, 2 wd-alarm).\n")
+	fmt.Fprintf(w, "# TYPE wdmesh_peer_observation gauge\n")
+	for _, p := range m.Peers {
+		code := 0
+		switch p.Observation {
+		case wdmesh.ObsUnreachable:
+			code = 1
+		case wdmesh.ObsAlarming:
+			code = 2
+		}
+		fmt.Fprintf(w, "wdmesh_peer_observation{peer=%q} %d\n", escapeLabel(p.Node), code)
+	}
+	if len(m.Verdicts) > 0 {
+		fmt.Fprintf(w, "# HELP wdmesh_cluster_verdict Active quorum-corroborated verdicts (value = corroborating votes).\n")
+		fmt.Fprintf(w, "# TYPE wdmesh_cluster_verdict gauge\n")
+		for _, v := range m.Verdicts {
+			fmt.Fprintf(w, "wdmesh_cluster_verdict{node=%q,kind=%q} %d\n",
+				escapeLabel(v.Node), escapeLabel(v.Kind), v.Votes)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package wdobs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func scrapeServer(t *testing.T, handler http.HandlerFunc) string {
+	t.Helper()
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+// TestScrapeRetriesOnceOn5xx: the first 5xx is retried after the backoff and
+// the retry's success wins.
+func TestScrapeRetriesOnceOn5xx(t *testing.T) {
+	var calls atomic.Int64
+	addr := scrapeServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(Snapshot{Healthy: true, Reports: 42})
+	})
+
+	var slept time.Duration
+	c := &ScrapeClient{Backoff: time.Millisecond, sleep: func(d time.Duration) { slept = d }}
+	snap, err := c.Snapshot(addr)
+	if err != nil {
+		t.Fatalf("Snapshot after one 5xx: %v", err)
+	}
+	if snap.Reports != 42 || !snap.Healthy {
+		t.Fatalf("snapshot = %+v, want the retried body", snap)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("%d attempts, want exactly 2 (one retry)", got)
+	}
+	if slept != time.Millisecond {
+		t.Fatalf("backoff slept %v, want the configured 1ms", slept)
+	}
+}
+
+// TestScrapeNoRetryOn4xx: a 404 is a configuration error, not a transient —
+// exactly one attempt.
+func TestScrapeNoRetryOn4xx(t *testing.T) {
+	var calls atomic.Int64
+	addr := scrapeServer(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.NotFound(w, r)
+	})
+
+	c := &ScrapeClient{sleep: func(time.Duration) { t.Fatal("backoff slept on a 4xx") }}
+	if _, err := c.Snapshot(addr); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("err = %v, want the 404 surfaced", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("%d attempts on a 4xx, want 1", got)
+	}
+}
+
+// TestScrapeRetryExhaustedWrapsBothErrors: two straight failures produce one
+// error naming the original failure, the backoff, and the retry failure.
+func TestScrapeRetryExhaustedWrapsBothErrors(t *testing.T) {
+	addr := scrapeServer(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	})
+
+	c := &ScrapeClient{Backoff: time.Millisecond, sleep: func(time.Duration) {}}
+	_, err := c.Snapshot(addr)
+	if err == nil {
+		t.Fatal("Snapshot succeeded against a permanently failing server")
+	}
+	if !strings.Contains(err.Error(), "500") || !strings.Contains(err.Error(), "retry after") {
+		t.Fatalf("err = %v, want both the original failure and the retry outcome", err)
+	}
+}
+
+// TestScrapeTransportErrorRetried: a refused connection gets the retry too.
+func TestScrapeTransportErrorRetried(t *testing.T) {
+	var slept atomic.Int64
+	c := &ScrapeClient{
+		Timeout: 500 * time.Millisecond,
+		Backoff: time.Millisecond,
+		sleep:   func(time.Duration) { slept.Add(1) },
+	}
+	// Reserved port with nothing listening.
+	if _, err := c.Snapshot("127.0.0.1:1"); err == nil {
+		t.Fatal("Snapshot succeeded against a closed port")
+	}
+	if slept.Load() != 1 {
+		t.Fatalf("backoff ran %d times on a transport error, want 1", slept.Load())
+	}
+}

@@ -138,6 +138,9 @@ func (o *Obs) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP watchdog_hung_leaked Hung checker goroutines currently awaiting reaping.\n")
 	fmt.Fprintf(w, "# TYPE watchdog_hung_leaked gauge\n")
 	fmt.Fprintf(w, "watchdog_hung_leaked %d\n", snap.LeakedHung)
+	if snap.Mesh != nil {
+		writeMeshMetrics(w, snap.Mesh)
+	}
 
 	if len(snap.Checkers) > 0 {
 		fmt.Fprintf(w, "# HELP watchdog_checker_runs_total Checker executions by resulting status.\n")

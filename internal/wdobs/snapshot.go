@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/wdmesh"
 )
 
 // Snapshot is the live view served on /watchdog and rendered by cmd/wdstat.
@@ -30,6 +31,8 @@ type Snapshot struct {
 	LeakedHung       int   `json:"leaked_hung,omitempty"`
 	// Checkers lists every registered checker in registration order.
 	Checkers []CheckerSnapshot `json:"checkers"`
+	// Mesh is the cluster health-plane view, present when a mesh is wired.
+	Mesh *wdmesh.Snapshot `json:"mesh,omitempty"`
 }
 
 // CheckerSnapshot is one checker's live state.
@@ -96,6 +99,7 @@ func (o *Obs) Snapshot() *Snapshot {
 		Reports:    o.reports.Value(),
 		Alarms:     o.alarms.Value(),
 		JournalSeq: o.journal.Seq(),
+		Mesh:       o.meshSnapshot(),
 	}
 	o.mu.RLock()
 	d := o.driver

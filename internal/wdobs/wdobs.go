@@ -27,6 +27,7 @@ import (
 
 	"gowatchdog/internal/gauge"
 	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/wdmesh"
 )
 
 // numStatuses bounds the per-status counter array; statuses are small ints.
@@ -51,6 +52,7 @@ type Obs struct {
 	checkers map[string]*checkerMetrics
 	driver   *watchdog.Driver
 	registry *gauge.Registry
+	meshFn   func() *wdmesh.Snapshot
 
 	// last caches the most recently observed checker. Reports for one
 	// checker arrive in bursts (CheckNow loops, per-checker schedules), so

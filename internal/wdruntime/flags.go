@@ -2,6 +2,7 @@ package wdruntime
 
 import (
 	"flag"
+	"strings"
 	"time"
 
 	"gowatchdog/internal/watchdog"
@@ -11,19 +12,26 @@ import (
 // binds the same names, defaults, and help text through BindFlags, so `kvsd
 // -h`, `dfsd -h`, and `coordd -h` describe one uniform watchdog surface.
 type Flags struct {
-	Interval   time.Duration
-	Timeout    time.Duration
-	Breaker    int
-	Damp       time.Duration
-	HangBudget int
-	ObsAddr    string
-	Journal    string
+	Interval     time.Duration
+	Timeout      time.Duration
+	Breaker      int
+	Damp         time.Duration
+	HangBudget   int
+	DrainBudget  time.Duration
+	ObsAddr      string
+	Journal      string
+	MeshAddr     string
+	Peers        string
+	MeshInterval time.Duration
+	SuspectAfter time.Duration
+	Quorum       int
 }
 
 // BindFlags registers the canonical -wd-interval/-wd-timeout/-wd-breaker/
-// -wd-damp/-wd-hang-budget/-obs-addr/-journal flags on fs and returns the
-// struct their parsed values land in. Call fs.Parse (or flag.Parse for the
-// command line) before Options.
+// -wd-damp/-wd-hang-budget/-wd-drain-budget/-obs-addr/-journal flags plus the
+// mesh flag set (-wd-mesh-addr/-wd-peers/-wd-mesh-interval/-wd-suspect-after/
+// -wd-quorum) on fs and returns the struct their parsed values land in. Call
+// fs.Parse (or flag.Parse for the command line) before Options.
 func BindFlags(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.DurationVar(&f.Interval, "wd-interval", time.Second, "watchdog check interval")
@@ -31,8 +39,14 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.Breaker, "wd-breaker", 0, "trip a checker's circuit breaker after this many consecutive failures (0 disables)")
 	fs.DurationVar(&f.Damp, "wd-damp", 0, "suppress duplicate watchdog alarms within this window (0 disables)")
 	fs.IntVar(&f.HangBudget, "wd-hang-budget", 0, "max leaked hung checker goroutines before checks degrade to skips (0 = unlimited)")
+	fs.DurationVar(&f.DrainBudget, "wd-drain-budget", 0, "how long shutdown waits for hung checker goroutines to be reaped (0 = 2x wd-timeout)")
 	fs.StringVar(&f.ObsAddr, "obs-addr", "", "observability listen address (/metrics, /healthz, /watchdog, pprof)")
 	fs.StringVar(&f.Journal, "journal", "", "file to stream the detection journal to as JSONL (wdreplay-compatible)")
+	fs.StringVar(&f.MeshAddr, "wd-mesh-addr", "", "mesh identity and listen address for the cluster health plane (required with -wd-peers)")
+	fs.StringVar(&f.Peers, "wd-peers", "", "comma-separated peer mesh addresses; non-empty joins the cluster health plane")
+	fs.DurationVar(&f.MeshInterval, "wd-mesh-interval", time.Second, "mesh gossip interval")
+	fs.DurationVar(&f.SuspectAfter, "wd-suspect-after", 0, "silence before a peer is suspected unreachable (0 = 4x mesh interval)")
+	fs.IntVar(&f.Quorum, "wd-quorum", 2, "observers that must corroborate a suspicion before it becomes a cluster verdict")
 	return f
 }
 
@@ -52,11 +66,30 @@ func (f *Flags) Options() []Option {
 	if f.HangBudget > 0 {
 		opts = append(opts, WithHangBudget(f.HangBudget))
 	}
+	if f.DrainBudget > 0 {
+		opts = append(opts, WithDrainBudget(f.DrainBudget))
+	}
 	if f.ObsAddr != "" {
 		opts = append(opts, WithObsAddr(f.ObsAddr))
 	}
 	if f.Journal != "" {
 		opts = append(opts, WithJournalPath(f.Journal))
+	}
+	if f.Peers != "" {
+		var peers []string
+		for _, p := range strings.Split(f.Peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		opts = append(opts,
+			WithMesh(f.MeshAddr, peers...),
+			WithMeshInterval(f.MeshInterval),
+			WithMeshQuorum(f.Quorum),
+		)
+		if f.SuspectAfter > 0 {
+			opts = append(opts, WithMeshSuspectAfter(f.SuspectAfter))
+		}
 	}
 	return opts
 }

@@ -29,12 +29,14 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gowatchdog/internal/clock"
 	"gowatchdog/internal/gauge"
 	"gowatchdog/internal/recovery"
 	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/wdmesh"
 	"gowatchdog/internal/wdobs"
 )
 
@@ -71,6 +73,28 @@ type Config struct {
 	JournalSink io.Writer
 	// Registry, when non-nil, is exported alongside the watchdog metrics.
 	Registry *gauge.Registry
+
+	// MeshPeers lists the other nodes' mesh identities; non-empty enables the
+	// cluster health plane (see internal/wdmesh). Each node gossips its
+	// intrinsic watchdog digest to these peers and corroborates suspicion
+	// into quorum-gated cluster verdicts.
+	MeshPeers []string
+	// MeshAddr is this node's mesh identity and, when MeshTransport is nil,
+	// the TCP listen address for the health plane. Required when MeshPeers is
+	// set; ":0" picks an ephemeral port (the bound address becomes the
+	// identity).
+	MeshAddr string
+	// MeshInterval is the gossip period (default 1s).
+	MeshInterval time.Duration
+	// MeshSuspectAfter is how long without a fresh digest before a peer is
+	// suspected unreachable (0 = 4×MeshInterval).
+	MeshSuspectAfter time.Duration
+	// MeshQuorum is the corroboration threshold for cluster verdicts
+	// (default 2).
+	MeshQuorum int
+	// MeshTransport overrides the TCP transport (campaigns and tests pass an
+	// in-process wdmesh.MemNetwork endpoint).
+	MeshTransport wdmesh.Transport
 
 	// Factory, when non-nil, is the context factory the driver resolves
 	// checker contexts from (hook-instrumented systems pass theirs here).
@@ -118,6 +142,31 @@ func WithJitterSeed(seed int64) Option { return func(c *Config) { c.JitterSeed =
 // WithDrainBudget bounds how long Drain waits for hung goroutines.
 func WithDrainBudget(d time.Duration) Option { return func(c *Config) { c.DrainBudget = d } }
 
+// WithMesh enables the cluster health plane: addr is this node's mesh
+// identity (and TCP listen address), peers are the other nodes.
+func WithMesh(addr string, peers ...string) Option {
+	return func(c *Config) {
+		c.MeshAddr = addr
+		c.MeshPeers = append(c.MeshPeers, peers...)
+	}
+}
+
+// WithMeshInterval sets the mesh gossip period.
+func WithMeshInterval(d time.Duration) Option { return func(c *Config) { c.MeshInterval = d } }
+
+// WithMeshSuspectAfter sets the silence window before a peer is suspected.
+func WithMeshSuspectAfter(d time.Duration) Option {
+	return func(c *Config) { c.MeshSuspectAfter = d }
+}
+
+// WithMeshQuorum sets the corroboration threshold for cluster verdicts.
+func WithMeshQuorum(k int) Option { return func(c *Config) { c.MeshQuorum = k } }
+
+// WithMeshTransport replaces the TCP transport with a caller-provided one.
+func WithMeshTransport(tr wdmesh.Transport) Option {
+	return func(c *Config) { c.MeshTransport = tr }
+}
+
 // WithObsAddr serves the observability endpoints there on Start.
 func WithObsAddr(addr string) Option { return func(c *Config) { c.ObsAddr = addr } }
 
@@ -158,6 +207,9 @@ type Runtime struct {
 	rec      *recovery.Manager
 	journalF *os.File // owned only when opened from JournalPath
 
+	mesh       *wdmesh.Mesh
+	meshAlarms atomic.Int64
+
 	mu        sync.Mutex
 	started   bool
 	srv       *wdobs.Server
@@ -192,6 +244,9 @@ func New(opts ...Option) (*Runtime, error) {
 	}
 	if cfg.DrainBudget <= 0 {
 		cfg.DrainBudget = 2 * cfg.Timeout
+	}
+	if len(cfg.MeshPeers) > 0 && cfg.MeshAddr == "" {
+		return nil, errors.New("wdruntime: mesh peers configured without a mesh identity (MeshAddr)")
 	}
 
 	dopts := []watchdog.Option{
@@ -243,6 +298,11 @@ func New(opts ...Option) (*Runtime, error) {
 		rt.driver.OnAlarm(rt.rec.HandleAlarm)
 		rt.driver.OnReport(rt.rec.ObserveReport)
 	}
+	if len(cfg.MeshPeers) > 0 {
+		// The mesh digest carries a process-lifetime alarm count; tally it
+		// here so the Source closure stays a cheap read.
+		rt.driver.OnAlarm(func(watchdog.Alarm) { rt.meshAlarms.Add(1) })
+	}
 	return rt, nil
 }
 
@@ -257,6 +317,14 @@ func (rt *Runtime) Recovery() *recovery.Manager { return rt.rec }
 
 // Config returns a copy of the resolved configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Mesh returns the cluster health plane, or nil before Start or when no
+// mesh peers were configured.
+func (rt *Runtime) Mesh() *wdmesh.Mesh {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.mesh
+}
 
 // ObsAddr returns the bound observability address after Start ("" when not
 // serving).
@@ -290,7 +358,17 @@ func (rt *Runtime) Start(ctx context.Context) error {
 		rt.srv = srv
 		rt.mu.Unlock()
 	}
+	if len(rt.cfg.MeshPeers) > 0 {
+		if err := rt.startMesh(); err != nil {
+			return err
+		}
+	}
 	rt.driver.Start()
+	if m := rt.Mesh(); m != nil {
+		// Gossip only once the driver schedules checks, so the first digests
+		// describe a live watchdog rather than a pre-start snapshot.
+		m.Start()
+	}
 	if ctx != nil && ctx.Done() != nil {
 		stop := make(chan struct{})
 		rt.mu.Lock()
@@ -338,7 +416,13 @@ func (rt *Runtime) Drain() error {
 // recovery retries. Idempotent; errors along the way are joined.
 func (rt *Runtime) Close() error {
 	rt.closeOnce.Do(func() {
-		errs := []error{rt.Drain()}
+		var errs []error
+		// The mesh goes down first: peers should see a deliberate shutdown as
+		// ordinary silence, and no gossip should observe a draining driver.
+		if m := rt.Mesh(); m != nil {
+			errs = append(errs, m.Close())
+		}
+		errs = append(errs, rt.Drain())
 		if rt.journalF != nil {
 			errs = append(errs, rt.journalF.Sync(), rt.journalF.Close())
 		} else if f, ok := rt.cfg.JournalSink.(interface{ Flush() error }); ok {

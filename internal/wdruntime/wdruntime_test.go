@@ -299,13 +299,19 @@ func TestBindFlagsParity(t *testing.T) {
 	f := wdruntime.BindFlags(fs)
 
 	wantDefaults := map[string]string{
-		"wd-interval":    "1s",
-		"wd-timeout":     "6s",
-		"wd-breaker":     "0",
-		"wd-damp":        "0s",
-		"wd-hang-budget": "0",
-		"obs-addr":       "",
-		"journal":        "",
+		"wd-interval":      "1s",
+		"wd-timeout":       "6s",
+		"wd-breaker":       "0",
+		"wd-damp":          "0s",
+		"wd-hang-budget":   "0",
+		"wd-drain-budget":  "0s",
+		"obs-addr":         "",
+		"journal":          "",
+		"wd-mesh-addr":     "",
+		"wd-peers":         "",
+		"wd-mesh-interval": "1s",
+		"wd-suspect-after": "0s",
+		"wd-quorum":        "2",
 	}
 	for name, def := range wantDefaults {
 		fl := fs.Lookup(name)
@@ -323,6 +329,9 @@ func TestBindFlagsParity(t *testing.T) {
 	args := []string{
 		"-wd-interval", "250ms", "-wd-timeout", "2s",
 		"-wd-breaker", "4", "-wd-damp", "15s", "-wd-hang-budget", "3",
+		"-wd-mesh-addr", "127.0.0.1:0", "-wd-peers", "n2:1, n3:1,",
+		"-wd-mesh-interval", "100ms", "-wd-suspect-after", "800ms",
+		"-wd-quorum", "3",
 	}
 	if err := fs.Parse(args); err != nil {
 		t.Fatalf("Parse: %v", err)
@@ -350,6 +359,36 @@ func TestBindFlagsParity(t *testing.T) {
 	}
 	if cfg.JitterSeed != 1 {
 		t.Errorf("JitterSeed = %d, want the driver default 1", cfg.JitterSeed)
+	}
+	if cfg.MeshAddr != "127.0.0.1:0" {
+		t.Errorf("MeshAddr = %q, want 127.0.0.1:0", cfg.MeshAddr)
+	}
+	if len(cfg.MeshPeers) != 2 || cfg.MeshPeers[0] != "n2:1" || cfg.MeshPeers[1] != "n3:1" {
+		t.Errorf("MeshPeers = %v, want [n2:1 n3:1] (trimmed, empties dropped)", cfg.MeshPeers)
+	}
+	if cfg.MeshInterval != 100*time.Millisecond || cfg.MeshSuspectAfter != 800*time.Millisecond {
+		t.Errorf("mesh timing = %v/%v, want 100ms/800ms", cfg.MeshInterval, cfg.MeshSuspectAfter)
+	}
+	if cfg.MeshQuorum != 3 {
+		t.Errorf("MeshQuorum = %d, want 3", cfg.MeshQuorum)
+	}
+}
+
+// TestDrainBudgetFlag pins the -wd-drain-budget translation: explicit values
+// land in the Config, and the zero default still resolves to 2×timeout.
+func TestDrainBudgetFlag(t *testing.T) {
+	fs := flag.NewFlagSet("daemon", flag.ContinueOnError)
+	f := wdruntime.BindFlags(fs)
+	if err := fs.Parse([]string{"-wd-timeout", "2s", "-wd-drain-budget", "500ms"}); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	rt, err := wdruntime.New(f.Options()...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer rt.Close()
+	if got := rt.Config().DrainBudget; got != 500*time.Millisecond {
+		t.Fatalf("DrainBudget = %v, want the flag value 500ms", got)
 	}
 }
 
