@@ -6,9 +6,9 @@ GO ?= go
 # coordination service, the fake clock they share, the lock-free metric
 # paths (gauge registry, wdobs histograms/journal), the alarm-driven
 # recovery/campaign loop, the fault injector, and the gossiping mesh.
-RACE_PKGS := ./internal/watchdog ./internal/coord ./internal/clock ./internal/gauge ./internal/wdobs ./internal/recovery ./internal/campaign ./internal/wdruntime ./internal/faultinject ./internal/wdmesh
+RACE_PKGS := ./internal/watchdog ./internal/coord ./internal/clock ./internal/gauge ./internal/wdobs ./internal/recovery ./internal/campaign ./internal/wdruntime ./internal/faultinject ./internal/wdmesh ./internal/autowatchdog/testmine
 
-.PHONY: build test vet lint race smoke mesh-smoke check golden
+.PHONY: build test vet lint race smoke mesh-smoke gen-smoke ablation check golden
 
 build:
 	$(GO) build ./...
@@ -53,9 +53,32 @@ mesh-smoke:
 	$(GO) run ./cmd/wdchaos -substrate mesh -seed 7 -nodes 3 -quorum 2 \
 		-mesh-interval 25ms
 
-# golden refreshes the AutoWatchdog reduction goldens after an intentional
-# generator change.
+# gen-smoke proves the test miner still extracts checkers from the real
+# service test suites: awgen -from-tests exits nonzero when a package yields
+# no minable assertion predicates, so a refactor that silently starves the
+# miner fails here rather than after the generated files rot.
+gen-smoke:
+	$(GO) run ./cmd/awgen -from-tests -quiet -pkg ./internal/kvs
+	$(GO) run ./cmd/awgen -from-tests -quiet -pkg ./internal/coord
+
+# ablation runs the E13 checker-source comparison: the kvs and dfs substrates
+# under the reduced suite, the test-mined suite, and both. Mined-only arms
+# miss write-path faults by design, so the detection gate is lowered and the
+# verdicts are compared, not pass/failed.
+ablation:
+	for src in reduced mined both; do \
+		$(GO) run ./cmd/wdchaos -substrate kvs -checkers $$src -seed 13 \
+			-interval 20ms -warmup 5 -storm 25 -cooldown 10 \
+			-min-detection-rate 0.01 || exit 1; \
+		$(GO) run ./cmd/wdchaos -substrate dfs -checkers $$src -seed 13 \
+			-interval 20ms -warmup 5 -storm 25 -cooldown 10 \
+			-min-detection-rate 0.01 || exit 1; \
+	done
+
+# golden refreshes the AutoWatchdog generator goldens (region reduction and
+# test mining) after an intentional generator change.
 golden:
 	$(GO) test ./internal/autowatchdog -run Golden -update
+	$(GO) test ./internal/autowatchdog/testmine -run Golden -update
 
-check: build vet lint test race smoke mesh-smoke
+check: build vet lint test race smoke mesh-smoke gen-smoke

@@ -10,6 +10,13 @@
 //	wdchaos -substrate kvs -dir /tmp/chaos -interval 20ms -storm 20
 //	wdchaos -substrate synth -seed 7 -breaker 3 -damp 30s -hang-budget 2
 //	wdchaos -substrate mesh -seed 7 -nodes 3 -quorum 2 -mesh-interval 20ms
+//	wdchaos -substrate kvs -checkers mined -min-detection-rate 0.01 -json
+//
+// The -checkers flag (kvs and dfs only) selects the E13 ablation targets:
+// the same substrate scored under the reduced suite, the test-mined suite
+// (awgen -from-tests), or both. Mined-only runs miss write-path faults by
+// design — pass a low -min-detection-rate and compare verdicts instead of
+// gating on exit status.
 //
 // The synthetic substrate runs on a virtual clock by default, so a full
 // campaign completes in milliseconds and is reproducible bit-for-bit from the
@@ -34,6 +41,7 @@ import (
 func main() {
 	var (
 		substrate = flag.String("substrate", "synth", "system under campaign: synth|kvs|dfs|mesh")
+		checkers  = flag.String("checkers", "", "ablation checker source for kvs/dfs: reduced|mined|both (empty = standard target)")
 		dir       = flag.String("dir", "", "scratch directory for disk-backed substrates (default: temp dir)")
 		seed      = flag.Int64("seed", 1, "schedule-generation seed")
 		realClock = flag.Bool("real-clock", false, "run the synth substrate on the real clock instead of a virtual one")
@@ -86,7 +94,7 @@ func main() {
 	}
 	opts = append(opts, wdruntime.WithJitterSeed(*seed))
 
-	tgt, err := buildTarget(*substrate, *dir, *realClock, opts)
+	tgt, err := buildTarget(*substrate, *checkers, *dir, *realClock, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -123,8 +131,11 @@ func main() {
 	}
 }
 
-func buildTarget(substrate, dir string, realClock bool, opts []wdruntime.Option) (*campaign.Target, error) {
+func buildTarget(substrate, checkers, dir string, realClock bool, opts []wdruntime.Option) (*campaign.Target, error) {
 	if substrate == "synth" {
+		if checkers != "" {
+			return nil, fmt.Errorf("-checkers applies to the kvs and dfs substrates only")
+		}
 		clk := clock.Clock(clock.Real())
 		if !realClock {
 			clk = clock.NewVirtual()
@@ -137,6 +148,9 @@ func buildTarget(substrate, dir string, realClock bool, opts []wdruntime.Option)
 			return nil, err
 		}
 		dir = tmp
+	}
+	if checkers != "" {
+		return campaign.NewAblationTarget(substrate, dir, checkers, opts...)
 	}
 	return campaign.NewTarget(substrate, dir, opts...)
 }

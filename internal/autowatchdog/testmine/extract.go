@@ -1,0 +1,1096 @@
+package testmine
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// extractor walks every same-package test function and turns assertion
+// guards into checker candidates. A guard is
+//
+//	if <cond> { ... t.Fatal*/t.Error* ... }
+//
+// with the fail call directly in the guard body; <cond> is the violation
+// condition (the test fails when it is true), which is exactly the
+// orientation a watchdog checker needs.
+type extractor struct {
+	p   *pkgInfo
+	a   *Analysis
+	cfg Config
+}
+
+func (ex *extractor) run() {
+	for _, f := range ex.p.Files {
+		if !ex.p.IsTest[f] {
+			continue
+		}
+		ex.a.TestFiles++
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			if !strings.HasPrefix(fd.Name.Name, "Test") {
+				continue
+			}
+			tParam := testParamName(fd)
+			if tParam == "" {
+				continue
+			}
+			w := &funcWalker{
+				ex:       ex,
+				file:     f,
+				testFunc: fd.Name.Name,
+				tParam:   tParam,
+			}
+			w.stmts(fd.Body.List)
+		}
+	}
+}
+
+// testParamName returns the *testing.T parameter name of a test function,
+// or "" if the signature does not match.
+func testParamName(fd *ast.FuncDecl) string {
+	params := fd.Type.Params
+	if params == nil || len(params.List) != 1 || len(params.List[0].Names) != 1 {
+		return ""
+	}
+	star, ok := params.List[0].Type.(*ast.StarExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := star.X.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "T" {
+		return ""
+	}
+	if x, ok := sel.X.(*ast.Ident); !ok || x.Name != "testing" {
+		return ""
+	}
+	return params.List[0].Names[0].Name
+}
+
+// funcWalker extracts candidates from one test function.
+type funcWalker struct {
+	ex       *extractor
+	file     *ast.File
+	testFunc string
+	tParam   string
+}
+
+var failNames = map[string]bool{"Error": true, "Errorf": true, "Fatal": true, "Fatalf": true}
+
+// stmts walks a statement list, handling guards and recursing into nested
+// blocks (loops, subtests, guard bodies).
+func (w *funcWalker) stmts(list []ast.Stmt) {
+	for i, s := range list {
+		switch st := s.(type) {
+		case *ast.IfStmt:
+			w.ifStmt(st, list, i)
+		case *ast.BlockStmt:
+			w.stmts(st.List)
+		case *ast.ForStmt:
+			if st.Body != nil {
+				w.stmts(st.Body.List)
+			}
+		case *ast.RangeStmt:
+			if st.Body != nil {
+				w.stmts(st.Body.List)
+			}
+		case *ast.ExprStmt:
+			// t.Run subtests and similar closures: walk function literal
+			// arguments so nested guards are still mined.
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				for _, arg := range call.Args {
+					if fl, ok := arg.(*ast.FuncLit); ok && fl.Body != nil {
+						w.stmts(fl.Body.List)
+					}
+				}
+			}
+		}
+	}
+}
+
+// ifStmt handles one if statement: if it is an assertion guard, run the
+// candidate pipeline; either way, recurse for nested guards.
+func (w *funcWalker) ifStmt(st *ast.IfStmt, list []ast.Stmt, idx int) {
+	if w.isFailGuard(st.Body) {
+		w.ex.a.Guards++
+		w.candidate(st, list, idx)
+	}
+	if st.Body != nil {
+		w.stmts(st.Body.List)
+	}
+	switch e := st.Else.(type) {
+	case *ast.BlockStmt:
+		w.stmts(e.List)
+	case *ast.IfStmt:
+		w.ifStmt(e, list, idx)
+	}
+}
+
+// isFailGuard reports whether the block directly contains a t.Error*/t.Fatal*
+// call (possibly after logging); nested guards are handled by recursion.
+func (w *funcWalker) isFailGuard(body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	for _, s := range body.List {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !failNames[sel.Sel.Name] {
+			continue
+		}
+		if x, ok := sel.X.(*ast.Ident); ok && x.Name == w.tParam {
+			return true
+		}
+	}
+	return false
+}
+
+// candidateCtx carries the per-candidate state shared by classification and
+// rendering.
+type candidateCtx struct {
+	w       *funcWalker
+	subject types.Object            // the subject variable
+	results map[types.Object]string // provisional result names (v0.., err)
+	errObjs map[types.Object]bool   // error-typed result objects
+	refs    map[types.Object]bool   // result objects referenced by kept asserts
+	quals   map[string]bool         // std qualifiers used by kept asserts
+	defCall *ast.CallExpr           // defining call, nil for expression guards
+
+	expectedErr bool // saw `err == nil`: the test wanted an error
+}
+
+// candidate runs the extraction pipeline on one guard. Guards that are not
+// method assertions at all (table flags, helper plumbing) are skipped
+// silently; guards that look minable but fail a filter are recorded as
+// Rejections so the decisions stay auditable.
+func (w *funcWalker) candidate(st *ast.IfStmt, list []ast.Stmt, idx int) {
+	p := w.ex.p
+	guardPos := p.Pos(st.Pos())
+	file := p.relFile(guardPos.Filename)
+	reject := func(subject, reason, detail string) {
+		w.ex.a.Rejected = append(w.ex.a.Rejected, Rejection{
+			File: file, Line: guardPos.Line,
+			Subject: subject, Reason: reason, Detail: detail,
+		})
+	}
+
+	def := w.definingAssign(st, list, idx)
+	if def == nil {
+		w.exprGuard(st, file, guardPos.Line, reject)
+		return
+	}
+	call := def.Rhs[0].(*ast.CallExpr)
+	subjObj, subjName, ok := w.subjectOf(call, reject)
+	if !ok {
+		return
+	}
+	method := w.methodOf(call)
+	if method == nil {
+		reject(subjName, "unresolved method", exprString(p.Fset, call.Fun))
+		return
+	}
+	opName := methodOpName(method)
+
+	// Purity: the probed method must be side-effect-free all the way down.
+	pw := newPurityWalker(p, w.ex.cfg.MaxPurityDepth)
+	if pure, why := pw.checkFunc(method, 0); !pure {
+		reject(subjName, "impure method "+opName, why)
+		return
+	}
+
+	// Evaluability 1/2: arguments must be portable literals — anything
+	// test-local cannot be replayed from a watchdog.
+	c := &candidateCtx{
+		w: w, subject: subjObj,
+		results: make(map[types.Object]string),
+		errObjs: make(map[types.Object]bool),
+		refs:    make(map[types.Object]bool),
+		quals:   make(map[string]bool),
+		defCall: call,
+	}
+	argStrs, err := c.renderArgs(call)
+	if err != nil {
+		reject(subjName, "non-portable argument to "+opName, err.Error())
+		return
+	}
+
+	// Bind result names: error-typed results are "err", the rest v0..vN.
+	lhsNames := c.bindResults(def, method)
+
+	// Evaluability 2/2: classify each ||-disjunct of the violation
+	// condition, keeping workload-independent oracles only.
+	asserts, dropped := c.classifyCond(st.Cond)
+	if c.expectedErr {
+		reject(subjName, "expected-error assertion on "+opName,
+			"the test wants the call to fail; inverting it would alarm on healthy state")
+		return
+	}
+
+	// Implicit error oracle: the test discarded the error result — the call
+	// succeeding is still an invariant worth checking.
+	oracleIdx := -1
+	if !c.hasErrAssert(asserts) {
+		if i := trailingErrorResult(method); i >= 0 && i < len(lhsNames) && lhsNames[i] == "_" {
+			oracleIdx = i
+			asserts = append(asserts, Assert{Cond: "err != nil", Kind: "erroracle", WrapErr: true})
+		}
+	}
+	if len(asserts) == 0 {
+		reject(subjName, "no portable assertion on "+opName,
+			"dropped workload-dependent: "+strings.Join(dropped, "; "))
+		return
+	}
+
+	w.emitChecker(c, MinedChecker{
+		Subject:    subjName,
+		SubjectPtr: isPointer(subjObj.Type()),
+		Kind:       checkerKind(pw.vulnerable),
+		Method:     opName,
+		Call:       c.renderDefCall(call, lhsNames, argStrs, oracleIdx),
+		Asserts:    asserts,
+		Dropped:    dropped,
+		TestFunc:   w.testFunc,
+		File:       file,
+		Line:       guardPos.Line,
+	})
+}
+
+// emitChecker finishes a mined checker and appends it to the analysis.
+func (w *funcWalker) emitChecker(c *candidateCtx, mc MinedChecker) {
+	mc.quals = c.quals
+	w.ex.a.Checkers = append(w.ex.a.Checkers, mc)
+}
+
+// definingAssign finds the call whose results the guard asserts on: the
+// if-init assignment, or the nearest preceding assignment in the enclosing
+// block that defines an identifier the condition references.
+func (w *funcWalker) definingAssign(st *ast.IfStmt, list []ast.Stmt, idx int) *ast.AssignStmt {
+	if as, ok := st.Init.(*ast.AssignStmt); ok {
+		if len(as.Rhs) == 1 {
+			if _, isCall := as.Rhs[0].(*ast.CallExpr); isCall {
+				return as
+			}
+		}
+		return nil
+	}
+	condObjs := w.condObjects(st.Cond)
+	if len(condObjs) == 0 {
+		return nil
+	}
+	for i := idx - 1; i >= 0; i-- {
+		as, ok := list[i].(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			continue
+		}
+		// Only method calls on a plain identifier bind results worth
+		// asserting on; in particular this keeps a guard that merely
+		// references the subject (`s.Partitions() <= 0`) from matching the
+		// subject's own constructor (`s := openStore(t, nil)`).
+		call, isCall := as.Rhs[0].(*ast.CallExpr)
+		if !isCall {
+			continue
+		}
+		sel, isSel := call.Fun.(*ast.SelectorExpr)
+		if !isSel {
+			continue
+		}
+		if _, isID := sel.X.(*ast.Ident); !isID {
+			continue
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if obj := w.ex.p.Info.Defs[id]; obj != nil && condObjs[obj] {
+				return as
+			}
+			if obj := w.ex.p.Info.Uses[id]; obj != nil && condObjs[obj] {
+				return as
+			}
+		}
+	}
+	return nil
+}
+
+// condObjects collects the local objects referenced by the condition.
+func (w *funcWalker) condObjects(cond ast.Expr) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := w.ex.p.Info.Uses[id]; obj != nil {
+				if _, isVar := obj.(*types.Var); isVar {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// subjectOf resolves the receiver of a defining call: a plain identifier
+// whose type is an exported named type declared in the package under test.
+// Chained receivers (l.Tree().Get(...)) are rejected by design: the chain
+// would have to be re-validated for purity and re-evaluated per tick, and
+// the provenance of the intermediate value is unclear.
+func (w *funcWalker) subjectOf(call *ast.CallExpr, reject func(subject, reason, detail string)) (types.Object, string, bool) {
+	p := w.ex.p
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false // plain function call, not a method assertion
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		reject("", "chained receiver", exprString(p.Fset, sel.X)+" — only plain identifier subjects are mined")
+		return nil, "", false
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		return nil, "", false
+	}
+	if _, isPkg := obj.(*types.PkgName); isPkg {
+		return nil, "", false // qualified call into another package
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil, "", false
+	}
+	named := namedType(v.Type())
+	if named == nil {
+		return nil, "", false
+	}
+	tn := named.Obj()
+	if tn.Pkg() != p.Types {
+		return nil, "", false // subject from another package
+	}
+	if !tn.Exported() {
+		reject(tn.Name(), "unexported subject type",
+			fmt.Sprintf("%s is not part of the package API; a deployment cannot hold one to check", tn.Name()))
+		return nil, "", false
+	}
+	return v, tn.Name(), true
+}
+
+// methodOf resolves the called method object.
+func (w *funcWalker) methodOf(call *ast.CallExpr) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if fn, ok := w.ex.p.Info.Uses[sel.Sel].(*types.Func); ok {
+		return fn
+	}
+	return nil
+}
+
+// exprGuard handles guards with no defining call: the condition itself calls
+// subject methods (`if s.Partitions() <= 0 { ... }`).
+func (w *funcWalker) exprGuard(st *ast.IfStmt, file string, line int, reject func(subject, reason, detail string)) {
+	p := w.ex.p
+	calls := w.subjectCalls(st.Cond)
+	if len(calls) == 0 {
+		return // not a method assertion
+	}
+	subjObj, subjName, ok := w.subjectOf(calls[0], reject)
+	if !ok {
+		return
+	}
+	c := &candidateCtx{
+		w: w, subject: subjObj,
+		results: make(map[types.Object]string),
+		errObjs: make(map[types.Object]bool),
+		refs:    make(map[types.Object]bool),
+		quals:   make(map[string]bool),
+	}
+	asserts, dropped := c.classifyCond(st.Cond)
+	if len(asserts) == 0 {
+		reject(subjName, "no portable assertion",
+			"dropped workload-dependent: "+strings.Join(dropped, "; "))
+		return
+	}
+	// Validate every subject call the kept asserts evaluate: portable
+	// arguments, pure methods.
+	pw := newPurityWalker(p, w.ex.cfg.MaxPurityDepth)
+	var primary *types.Func
+	for _, call := range calls {
+		method := w.methodOf(call)
+		if method == nil {
+			reject(subjName, "unresolved method", exprString(p.Fset, call.Fun))
+			return
+		}
+		if primary == nil {
+			primary = method
+		}
+		if _, err := c.renderArgs(call); err != nil {
+			reject(subjName, "non-portable argument to "+methodOpName(method), err.Error())
+			return
+		}
+		if pure, why := pw.checkFunc(method, 0); !pure {
+			reject(subjName, "impure method "+methodOpName(method), why)
+			return
+		}
+	}
+	w.emitChecker(c, MinedChecker{
+		Subject:    subjName,
+		SubjectPtr: isPointer(subjObj.Type()),
+		Kind:       checkerKind(pw.vulnerable),
+		Method:     methodOpName(primary),
+		Asserts:    asserts,
+		Dropped:    dropped,
+		TestFunc:   w.testFunc,
+		File:       file,
+		Line:       line,
+	})
+}
+
+// subjectCalls collects method calls on plain identifier receivers inside e,
+// requiring every call to share one receiver object.
+func (w *funcWalker) subjectCalls(e ast.Expr) []*ast.CallExpr {
+	p := w.ex.p
+	var calls []*ast.CallExpr
+	var subject types.Object
+	consistent := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if named := namedType(v.Type()); named != nil && named.Obj().Pkg() == p.Types {
+				if subject == nil {
+					subject = obj
+				} else if subject != obj {
+					consistent = false
+				}
+				calls = append(calls, call)
+			}
+		}
+		return true
+	})
+	if !consistent {
+		return nil
+	}
+	return calls
+}
+
+// bindResults assigns provisional names to the defining call's results and
+// returns the per-position names ("_" for discarded results).
+func (c *candidateCtx) bindResults(def *ast.AssignStmt, method *types.Func) []string {
+	p := c.w.ex.p
+	sig, _ := method.Type().(*types.Signature)
+	names := make([]string, len(def.Lhs))
+	errTaken := false
+	for i, lhs := range def.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			names[i] = "_"
+			continue
+		}
+		if id.Name == "_" {
+			names[i] = "_"
+			continue
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			obj = p.Info.Uses[id]
+		}
+		if obj == nil {
+			names[i] = "_"
+			continue
+		}
+		isErr := false
+		if sig != nil && sig.Results() != nil && i < sig.Results().Len() {
+			isErr = isErrorType(sig.Results().At(i).Type())
+		} else {
+			isErr = isErrorType(obj.Type())
+		}
+		name := fmt.Sprintf("v%d", i)
+		if isErr && !errTaken {
+			name = "err"
+			errTaken = true
+			c.errObjs[obj] = true
+		}
+		c.results[obj] = name
+		names[i] = name
+	}
+	return names
+}
+
+// renderDefCall renders the defining call over the checker's locals, blanking
+// results no kept assert references. oracleIdx, when >= 0, names a discarded
+// error result "err" for the implicit oracle.
+func (c *candidateCtx) renderDefCall(call *ast.CallExpr, lhsNames, argStrs []string, oracleIdx int) string {
+	sel := call.Fun.(*ast.SelectorExpr)
+	out := make([]string, len(lhsNames))
+	named := false
+	for i, n := range lhsNames {
+		switch {
+		case i == oracleIdx:
+			out[i] = "err"
+			named = true
+		case n == "_":
+			out[i] = "_"
+		default:
+			obj := c.objByName(n)
+			if obj != nil && c.refs[obj] {
+				out[i] = n
+				named = true
+			} else {
+				out[i] = "_"
+			}
+		}
+	}
+	op := " := "
+	if !named {
+		op = " = "
+	}
+	return strings.Join(out, ", ") + op +
+		"subject." + sel.Sel.Name + "(" + strings.Join(argStrs, ", ") + ")"
+}
+
+func (c *candidateCtx) objByName(name string) types.Object {
+	for obj, n := range c.results {
+		if n == name {
+			return obj
+		}
+	}
+	return nil
+}
+
+// renderArgs renders the call's arguments, failing on anything that is not a
+// portable literal.
+func (c *candidateCtx) renderArgs(call *ast.CallExpr) ([]string, error) {
+	out := make([]string, 0, len(call.Args))
+	for _, arg := range call.Args {
+		if !portableLiteral(arg) {
+			return nil, fmt.Errorf("%s is not a portable literal", exprString(c.w.ex.p.Fset, arg))
+		}
+		s, err := c.render(arg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// portableLiteral reports whether e can be replayed verbatim from a watchdog:
+// basic literals, nil/true/false, negated literals, and conversions of basic
+// literals ([]byte("k"), string(7)).
+func portableLiteral(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return v.Name == "nil" || v.Name == "true" || v.Name == "false"
+	case *ast.UnaryExpr:
+		return portableLiteral(v.X)
+	case *ast.ParenExpr:
+		return portableLiteral(v.X)
+	case *ast.CallExpr:
+		// Type conversion of a portable literal.
+		if len(v.Args) != 1 || !portableLiteral(v.Args[0]) {
+			return false
+		}
+		switch fn := v.Fun.(type) {
+		case *ast.ArrayType:
+			_, ok := fn.Elt.(*ast.Ident)
+			return ok && fn.Len == nil
+		case *ast.Ident:
+			return true // string(...), int64(...)
+		}
+		return false
+	}
+	return false
+}
+
+// zeroishArgs reports whether every argument of the defining call is a
+// zero value (nil, 0, "", false): sentinel oracles like
+// !errors.Is(err, ErrEmptyKey) are only workload-independent when the input
+// shape that provokes the sentinel is the degenerate one.
+func (c *candidateCtx) zeroishArgs() bool {
+	if c.defCall == nil {
+		return false
+	}
+	for _, arg := range c.defCall.Args {
+		switch v := arg.(type) {
+		case *ast.Ident:
+			if v.Name != "nil" && v.Name != "false" {
+				return false
+			}
+		case *ast.BasicLit:
+			if v.Value != "0" && v.Value != `""` && v.Value != "``" {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// classifyCond splits the condition at top-level || and classifies each
+// disjunct, returning the kept asserts and the dropped originals.
+func (c *candidateCtx) classifyCond(cond ast.Expr) (asserts []Assert, dropped []string) {
+	for _, d := range splitOr(cond) {
+		if as, ok := c.classify(d); ok {
+			asserts = append(asserts, as)
+		} else if !c.expectedErr {
+			dropped = append(dropped, exprString(c.w.ex.p.Fset, d))
+		}
+	}
+	return asserts, dropped
+}
+
+// splitOr decomposes a condition at top-level || operators.
+func splitOr(e ast.Expr) []ast.Expr {
+	e = unparen(e)
+	if b, ok := e.(*ast.BinaryExpr); ok && b.Op == token.LOR {
+		return append(splitOr(b.X), splitOr(b.Y)...)
+	}
+	return []ast.Expr{e}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// classify decides whether one disjunct is a workload-independent oracle.
+// The taxonomy (DESIGN.md §8):
+//
+//	erroracle  err != nil                        call must succeed
+//	sentinel   !errors.Is(err, ErrX), zero args  degenerate input maps to its sentinel
+//	nonnil     x == nil                          accessor must return a value
+//	nonneg     x < 0, x <= 0                     counter/size is structurally bounded
+//	zerolen    len(x) != 0, len(x) > 0           anomaly accumulator must be empty
+//	relation   x <op> y, no literals             results constrain each other
+//
+// Everything else — exact values, boolean presence flags, non-zero counts —
+// depends on what the workload happens to have done and is dropped.
+func (c *candidateCtx) classify(d ast.Expr) (Assert, bool) {
+	d = unparen(d)
+	switch v := d.(type) {
+	case *ast.BinaryExpr:
+		return c.classifyBinary(v)
+	case *ast.UnaryExpr:
+		if v.Op != token.NOT {
+			return Assert{}, false
+		}
+		call, ok := unparen(v.X).(*ast.CallExpr)
+		if !ok || !c.isErrorsIs(call) {
+			return Assert{}, false
+		}
+		if !c.zeroishArgs() {
+			return Assert{}, false
+		}
+		s, err := c.render(d)
+		if err != nil {
+			return Assert{}, false
+		}
+		return Assert{Cond: s, Kind: "sentinel"}, true
+	}
+	return Assert{}, false
+}
+
+func (c *candidateCtx) classifyBinary(b *ast.BinaryExpr) (Assert, bool) {
+	x, y := unparen(b.X), unparen(b.Y)
+	// Normalize literal/nil to the right.
+	if isNilIdent(x) || isZeroLit(x) {
+		x, y = y, x
+	}
+	switch {
+	case isNilIdent(y):
+		if c.isErrRef(x) {
+			switch b.Op {
+			case token.NEQ:
+				s, err := c.render(b)
+				if err != nil {
+					return Assert{}, false
+				}
+				return Assert{Cond: s, Kind: "erroracle", WrapErr: true}, true
+			case token.EQL:
+				c.expectedErr = true
+				return Assert{}, false
+			}
+			return Assert{}, false
+		}
+		if b.Op == token.EQL {
+			s, err := c.render(b)
+			if err != nil {
+				return Assert{}, false
+			}
+			return Assert{Cond: s, Kind: "nonnil"}, true
+		}
+		if b.Op == token.NEQ && c.errorTypedCall(x) {
+			// Expression-guard form of the error oracle.
+			s, err := c.render(b)
+			if err != nil {
+				return Assert{}, false
+			}
+			return Assert{Cond: s, Kind: "erroracle"}, true
+		}
+		return Assert{}, false
+	case isZeroLit(y):
+		switch b.Op {
+		case token.LSS, token.LEQ:
+			s, err := c.render(b)
+			if err != nil {
+				return Assert{}, false
+			}
+			return Assert{Cond: s, Kind: "nonneg"}, true
+		case token.NEQ, token.GTR:
+			// Only the emptiness of a call-produced accumulator is
+			// workload-independent; a bare counter != 0 is not.
+			if call, ok := x.(*ast.CallExpr); ok {
+				if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "len" {
+					s, err := c.render(b)
+					if err != nil {
+						return Assert{}, false
+					}
+					return Assert{Cond: s, Kind: "zerolen"}, true
+				}
+			}
+		}
+		return Assert{}, false
+	case !hasLiteral(b):
+		// Relations are only workload-independent when both operands come
+		// from one defining call — a single atomic sample of related state
+		// (assigned/committed from Zxids()). Comparing two separate calls
+		// (tree.SerializedCount() vs tree.Count()) races the workload.
+		if c.defCall == nil || containsCall(b) {
+			return Assert{}, false
+		}
+		s, err := c.render(b)
+		if err != nil {
+			return Assert{}, false
+		}
+		return Assert{Cond: s, Kind: "relation"}, true
+	}
+	return Assert{}, false
+}
+
+// isErrRef reports whether e is an identifier bound to an error-typed result.
+func (c *candidateCtx) isErrRef(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := c.w.ex.p.Info.Uses[id]
+	return obj != nil && c.errObjs[obj]
+}
+
+// errorTypedCall reports whether e is a call with a single error result.
+func (c *candidateCtx) errorTypedCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if tv, ok := c.w.ex.p.Info.Types[call]; ok && tv.Type != nil {
+		return isErrorType(tv.Type)
+	}
+	return false
+}
+
+// isErrorsIs reports whether call is errors.Is(err, <pkg-level sentinel>)
+// with the err operand an error-typed result. Matched syntactically on the
+// import qualifier: the placeholder importer leaves std selections untyped.
+func (c *candidateCtx) isErrorsIs(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Is" {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok || x.Name != "errors" {
+		return false
+	}
+	if len(call.Args) != 2 {
+		return false
+	}
+	return c.isErrRef(unparen(call.Args[0]))
+}
+
+// hasErrAssert reports whether any kept assert already consults the error.
+func (c *candidateCtx) hasErrAssert(asserts []Assert) bool {
+	for _, a := range asserts {
+		if a.Kind == "erroracle" || a.Kind == "sentinel" {
+			return true
+		}
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func isZeroLit(e ast.Expr) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}
+
+// containsCall reports whether the expression contains any call (conversions
+// included — conservative).
+func containsCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasLiteral reports whether the expression contains any literal constant.
+func hasLiteral(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.BasicLit:
+			found = true
+		case *ast.Ident:
+			if v.Name == "nil" || v.Name == "true" || v.Name == "false" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// render renders an expression over the checker's locals: renamed results,
+// the subject as "subject", package-level declarations verbatim, and a short
+// allow-list of std qualifiers. Anything else — test locals, helpers, other
+// packages — is an error, which drops the disjunct.
+func (c *candidateCtx) render(e ast.Expr) (string, error) {
+	p := c.w.ex.p
+	switch v := e.(type) {
+	case *ast.Ident:
+		obj := p.Info.Uses[v]
+		if obj == nil {
+			obj = p.Info.Defs[v]
+		}
+		if obj == nil {
+			return "", fmt.Errorf("unresolved identifier %s", v.Name)
+		}
+		if name, ok := c.results[obj]; ok {
+			c.refs[obj] = true
+			return name, nil
+		}
+		if obj == c.subject {
+			return "subject", nil
+		}
+		if obj.Parent() == types.Universe {
+			return v.Name, nil
+		}
+		if _, ok := obj.(*types.Builtin); ok {
+			return v.Name, nil
+		}
+		if obj.Pkg() == p.Types && obj.Parent() == p.Types.Scope() {
+			return v.Name, nil // package-level sentinel, const, type
+		}
+		return "", fmt.Errorf("references test-local %s", v.Name)
+	case *ast.SelectorExpr:
+		if x, ok := v.X.(*ast.Ident); ok {
+			if _, isPkg := p.Info.Uses[x].(*types.PkgName); isPkg {
+				if !allowedQual[x.Name] {
+					return "", fmt.Errorf("references package %s", x.Name)
+				}
+				c.quals[x.Name] = true
+				return x.Name + "." + v.Sel.Name, nil
+			}
+		}
+		xs, err := c.render(v.X)
+		if err != nil {
+			return "", err
+		}
+		return xs + "." + v.Sel.Name, nil
+	case *ast.CallExpr:
+		var fn string
+		switch f := v.Fun.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.ArrayType:
+			s, err := c.renderFun(f)
+			if err != nil {
+				return "", err
+			}
+			fn = s
+		default:
+			return "", fmt.Errorf("unsupported call form")
+		}
+		args := make([]string, 0, len(v.Args))
+		for _, a := range v.Args {
+			s, err := c.render(a)
+			if err != nil {
+				return "", err
+			}
+			args = append(args, s)
+		}
+		return fn + "(" + strings.Join(args, ", ") + ")", nil
+	case *ast.BasicLit:
+		return v.Value, nil
+	case *ast.UnaryExpr:
+		s, err := c.render(v.X)
+		if err != nil {
+			return "", err
+		}
+		return v.Op.String() + s, nil
+	case *ast.ParenExpr:
+		s, err := c.render(v.X)
+		if err != nil {
+			return "", err
+		}
+		return "(" + s + ")", nil
+	case *ast.BinaryExpr:
+		xs, err := c.render(v.X)
+		if err != nil {
+			return "", err
+		}
+		ys, err := c.render(v.Y)
+		if err != nil {
+			return "", err
+		}
+		return xs + " " + v.Op.String() + " " + ys, nil
+	case *ast.IndexExpr:
+		xs, err := c.render(v.X)
+		if err != nil {
+			return "", err
+		}
+		is, err := c.render(v.Index)
+		if err != nil {
+			return "", err
+		}
+		return xs + "[" + is + "]", nil
+	case *ast.StarExpr:
+		s, err := c.render(v.X)
+		if err != nil {
+			return "", err
+		}
+		return "*" + s, nil
+	case *ast.ArrayType:
+		if id, ok := v.Elt.(*ast.Ident); ok && v.Len == nil {
+			return "[]" + id.Name, nil
+		}
+	}
+	return "", fmt.Errorf("unsupported expression")
+}
+
+func (c *candidateCtx) renderFun(f ast.Expr) (string, error) {
+	if at, ok := f.(*ast.ArrayType); ok {
+		return c.render(at)
+	}
+	return c.render(f)
+}
+
+// allowedQual is the std qualifier allow-list for rendered predicates.
+var allowedQual = map[string]bool{
+	"errors": true, "bytes": true, "strings": true,
+}
+
+// qualImport maps an allowed qualifier to its import path.
+var qualImport = map[string]string{
+	"errors": "errors", "bytes": "bytes", "strings": "strings",
+}
+
+// exprString renders an expression as it appears in the source (for dropped
+// lists and rejection details).
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var b bytes.Buffer
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return "<unprintable>"
+	}
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+// --- small type helpers ---
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+func namedType(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func isPointer(t types.Type) bool {
+	_, ok := t.(*types.Pointer)
+	return ok
+}
+
+// methodOpName renders a method as (*T).M or T.M for Site.Op.
+func methodOpName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return fn.Name()
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		if named, ok := ptr.Elem().(*types.Named); ok {
+			return "(*" + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	if named, ok := rt.(*types.Named); ok {
+		return named.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// trailingErrorResult returns the index of the method's final error result,
+// or -1.
+func trailingErrorResult(fn *types.Func) int {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Results() == nil || sig.Results().Len() == 0 {
+		return -1
+	}
+	i := sig.Results().Len() - 1
+	if isErrorType(sig.Results().At(i).Type()) {
+		return i
+	}
+	return -1
+}
+
+func checkerKind(vulnerable bool) string {
+	if vulnerable {
+		return "mimic"
+	}
+	return "signal"
+}

@@ -1,0 +1,181 @@
+package testmine
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update regenerates the golden files instead of comparing against them:
+//
+//	go test ./internal/autowatchdog/testmine -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// mineSample mines the minesample fixture, which exercises every extraction
+// path: pure mined predicates, impure rejections, unexported subjects,
+// test-local arguments, sentinel oracles, and dropped disjuncts.
+func mineSample(t *testing.T) *Analysis {
+	t.Helper()
+	a, err := Mine(Config{PackageDir: filepath.Join("testdata", "src", "minesample")})
+	if err != nil {
+		t.Fatalf("Mine: %v", err)
+	}
+	return a
+}
+
+// golden compares got against the named golden file byte-for-byte, or
+// rewrites the golden file under -update.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("update %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s (run with -update to create): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden (run with -update to accept):\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// TestGoldenSummary pins the human-readable mining report: every mined
+// checker with its asserts and provenance, and every audited rejection.
+func TestGoldenSummary(t *testing.T) {
+	a := mineSample(t)
+	var b bytes.Buffer
+	a.Summary(&b)
+	golden(t, "minesample.golden.summary", b.Bytes())
+}
+
+// TestGoldenJSONReport pins the machine-readable report consumed by CI.
+func TestGoldenJSONReport(t *testing.T) {
+	a := mineSample(t)
+	var b bytes.Buffer
+	if err := a.ReportJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "minesample.golden.json", b.Bytes())
+}
+
+// TestGoldenGeneratedChecker pins the generated checkers file byte-for-byte;
+// any change to extraction, purity walking, classification, or the emitter
+// shows up here as a reviewable diff.
+func TestGoldenGeneratedChecker(t *testing.T) {
+	a := mineSample(t)
+	golden(t, "minesample_testmine_wd_gen.go.golden", a.GeneratedSource())
+}
+
+// TestMineSampleShape asserts the structural properties the goldens rely on,
+// so a bad -update run cannot silently bless a regression.
+func TestMineSampleShape(t *testing.T) {
+	a := mineSample(t)
+
+	if a.Package != "minesample" {
+		t.Fatalf("Package = %q, want minesample", a.Package)
+	}
+	byName := make(map[string]MinedChecker)
+	for _, c := range a.Checkers {
+		byName[c.Name] = c
+	}
+
+	// Pure predicates mined.
+	if c, ok := byName["minesample.mined.probe_epoch"]; !ok {
+		t.Errorf("missing mined checker for Epoch; have %v", names(a))
+	} else if c.Kind != "signal" {
+		t.Errorf("Epoch checker kind = %q, want signal", c.Kind)
+	}
+	if _, ok := byName["minesample.mined.probe_marks"]; !ok {
+		t.Errorf("missing mined checker for Marks; have %v", names(a))
+	}
+
+	// The vulnerable (os I/O) method is mimic-class.
+	if c, ok := byName["minesample.mined.probe_verify"]; !ok {
+		t.Errorf("missing mined checker for Verify; have %v", names(a))
+	} else if c.Kind != "mimic" {
+		t.Errorf("Verify checker kind = %q, want mimic", c.Kind)
+	}
+
+	// Sentinel and err-oracle Lookup checkers both survive dedup (the
+	// sentinel's input shape distinguishes them).
+	sentinels, oracles := 0, 0
+	for _, c := range a.Checkers {
+		if c.Method != "(*Probe).Lookup" {
+			continue
+		}
+		for _, as := range c.Asserts {
+			switch as.Kind {
+			case "sentinel":
+				sentinels++
+			case "erroracle":
+				oracles++
+			}
+		}
+	}
+	if sentinels != 1 || oracles != 1 {
+		t.Errorf("Lookup checkers: %d sentinel, %d erroracle asserts, want 1 and 1", sentinels, oracles)
+	}
+
+	// The workload-dependent value comparison was dropped, not mined.
+	for _, c := range a.Checkers {
+		for _, as := range c.Asserts {
+			if strings.Contains(as.Cond, `"v:k"`) {
+				t.Errorf("workload-dependent disjunct mined: %s", as.Cond)
+			}
+		}
+	}
+
+	// Every rejection path in TestProbeRejections is audited.
+	wantReasons := []string{
+		"impure method (*Probe).Advance",
+		"unexported subject type",
+		"non-portable argument to (*Probe).Lookup",
+		"expected-error assertion on (*Probe).Lookup",
+	}
+	for _, want := range wantReasons {
+		found := false
+		for _, r := range a.Rejected {
+			if strings.Contains(r.Reason, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no rejection with reason containing %q; have %v", want, reasons(a))
+		}
+	}
+
+	// Provenance: every mined checker points into a fixture test file.
+	for _, c := range a.Checkers {
+		if !strings.HasSuffix(c.File, "minesample_test.go") || c.Line <= 0 {
+			t.Errorf("checker %s has bad provenance %s:%d", c.Name, c.File, c.Line)
+		}
+		if c.TestFunc == "" {
+			t.Errorf("checker %s missing TestFunc", c.Name)
+		}
+	}
+}
+
+func names(a *Analysis) []string {
+	var out []string
+	for _, c := range a.Checkers {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+func reasons(a *Analysis) []string {
+	var out []string
+	for _, r := range a.Rejected {
+		out = append(out, r.Reason)
+	}
+	return out
+}

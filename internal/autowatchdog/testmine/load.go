@@ -1,0 +1,191 @@
+package testmine
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// pkgInfo is the mined package: every same-package source file — tests
+// included, unlike wdlint's loader — parsed and type-checked together, so
+// subjects produced by test helpers (`s := openStore(t, nil)`) resolve to
+// their concrete types. Type checking is tolerant: all imports (standard
+// library included) are satisfied with empty placeholder packages, because
+// the miner only needs type information for declarations local to the
+// package under test; anything crossing an import boundary is judged
+// syntactically.
+type pkgInfo struct {
+	Name       string
+	Dir        string
+	ModuleRoot string
+	ModulePath string
+	// SourceRel is Dir relative to ModuleRoot, slash form.
+	SourceRel string
+
+	Fset     *token.FileSet
+	Files    []*ast.File // sorted by file name, tests included
+	IsTest   map[*ast.File]bool
+	FileName map[*ast.File]string // absolute paths
+	Types    *types.Package
+	Info     *types.Info
+
+	funcDecls map[*types.Func]*ast.FuncDecl // package-local bodies, for purity walks
+}
+
+// Pos converts a token.Pos via the package file set.
+func (p *pkgInfo) Pos(pos token.Pos) token.Position { return p.Fset.Position(pos) }
+
+// relFile renders an absolute source path relative to the module root.
+func (p *pkgInfo) relFile(abs string) string {
+	rel, err := filepath.Rel(p.ModuleRoot, abs)
+	if err != nil {
+		return abs
+	}
+	return filepath.ToSlash(rel)
+}
+
+// loadPackage parses and type-checks the package in dir, tests included.
+// External test packages (package foo_test) are skipped: their assertions
+// only see the exported API through an import and would need cross-package
+// type resolution the placeholder importer cannot provide.
+func loadPackage(dir string) (*pkgInfo, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modRoot, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(modRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("testmine: %s is outside module %s", dir, modRoot)
+	}
+
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, fmt.Errorf("testmine: %w", err)
+	}
+	p := &pkgInfo{
+		Dir:        abs,
+		ModuleRoot: modRoot,
+		ModulePath: modPath,
+		SourceRel:  filepath.ToSlash(rel),
+		Fset:       token.NewFileSet(),
+		IsTest:     make(map[*ast.File]bool),
+		FileName:   make(map[*ast.File]string),
+		funcDecls:  make(map[*types.Func]*ast.FuncDecl),
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		full := filepath.Join(abs, name)
+		f, err := parser.ParseFile(p.Fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("testmine: parse %s: %w", full, err)
+		}
+		// Majority package is the first non-test package name seen; stray
+		// files of other packages (goldens, external test packages) are
+		// skipped, matching wdlint's tolerance.
+		if p.Name == "" && !strings.HasSuffix(name, "_test.go") {
+			p.Name = f.Name.Name
+		}
+		if p.Name != "" && f.Name.Name != p.Name {
+			continue
+		}
+		if p.Name == "" {
+			// Only test files so far; accept the in-package test name.
+			if strings.HasSuffix(f.Name.Name, "_test") {
+				continue
+			}
+			p.Name = f.Name.Name
+		}
+		p.Files = append(p.Files, f)
+		p.FileName[f] = full
+		p.IsTest[f] = strings.HasSuffix(name, "_test.go")
+	}
+	if p.Name == "" || len(p.Files) == 0 {
+		return nil, fmt.Errorf("testmine: no Go package in %s", dir)
+	}
+
+	p.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := types.Config{
+		Importer:                 placeholderImporter{cache: make(map[string]*types.Package)},
+		Error:                    func(error) {}, // tolerated: placeholders are opaque on purpose
+		FakeImportC:              true,
+		DisableUnusedImportCheck: true,
+	}
+	p.Types, _ = cfg.Check(p.SourceRel, p.Fset, p.Files, p.Info)
+
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok && obj != nil {
+				p.funcDecls[obj] = fd
+			}
+		}
+	}
+	return p, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod.
+func findModule(dir string) (root, path string, err error) {
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.Trim(strings.TrimSpace(rest), `"`), nil
+				}
+			}
+			return "", "", fmt.Errorf("testmine: no module path in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("testmine: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// placeholderImporter satisfies every import with a named, complete, empty
+// package: references through it become ordinary tolerated type errors.
+type placeholderImporter struct {
+	cache map[string]*types.Package
+}
+
+func (pi placeholderImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := pi.cache[path]; ok {
+		return pkg, nil
+	}
+	name := path
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[i+1:]
+	}
+	pkg := types.NewPackage(path, name)
+	pkg.MarkComplete()
+	pi.cache[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,80 @@
+// Package minesample is the testmine golden fixture: a small exported type
+// whose test suite exercises every extraction path — pure mined predicates,
+// impure rejections, unexported subjects, test-local arguments, sentinel
+// oracles, and workload-dependent disjunct dropping.
+package minesample
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// ErrBadProbe is the sentinel returned for malformed probe lookups.
+var ErrBadProbe = errors.New("minesample: bad probe")
+
+// Probe is the exported subject type the fixture tests assert over.
+type Probe struct {
+	mu    sync.Mutex
+	epoch int64
+	marks []string
+	path  string
+}
+
+// NewProbe returns a probe backed by the file at path.
+func NewProbe(path string) *Probe {
+	return &Probe{path: path, epoch: 1}
+}
+
+// Epoch returns the current epoch. Pure: lock, read, unlock.
+func (p *Probe) Epoch() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch
+}
+
+// Marks returns a copy of the recorded anomaly marks. Pure: the copy target
+// is a local.
+func (p *Probe) Marks() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, len(p.marks))
+	copy(out, p.marks)
+	return out
+}
+
+// Lookup returns the stored value for key; empty keys fail with ErrBadProbe.
+func (p *Probe) Lookup(key string) (string, error) {
+	if key == "" {
+		return "", ErrBadProbe
+	}
+	return "v:" + key, nil
+}
+
+// Verify re-reads the backing file; it passes through os I/O, so checkers
+// probing it are mimic-class.
+func (p *Probe) Verify() error {
+	_, err := os.ReadFile(p.path)
+	return err
+}
+
+// Advance bumps the epoch. Impure: it writes through the receiver, so
+// assertions over it must be rejected.
+func (p *Probe) Advance() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.epoch++
+	return p.epoch
+}
+
+// tracker is unexported: assertions over it cannot become watchdog checkers,
+// because generated code in the package would still be reaching into state
+// no external caller can construct.
+type tracker struct {
+	n int
+}
+
+func newTracker() *tracker { return &tracker{} }
+
+// Count returns the tracked count.
+func (tr *tracker) Count() int { return tr.n }

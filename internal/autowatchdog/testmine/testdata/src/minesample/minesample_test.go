@@ -1,0 +1,80 @@
+package minesample
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// newTestProbe builds a probe over a real temp file so Verify succeeds.
+func newTestProbe(t *testing.T) *Probe {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "probe.dat")
+	if err := os.WriteFile(path, []byte("ok"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return NewProbe(path)
+}
+
+// TestProbeInvariants holds the minable assertions: workload-independent
+// guards over pure (or read-only vulnerable) exported methods.
+func TestProbeInvariants(t *testing.T) {
+	p := newTestProbe(t)
+
+	// Mined: nonneg over a pure method (expression guard).
+	if p.Epoch() <= 0 {
+		t.Fatalf("Epoch() = %d, want > 0", p.Epoch())
+	}
+
+	// Mined: zerolen over a pure method (defining assign before the guard).
+	marks := p.Marks()
+	if len(marks) != 0 {
+		t.Fatalf("Marks() = %v, want none on a fresh probe", marks)
+	}
+
+	// Mined: sentinel oracle on a zero-ish input.
+	if _, err := p.Lookup(""); !errors.Is(err, ErrBadProbe) {
+		t.Fatalf("Lookup(\"\") = %v, want ErrBadProbe", err)
+	}
+
+	// Mined: error oracle over the vulnerable (os I/O) method — mimic-class.
+	if err := p.Verify(); err != nil {
+		t.Fatalf("Verify() on a healthy probe: %v", err)
+	}
+
+	// Mined with a dropped disjunct: the error oracle is portable, the exact
+	// value comparison is workload-dependent.
+	v, err := p.Lookup("k")
+	if err != nil || v != "v:k" {
+		t.Fatalf("Lookup(k) = %q, %v", v, err)
+	}
+}
+
+// TestProbeRejections holds the assertions every filter must refuse.
+func TestProbeRejections(t *testing.T) {
+	p := newTestProbe(t)
+
+	// Rejected: Advance writes through the receiver.
+	if p.Advance() <= 0 {
+		t.Fatalf("Advance() = %d, want > 0", p.Advance())
+	}
+
+	// Rejected: the subject type is unexported.
+	tr := newTracker()
+	if tr.Count() != 0 {
+		t.Fatalf("Count() = %d, want 0", tr.Count())
+	}
+
+	// Rejected: the argument is test-local, not a portable literal.
+	key := "dynamic"
+	if _, err := p.Lookup(key); err != nil {
+		t.Fatalf("Lookup(%q): %v", key, err)
+	}
+
+	// Rejected: expected-error assertion — inverting it would alarm on
+	// healthy state.
+	if _, err := p.Lookup(""); err == nil {
+		t.Fatal("Lookup(\"\") = nil error, want ErrBadProbe")
+	}
+}

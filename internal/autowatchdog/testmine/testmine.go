@@ -1,0 +1,300 @@
+// Package testmine is the second AutoWatchdog checker source: instead of
+// reducing long-running mainline regions (§4, package autowatchdog), it mines
+// runtime-checkable invariants out of the package's own test suite — the
+// FlyCatcher observation that existing test assertions encode oracles the
+// mainline reduction never sees.
+//
+// The pipeline has four stages (DESIGN.md §8):
+//
+//	extract   walk every same-package _test.go file and collect assertion
+//	          guards: `if <cond> { t.Fatal*/t.Error* }` where <cond>
+//	          references the results of a method call on an exported subject
+//	          type declared in the package under test;
+//	purity    the called method (and everything it transitively calls inside
+//	          the package) must be side-effect-free — watchdog checkers run
+//	          concurrently with production traffic and must not mutate shared
+//	          state (§3.2);
+//	evaluable the predicate must be evaluable against a synced watchdog
+//	          Context at an arbitrary moment: call arguments must be
+//	          portable literals, and every workload-dependent disjunct
+//	          (exact values, boolean presence flags, non-zero counts) is
+//	          dropped, keeping only workload-independent oracles — error
+//	          oracles, sentinel checks on zero-ish inputs, relational
+//	          invariants between results, emptiness of anomaly lists;
+//	emit      surviving predicates become signal/mimic checkers in a
+//	          <pkg>_testmine_wd_gen.go file with `awgen:source`,
+//	          `awgen:mode from-tests`, and per-checker
+//	          `awgen:from-test <file>:<line>` provenance headers.
+//
+// The output is deterministic for a given source tree, which is what lets
+// wdlint's genfresh analyzer re-mine and byte-compare committed files, and
+// its testmine analyzer police the provenance headers.
+package testmine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Provenance directives embedded in generated files. GenSourceDirective
+// matches the region generator's header so genfresh finds the source package
+// the same way for both modes; GenModeDirective distinguishes the modes.
+const (
+	GenSourceDirective    = "awgen:source"
+	GenModeDirective      = "awgen:mode"
+	GenModeFromTests      = "from-tests"
+	FromTestDirective     = "awgen:from-test"
+	generatedFileSuffix   = "_testmine_wd_gen.go"
+	defaultWatchdogImport = "gowatchdog/internal/watchdog"
+)
+
+// Config parameterizes one mining run.
+type Config struct {
+	// PackageDir is the directory of the package whose tests are mined.
+	PackageDir string
+	// OutDir, when set, is where Generate writes the checkers file.
+	OutDir string
+	// WatchdogImport overrides the watchdog package import path.
+	WatchdogImport string
+	// CheckerPrefix overrides the package name as the checker-name prefix.
+	CheckerPrefix string
+	// MaxPurityDepth bounds recursion into package-local callees during the
+	// purity walk (default 4); beyond it the name heuristic applies.
+	MaxPurityDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.WatchdogImport == "" {
+		c.WatchdogImport = defaultWatchdogImport
+	}
+	if c.MaxPurityDepth <= 0 {
+		c.MaxPurityDepth = 4
+	}
+	return c
+}
+
+// Assert is one surviving predicate of a mined checker: the violation
+// condition (the test's failure guard, already oriented so that true means
+// the invariant is broken) plus its classification.
+type Assert struct {
+	// Cond is the rendered violation condition over the checker's locals
+	// (subject, v0..vN, err).
+	Cond string `json:"cond"`
+	// Kind classifies the oracle: erroracle, sentinel, relation, zerolen,
+	// nonneg, nonnil.
+	Kind string `json:"kind"`
+	// WrapErr marks error oracles, which wrap the error with %w.
+	WrapErr bool `json:"wrap_err,omitempty"`
+}
+
+// MinedChecker is one checker mined from a test assertion.
+type MinedChecker struct {
+	// Name is the registered checker name (<prefix>.mined.<subject>_<method>).
+	Name string `json:"name"`
+	// Subject is the exported type the checker evaluates against.
+	Subject string `json:"subject"`
+	// SubjectPtr records whether the test held the subject by pointer.
+	SubjectPtr bool `json:"subject_ptr"`
+	// Kind is "mimic" when the probed method transitively passes through
+	// vulnerable operations (injector fault points, os/net I/O), else
+	// "signal".
+	Kind string `json:"kind"`
+	// Method is the probed method in (*T).M form, used as the Op site.
+	Method string `json:"method"`
+	// Call is the rendered defining call ("v0, err := subject.Scan(...)");
+	// empty for pure expression guards, whose calls live in the asserts.
+	Call string `json:"call,omitempty"`
+	// Asserts are the surviving predicates, in guard order.
+	Asserts []Assert `json:"asserts"`
+	// Dropped lists the workload-dependent disjuncts that were discarded.
+	Dropped []string `json:"dropped,omitempty"`
+	// TestFunc, File, Line locate the provenance assertion.
+	TestFunc string `json:"test_func"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+
+	quals map[string]bool // std qualifiers referenced by rendered exprs
+}
+
+// Rejection records a candidate assertion that did not survive a filter —
+// the report keeps them so the mining decisions are auditable.
+type Rejection struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Subject string `json:"subject,omitempty"`
+	Reason  string `json:"reason"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// Analysis is the result of mining one package.
+type Analysis struct {
+	// Package is the package name.
+	Package string
+	// Dir is the analyzed directory.
+	Dir string
+	// SourceRel is the module-relative source directory (slash form), the
+	// awgen:source value.
+	SourceRel string
+	// TestFiles is the number of same-package test files walked.
+	TestFiles int
+	// Guards is the number of assertion guards seen.
+	Guards int
+	// Checkers are the mined checkers, ordered by (file, line).
+	Checkers []MinedChecker
+	// Rejected are the audited filter rejections, ordered by (file, line).
+	Rejected []Rejection
+
+	cfg Config
+}
+
+// Mine runs the extraction pipeline over cfg.PackageDir.
+func Mine(cfg Config) (*Analysis, error) {
+	cfg = cfg.withDefaults()
+	p, err := loadPackage(cfg.PackageDir)
+	if err != nil {
+		return nil, err
+	}
+	a := &Analysis{
+		Package:   p.Name,
+		Dir:       p.Dir,
+		SourceRel: p.SourceRel,
+		cfg:       cfg,
+	}
+	ex := &extractor{p: p, a: a, cfg: cfg}
+	ex.run()
+	a.finalize()
+	return a, nil
+}
+
+// finalize dedups, names, and orders the mined checkers.
+func (a *Analysis) finalize() {
+	sort.SliceStable(a.Checkers, func(i, j int) bool {
+		x, y := a.Checkers[i], a.Checkers[j]
+		if x.File != y.File {
+			return x.File < y.File
+		}
+		return x.Line < y.Line
+	})
+	// Dedup: the same method asserted the same way in several tests is one
+	// invariant. Argument values only distinguish sentinel oracles, where
+	// the expected error depends on the input shape.
+	seen := make(map[string]bool)
+	kept := a.Checkers[:0]
+	for _, c := range a.Checkers {
+		key := c.dedupKey()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		kept = append(kept, c)
+	}
+	a.Checkers = kept
+
+	// Subsumption: a checker whose asserts are a strict subset of a richer
+	// same-method checker adds no coverage. Sentinel oracles are only
+	// comparable when the defining calls (and so the input shapes) match.
+	drop := make([]bool, len(a.Checkers))
+	for i := range a.Checkers {
+		for j := range a.Checkers {
+			if i == j || drop[j] {
+				continue
+			}
+			if subsumedBy(&a.Checkers[i], &a.Checkers[j]) {
+				drop[i] = true
+				break
+			}
+		}
+	}
+	kept = a.Checkers[:0]
+	for i, c := range a.Checkers {
+		if !drop[i] {
+			kept = append(kept, c)
+		}
+	}
+	a.Checkers = kept
+
+	prefix := a.cfg.CheckerPrefix
+	if prefix == "" {
+		prefix = a.Package
+	}
+	used := make(map[string]int)
+	for i := range a.Checkers {
+		c := &a.Checkers[i]
+		base := fmt.Sprintf("%s.mined.%s_%s", prefix,
+			strings.ToLower(c.Subject), strings.ToLower(methodBase(c.Method)))
+		used[base]++
+		if n := used[base]; n > 1 {
+			c.Name = fmt.Sprintf("%s_%d", base, n)
+		} else {
+			c.Name = base
+		}
+	}
+	sort.SliceStable(a.Rejected, func(i, j int) bool {
+		x, y := a.Rejected[i], a.Rejected[j]
+		if x.File != y.File {
+			return x.File < y.File
+		}
+		return x.Line < y.Line
+	})
+}
+
+// subsumedBy reports whether a's asserts are a strict subset of b's for the
+// same method.
+func subsumedBy(a, b *MinedChecker) bool {
+	if a.Method != b.Method || len(a.Asserts) >= len(b.Asserts) {
+		return false
+	}
+	conds := make(map[string]bool, len(b.Asserts))
+	sentinel := false
+	for _, as := range b.Asserts {
+		conds[as.Cond] = true
+		sentinel = sentinel || as.Kind == "sentinel"
+	}
+	for _, as := range a.Asserts {
+		if !conds[as.Cond] {
+			return false
+		}
+		sentinel = sentinel || as.Kind == "sentinel"
+	}
+	if sentinel && a.Call != b.Call {
+		return false
+	}
+	return true
+}
+
+func (c *MinedChecker) dedupKey() string {
+	kinds := make([]string, 0, len(c.Asserts))
+	sentinel := false
+	for _, as := range c.Asserts {
+		kinds = append(kinds, as.Kind+":"+as.Cond)
+		if as.Kind == "sentinel" {
+			sentinel = true
+		}
+	}
+	sort.Strings(kinds)
+	key := c.Method + "|" + strings.Join(kinds, ";")
+	if sentinel {
+		key += "|" + c.Call
+	}
+	return key
+}
+
+// methodBase extracts M from (*T).M or T.M.
+func methodBase(m string) string {
+	if i := strings.LastIndex(m, "."); i >= 0 {
+		return m[i+1:]
+	}
+	return m
+}
+
+// Mimics returns how many mined checkers are mimic-class.
+func (a *Analysis) Mimics() int {
+	n := 0
+	for _, c := range a.Checkers {
+		if c.Kind == "mimic" {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,262 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"gowatchdog/internal/dfs"
+	"gowatchdog/internal/faultinject"
+	"gowatchdog/internal/kvs"
+	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/watchdog/wdio"
+	"gowatchdog/internal/wdruntime"
+)
+
+// Checker-source selectors for the ablation targets (EXPERIMENTS.md E13):
+// the same substrate and fault points, scored under different checker suites,
+// so the verdicts isolate what each source of checkers buys.
+const (
+	// CheckersReduced installs only the hand-tuned suite produced by mainline
+	// region reduction (InstallWatchdog) — the §4 baseline.
+	CheckersReduced = "reduced"
+	// CheckersMined installs only the checkers mined from the package's test
+	// suite (awgen -from-tests).
+	CheckersMined = "mined"
+	// CheckersBoth installs both suites; fault points covered by a mined
+	// checker are attributed to it, so the verdict shows the mined suite
+	// detecting alongside the reduced one rather than being shadowed by it.
+	CheckersBoth = "both"
+)
+
+// UncoveredChecker names the sentinel checker for a fault point the selected
+// suite does not guard. No checker registers under this name, so every fault
+// armed there scores as a miss — which is the measurement: the ablation
+// quantifies coverage lost, not just latency.
+func UncoveredChecker(point string) string { return "uncovered:" + point }
+
+// ablationPoint is one fault point with per-suite checker attribution.
+type ablationPoint struct {
+	point   string
+	reduced string // reduced-suite checker guarding the point
+	mined   string // mined-suite checker guarding it, "" if uncovered
+}
+
+// attribute resolves one point's expected checker under a source selection.
+// Ablation schedules arm Error faults only: hangs exercise the liveness
+// machinery, which both suites share, and would blur the coverage comparison.
+func (ap ablationPoint) attribute(source string) FaultPoint {
+	checker := ""
+	switch source {
+	case CheckersReduced:
+		checker = ap.reduced
+	case CheckersMined:
+		checker = ap.mined
+	case CheckersBoth:
+		checker = ap.mined
+		if checker == "" {
+			checker = ap.reduced
+		}
+	}
+	if checker == "" {
+		checker = UncoveredChecker(ap.point)
+	}
+	return FaultPoint{
+		Point:   ap.point,
+		Checker: checker,
+		Kinds:   []faultinject.Kind{faultinject.Error},
+	}
+}
+
+func validAblationSource(source string) error {
+	switch source {
+	case CheckersReduced, CheckersMined, CheckersBoth:
+		return nil
+	}
+	return fmt.Errorf("campaign: unknown checker source %q (want %s|%s|%s)",
+		source, CheckersReduced, CheckersMined, CheckersBoth)
+}
+
+// kvsAblationPoints is the kvs attribution table. The reduced suite guards
+// every point; the mined suite traverses only the read paths its source
+// assertions probed — Get fires the indexer-get point and VerifyPartition the
+// sstable-read point — leaving the four write-path points uncovered.
+var kvsAblationPoints = []ablationPoint{
+	{point: kvs.FaultFlushWrite, reduced: "kvs.flusher"},
+	{point: kvs.FaultWALAppend, reduced: "kvs.wal"},
+	{point: kvs.FaultIndexerPut, reduced: "kvs.indexer"},
+	{point: kvs.FaultCompactMerge, reduced: "kvs.compaction"},
+	{point: kvs.FaultIndexerGet, reduced: "kvs.indexer", mined: "kvs.mined.store_get"},
+	{point: kvs.FaultSSTableRead, reduced: "kvs.partition", mined: "kvs.mined.store_verifypartition"},
+}
+
+// NewKVSAblationTarget opens a kvs store under dir and wires the selected
+// checker suite(s). Identical substrate and workload to NewKVSTarget; no
+// recovery manager, so the verdict isolates detection.
+func NewKVSAblationTarget(dir, source string, opts ...wdruntime.Option) (*Target, error) {
+	if err := validAblationSource(source); err != nil {
+		return nil, err
+	}
+	factory := watchdog.NewFactory()
+	store, err := kvs.Open(kvs.Config{
+		Dir:                 dir,
+		FlushThresholdBytes: 1 << 30, // flush only on demand
+		WatchdogFactory:     factory,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	base := []wdruntime.Option{
+		wdruntime.WithFactory(factory),
+		wdruntime.WithInterval(50 * time.Millisecond),
+		wdruntime.WithTimeout(250 * time.Millisecond),
+	}
+	rt, err := wdruntime.New(append(base, opts...)...)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	d := rt.Driver()
+
+	closers := []func() error{rt.Close, store.Close}
+	if source != CheckersMined {
+		shadow, err := wdio.NewFS(kvs.ShadowDirFor(dir), 0)
+		if err != nil {
+			rt.Close()
+			store.Close()
+			return nil, err
+		}
+		store.InstallWatchdog(d, shadow)
+	}
+	if source != CheckersReduced {
+		kvs.RegisterMinedStoreCheckers(d, store)
+	}
+
+	points := make([]FaultPoint, 0, len(kvsAblationPoints))
+	for _, ap := range kvsAblationPoints {
+		points = append(points, ap.attribute(source))
+	}
+
+	payload := []byte("ablation-payload")
+	var inflight atomic.Bool
+	return &Target{
+		Name:     "kvs-ablation-" + source,
+		Runtime:  rt,
+		Driver:   d,
+		Injector: store.Injector(),
+		Points:   points,
+		Step: func(tick int) {
+			// Same abandoned-write workload as NewKVSTarget: it keeps the
+			// hook-fed contexts fresh for the reduced suite and hangs nothing.
+			if !inflight.CompareAndSwap(false, true) {
+				return
+			}
+			key := []byte{byte(tick % 251)}
+			go func() {
+				defer inflight.Store(false)
+				_ = store.Set(key, payload)
+			}()
+		},
+		Close: func() error {
+			drainInflight(&inflight)
+			var errs []error
+			for _, c := range closers {
+				errs = append(errs, c())
+			}
+			return errors.Join(errs...)
+		},
+	}, nil
+}
+
+// dfsAblationPoints: the reduced dfs.disk checker probes both the write and
+// read point of every volume; the mined ScanBlocks checker re-reads committed
+// blocks, traversing only the read points.
+var dfsAblationPoints = []ablationPoint{
+	{point: dfs.FaultVolumeWritePrefix + "0", reduced: "dfs.disk"},
+	{point: dfs.FaultVolumeWritePrefix + "1", reduced: "dfs.disk"},
+	{point: dfs.FaultVolumeReadPrefix + "0", reduced: "dfs.disk", mined: "dfs.mined.datanode_scanblocks"},
+	{point: dfs.FaultVolumeReadPrefix + "1", reduced: "dfs.disk", mined: "dfs.mined.datanode_scanblocks"},
+}
+
+// NewDFSAblationTarget builds a two-volume DataNode with the selected checker
+// suite(s). Four blocks are committed up front so the mined ScanBlocks
+// checker traverses both volumes' read points from the first tick.
+func NewDFSAblationTarget(dir, source string, opts ...wdruntime.Option) (*Target, error) {
+	if err := validAblationSource(source); err != nil {
+		return nil, err
+	}
+	factory := watchdog.NewFactory()
+	dn, err := dfs.New(dfs.Config{
+		VolumeDirs:      []string{filepath.Join(dir, "vol0"), filepath.Join(dir, "vol1")},
+		WatchdogFactory: factory,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := dn.WriteBlock([]byte(fmt.Sprintf("ablation seed block %d", i))); err != nil {
+			return nil, err
+		}
+	}
+
+	base := []wdruntime.Option{
+		wdruntime.WithFactory(factory),
+		wdruntime.WithInterval(50 * time.Millisecond),
+		wdruntime.WithTimeout(250 * time.Millisecond),
+	}
+	rt, err := wdruntime.New(append(base, opts...)...)
+	if err != nil {
+		return nil, err
+	}
+	d := rt.Driver()
+	if source != CheckersMined {
+		dn.InstallWatchdog(d)
+	}
+	if source != CheckersReduced {
+		dfs.RegisterMinedDataNodeCheckers(d, dn)
+	}
+
+	points := make([]FaultPoint, 0, len(dfsAblationPoints))
+	for _, ap := range dfsAblationPoints {
+		points = append(points, ap.attribute(source))
+	}
+
+	payload := []byte("ablation block payload")
+	var inflight atomic.Bool
+	return &Target{
+		Name:     "dfs-ablation-" + source,
+		Runtime:  rt,
+		Driver:   d,
+		Injector: dn.Injector(),
+		Points:   points,
+		Step: func(tick int) {
+			if tick%4 != 0 || !inflight.CompareAndSwap(false, true) {
+				return
+			}
+			go func() {
+				defer inflight.Store(false)
+				_, _ = dn.WriteBlock(payload)
+			}()
+		},
+		Close: func() error {
+			drainInflight(&inflight)
+			return rt.Close()
+		},
+	}, nil
+}
+
+// NewAblationTarget builds the named ablation substrate ("kvs" or "dfs")
+// under the given checker source.
+func NewAblationTarget(name, dir, source string, opts ...wdruntime.Option) (*Target, error) {
+	switch name {
+	case "kvs":
+		return NewKVSAblationTarget(filepath.Join(dir, "kvs"), source, opts...)
+	case "dfs":
+		return NewDFSAblationTarget(filepath.Join(dir, "dfs"), source, opts...)
+	default:
+		return nil, fmt.Errorf("campaign: no ablation substrate %q (want kvs or dfs)", name)
+	}
+}

@@ -10,23 +10,31 @@ import (
 	"strings"
 
 	"gowatchdog/internal/autowatchdog"
+	"gowatchdog/internal/autowatchdog/testmine"
 )
 
-// GenFreshAnalyzer re-runs the AutoWatchdog reduction (§4) for every
-// committed *_wd_gen.go file in the analyzed packages and flags files that
-// drifted from the current generator output. The source package is recovered
-// from the file's provenance header:
+// GenFreshAnalyzer re-runs the AutoWatchdog generator for every committed
+// *_wd_gen.go file in the analyzed packages and flags files that drifted from
+// the current generator output. The source package is recovered from the
+// file's provenance header:
 //
 //	// awgen:source <module-relative-dir>
 //
-// which awgen emits into every generated file. A generated file without the
-// header, or whose source directory no longer exists, gets a warning: its
-// freshness cannot be verified.
+// which awgen emits into every generated file, and the generator to re-run is
+// selected by the mode header:
 //
-// The comparison uses awgen's default configuration (DefaultPatterns,
-// default chain depth). Files generated with custom -entries or patterns
-// should carry a //wdlint:ignore genfresh directive explaining the
-// configuration.
+//	// awgen:mode from-tests
+//
+// dispatches to the test-suite miner (§4, testmine); files without a mode
+// header predate it and replay the mainline region reduction. A generated
+// file without a source header, whose source directory no longer exists, or
+// whose source directory no longer holds a compilable package (the package
+// moved out from under the header) gets a warning: its freshness cannot be
+// verified.
+//
+// The comparison uses the generator's default configuration. Files generated
+// with custom -entries or patterns should carry a //wdlint:ignore genfresh
+// directive explaining the configuration.
 type GenFreshAnalyzer struct{}
 
 // Name implements Analyzer.
@@ -34,7 +42,7 @@ func (*GenFreshAnalyzer) Name() string { return "genfresh" }
 
 // Doc implements Analyzer.
 func (*GenFreshAnalyzer) Doc() string {
-	return "*_wd_gen.go files must match the current AutoWatchdog reduction (§4)"
+	return "*_wd_gen.go files must match the current AutoWatchdog generator output (§4)"
 }
 
 // Run implements Analyzer.
@@ -54,7 +62,7 @@ func (a *GenFreshAnalyzer) Run(u *Unit) []Diag {
 			if !strings.HasSuffix(name, "_wd_gen.go") {
 				continue
 			}
-			src := sourceDirective(p, f)
+			src := directiveValue(p, f, autowatchdog.GenSourceDirective)
 			if src == "" {
 				report(p, f.Pos(), SevWarn,
 					"%s has no %q header; its freshness cannot be verified — regenerate it with the current awgen",
@@ -67,33 +75,58 @@ func (a *GenFreshAnalyzer) Run(u *Unit) []Diag {
 					"%s claims source %q, which does not exist under the module root", filepath.Base(name), src)
 				continue
 			}
-			analysis, err := autowatchdog.Analyze(autowatchdog.Config{PackageDir: srcDir})
-			if err != nil {
+			if !hasGoFiles(srcDir) {
 				report(p, f.Pos(), SevWarn,
-					"%s: re-analyzing source %q failed: %v", filepath.Base(name), src, err)
+					"%s claims source %q, which no longer holds a compilable package — the source moved; regenerate against its new location",
+					filepath.Base(name), src)
 				continue
+			}
+
+			var fresh []byte
+			var regenHint string
+			if directiveValue(p, f, testmine.GenModeDirective) == testmine.GenModeFromTests {
+				analysis, err := testmine.Mine(testmine.Config{PackageDir: srcDir})
+				if err != nil {
+					report(p, f.Pos(), SevWarn,
+						"%s: re-mining source %q failed: %v", filepath.Base(name), src, err)
+					continue
+				}
+				fresh = analysis.GeneratedSource()
+				regenHint = fmt.Sprintf("go run ./cmd/awgen -from-tests -pkg %s -out %s -quiet",
+					src, moduleRel(u, p.Dir))
+			} else {
+				analysis, err := autowatchdog.Analyze(autowatchdog.Config{PackageDir: srcDir})
+				if err != nil {
+					report(p, f.Pos(), SevWarn,
+						"%s: re-analyzing source %q failed: %v", filepath.Base(name), src, err)
+					continue
+				}
+				fresh = analysis.GeneratedSource()
+				regenHint = fmt.Sprintf("go run ./cmd/awgen -pkg %s -out %s -quiet",
+					src, moduleRel(u, p.Dir))
 			}
 			committed, err := os.ReadFile(name)
 			if err != nil {
 				report(p, f.Pos(), SevWarn, "%s: %v", filepath.Base(name), err)
 				continue
 			}
-			if !bytes.Equal(analysis.GeneratedSource(), committed) {
+			if !bytes.Equal(fresh, committed) {
 				report(p, f.Pos(), SevError,
-					"%s drifted from the current reduction of %s; regenerate: go run ./cmd/awgen -pkg %s -out %s -quiet",
-					filepath.Base(name), src, src, moduleRel(u, p.Dir))
+					"%s drifted from the current generator output for %s; regenerate: %s",
+					filepath.Base(name), src, regenHint)
 			}
 		}
 	}
 	return diags
 }
 
-// sourceDirective extracts the awgen:source value from a file's comments.
-func sourceDirective(p *Package, f *ast.File) string {
+// directiveValue extracts the value of a "// <directive> <value>" comment
+// from a file, or "" if absent.
+func directiveValue(p *Package, f *ast.File, directive string) string {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-			if rest, ok := strings.CutPrefix(text, autowatchdog.GenSourceDirective+" "); ok {
+			if rest, ok := strings.CutPrefix(text, directive+" "); ok {
 				return strings.TrimSpace(rest)
 			}
 		}

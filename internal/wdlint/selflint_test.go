@@ -14,6 +14,7 @@ func TestSelfLint(t *testing.T) {
 		"../dfs",
 		"../kvs",
 		"../autowatchdog/genexample",
+		"../autowatchdog/testmine",
 		"../campaign",
 		"../wdruntime",
 		"../wdmesh",

@@ -1,0 +1,8 @@
+// Package genfreshmovedsrc used to hold a reduced package; only this test
+// straggler remains, so the directory exists but no longer compiles into
+// anything awgen could re-analyze.
+package genfreshmovedsrc
+
+import "testing"
+
+func TestLeftover(t *testing.T) {}

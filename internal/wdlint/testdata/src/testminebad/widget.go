@@ -1,0 +1,12 @@
+// Package testminebad is the TestMineAnalyzer fixture: a mined checkers file
+// with one clean registration, one missing its provenance header, one
+// capturing a test-only helper, and one whose provenance test file is gone.
+package testminebad
+
+// Widget is the exported subject the fixture checkers probe.
+type Widget struct {
+	depth int
+}
+
+// Depth returns the current depth.
+func (w *Widget) Depth() int { return w.depth }

@@ -1,0 +1,13 @@
+package testminebad
+
+import "testing"
+
+// testFloor is a test-only helper; generated checkers must never capture it.
+func testFloor() int { return 0 }
+
+func TestWidgetDepth(t *testing.T) {
+	w := &Widget{}
+	if w.Depth() < testFloor() {
+		t.Fatalf("Depth() = %d, want >= %d", w.Depth(), testFloor())
+	}
+}

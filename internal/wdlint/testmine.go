@@ -1,0 +1,218 @@
+package wdlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gowatchdog/internal/autowatchdog/testmine"
+)
+
+// TestMineAnalyzer polices checkers mined from test suites (awgen
+// -from-tests). Generated registrations borrow their oracles from test
+// assertions, so two properties must hold for the file to stay auditable and
+// deployable:
+//
+//   - every d.Register call carries an awgen:from-test provenance header
+//     naming the assertion it was mined from, and the referenced test file
+//     still exists under the module root (a deleted test orphans the
+//     checker's justification);
+//   - the generated code references nothing declared only in the package's
+//     _test.go files — test helpers are not compiled into deployments, so a
+//     captured helper breaks the production build even though wdlint's own
+//     loader (which skips test files) would not see it.
+type TestMineAnalyzer struct{}
+
+// Name implements Analyzer.
+func (*TestMineAnalyzer) Name() string { return "testmine" }
+
+// Doc implements Analyzer.
+func (*TestMineAnalyzer) Doc() string {
+	return "mined checker files must keep per-checker test provenance and capture no test-only helpers"
+}
+
+// Run implements Analyzer.
+func (a *TestMineAnalyzer) Run(u *Unit) []Diag {
+	var diags []Diag
+	report := func(p *Package, pos token.Pos, sev Severity, format string, args ...any) {
+		diags = append(diags, Diag{
+			Pos:      p.Pos(pos),
+			Analyzer: a.Name(),
+			Severity: sev,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, p := range u.Pkgs {
+		var testOnly map[string]bool // lazily computed per package
+		for _, f := range p.Files {
+			name := p.FileName[f]
+			if !strings.HasSuffix(name, "_wd_gen.go") {
+				continue
+			}
+			if directiveValue(p, f, testmine.GenModeDirective) != testmine.GenModeFromTests {
+				continue
+			}
+			base := filepath.Base(name)
+
+			// Collect the provenance headers: comment line -> referenced file.
+			type provenance struct {
+				pos  token.Pos
+				file string
+			}
+			provByLine := make(map[int]provenance)
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, testmine.FromTestDirective+" ")
+					if !ok {
+						continue
+					}
+					loc := strings.Fields(rest)
+					ref := ""
+					if len(loc) > 0 {
+						// "<file>:<line>" — strip the line suffix.
+						if i := strings.LastIndex(loc[0], ":"); i > 0 {
+							ref = loc[0][:i]
+						}
+					}
+					line := p.Pos(c.Pos()).Line
+					provByLine[line] = provenance{pos: c.Pos(), file: ref}
+					if ref == "" {
+						report(p, c.Pos(), SevError,
+							"%s: malformed %s header %q; want <file>:<line>", base, testmine.FromTestDirective, rest)
+						continue
+					}
+					abs := filepath.Join(u.Loader.ModuleRoot, filepath.FromSlash(ref))
+					if st, err := os.Stat(abs); err != nil || st.IsDir() {
+						report(p, c.Pos(), SevWarn,
+							"%s: provenance test file %q no longer exists; the mined checker's justification is orphaned — re-mine: go run ./cmd/awgen -from-tests -pkg %s -out %s -quiet",
+							base, ref, directiveValue(p, f, testmine.GenSourceDirective), moduleRel(u, p.Dir))
+					}
+				}
+			}
+
+			// Every registration must sit under a provenance header. The
+			// emitter puts the header two lines above the Register call
+			// (directive, then the kind note); tolerate a little slack.
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Register" {
+					return true
+				}
+				line := p.Pos(call.Pos()).Line
+				found := false
+				for l := line - 4; l < line; l++ {
+					if _, ok := provByLine[l]; ok {
+						found = true
+						break
+					}
+				}
+				if !found {
+					report(p, call.Pos(), SevError,
+						"%s: registration without an %s provenance header; mined checkers must name the assertion they came from",
+						base, testmine.FromTestDirective)
+				}
+				return true
+			})
+
+			// No test-only captures: identifiers resolved from _test.go
+			// declarations do not exist in the deployed build.
+			if testOnly == nil {
+				testOnly = testOnlyNames(p)
+			}
+			if len(testOnly) == 0 {
+				continue
+			}
+			skip := make(map[*ast.Ident]bool)
+			ast.Inspect(f, func(n ast.Node) bool {
+				if s, ok := n.(*ast.SelectorExpr); ok {
+					skip[s.Sel] = true
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || skip[id] || id.Name == "_" {
+					return true
+				}
+				if p.Info.Defs[id] != nil {
+					return true // a declaration, not a use
+				}
+				if testOnly[id.Name] {
+					report(p, id.Pos(), SevError,
+						"%s: %q is declared only in this package's _test.go files; mined checkers must not capture test helpers",
+						base, id.Name)
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// testOnlyNames returns the top-level names declared in the package's
+// same-package _test.go files but not in its non-test files. The loader skips
+// test files on purpose, so they are parsed here, purely syntactically.
+func testOnlyNames(p *Package) map[string]bool {
+	compiled := make(map[string]bool)
+	for _, f := range p.Files {
+		for _, name := range topLevelNames(f) {
+			compiled[name] = true
+		}
+	}
+	out := make(map[string]bool)
+	entries, err := os.ReadDir(p.Dir)
+	if err != nil {
+		return out
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.SkipObjectResolution)
+		if err != nil || f.Name.Name != p.Name {
+			continue // external test packages cannot leak into generated code
+		}
+		for _, n := range topLevelNames(f) {
+			if !compiled[n] {
+				out[n] = true
+			}
+		}
+	}
+	return out
+}
+
+// topLevelNames lists the package-scope names a file declares.
+func topLevelNames(f *ast.File) []string {
+	var out []string
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Recv == nil && d.Name != nil {
+				out = append(out, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					out = append(out, s.Name.Name)
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						out = append(out, n.Name)
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -3,7 +3,7 @@
 // The watchdog abstraction (§3 of the paper) only delivers its guarantees —
 // side-effect isolation, accurate hang pinpointing, synchronized contexts —
 // when checker code follows a handful of conventions that the compiler does
-// not enforce. wdlint closes that gap with six analyzers:
+// not enforce. wdlint closes that gap with seven analyzers:
 //
 //	isolation   checkers must not mutate state shared with the main program
 //	            (§3.2: "watchdogs should not incur side effects")
@@ -16,7 +16,10 @@
 //	            compose the stack through wdruntime, not bare watchdog.New
 //	            or hand-wired wdmesh.New
 //	genfresh    *_wd_gen.go files must match the current AutoWatchdog
-//	            reduction output (§4)
+//	            generator output (§4), whichever mode produced them
+//	testmine    checkers mined from test suites (awgen -from-tests) must
+//	            keep per-checker provenance headers and capture no
+//	            test-only helpers
 //
 // Findings can be suppressed with a comment directive:
 //
@@ -131,6 +134,7 @@ func All() []Analyzer {
 		&DriverCfgAnalyzer{},
 		&RuntimeCfgAnalyzer{},
 		&GenFreshAnalyzer{},
+		&TestMineAnalyzer{},
 	}
 }
 
@@ -176,11 +180,19 @@ func Run(dir string, patterns []string, analyzers []Analyzer) ([]Diag, error) {
 }
 
 // MarshalDiags renders findings as indented JSON (an array, never null).
+// Each finding carries a flat "location" field in file:line:col form next to
+// the structured position, so line-oriented consumers (CI annotators, editor
+// integrations) need no position reassembly.
 func MarshalDiags(diags []Diag) ([]byte, error) {
-	if diags == nil {
-		diags = []Diag{}
+	type diagJSON struct {
+		Diag
+		Location string `json:"location"`
 	}
-	return json.MarshalIndent(diags, "", "  ")
+	out := make([]diagJSON, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, diagJSON{Diag: d, Location: d.Pos.String()})
+	}
+	return json.MarshalIndent(out, "", "  ")
 }
 
 // ignoreDirective is a parsed //wdlint:ignore comment.

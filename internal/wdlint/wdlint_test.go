@@ -1,6 +1,7 @@
 package wdlint
 
 import (
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -175,6 +176,95 @@ func TestGenFreshFixture(t *testing.T) {
 	d = wantDiag(t, diags, "noheader_wd_gen.go has no")
 	if d.Severity != SevWarn {
 		t.Errorf("no-header severity = %s", d.Severity)
+	}
+}
+
+// TestGenFreshMovedFixture: the source directory still exists but holds only
+// test files — a distinct finding from plain nonexistence, because the fix is
+// pointing awgen at the package's new home, not resurrecting a directory.
+func TestGenFreshMovedFixture(t *testing.T) {
+	diags := lint(t, &GenFreshAnalyzer{}, "genfreshmoved")
+	d := wantDiag(t, diags, "moved_wd_gen.go claims source", "no longer holds a compilable package")
+	if d.Severity != SevWarn {
+		t.Errorf("moved-source severity = %s, want warn", d.Severity)
+	}
+	if n := len(diags); n != 1 {
+		t.Errorf("want 1 genfresh finding, got %d:\n%s", n, render(diags))
+	}
+}
+
+// TestGenFreshFromTestsDrift: genfresh must dispatch on the awgen:mode header
+// and re-run the test miner, not the region reduction, for from-tests files.
+func TestGenFreshFromTestsDrift(t *testing.T) {
+	diags := lint(t, &GenFreshAnalyzer{}, "testminedrift")
+	d := wantDiag(t, diags, "stale_testmine_wd_gen.go drifted", "-from-tests")
+	if d.Severity != SevError {
+		t.Errorf("from-tests drift severity = %s, want error", d.Severity)
+	}
+	if n := len(diags); n != 1 {
+		t.Errorf("want 1 genfresh finding, got %d:\n%s", n, render(diags))
+	}
+}
+
+func TestTestMineFixture(t *testing.T) {
+	diags := lint(t, &TestMineAnalyzer{}, "testminebad")
+	d := wantDiag(t, diags, "registration without an awgen:from-test provenance header")
+	if d.Severity != SevError {
+		t.Errorf("missing-provenance severity = %s, want error", d.Severity)
+	}
+	d = wantDiag(t, diags, `"testFloor" is declared only in this package's _test.go files`)
+	if d.Severity != SevError {
+		t.Errorf("test-capture severity = %s, want error", d.Severity)
+	}
+	d = wantDiag(t, diags, "vanished_test.go", "no longer exists", "-from-tests")
+	if d.Severity != SevWarn {
+		t.Errorf("orphaned-provenance severity = %s, want warn", d.Severity)
+	}
+	// The clean registration must produce nothing.
+	for _, d := range diags {
+		if strings.Contains(d.Message, "widget_depth") {
+			t.Errorf("clean registration falsely flagged: %s", d)
+		}
+	}
+	if n := len(diags); n != 3 {
+		t.Errorf("want 3 testmine findings, got %d:\n%s", n, render(diags))
+	}
+}
+
+// TestTestMineSkipsRegionFiles: region-mode generated files (no awgen:mode
+// header) have no per-checker provenance and must not be flagged.
+func TestTestMineSkipsRegionFiles(t *testing.T) {
+	diags := lint(t, &TestMineAnalyzer{}, "genfreshbad")
+	if len(diags) != 0 {
+		t.Errorf("testmine flagged region-mode files:\n%s", render(diags))
+	}
+}
+
+// TestMarshalDiagsLocation: the JSON report carries a flat file:line:col
+// location per finding, and stays an array when empty.
+func TestMarshalDiagsLocation(t *testing.T) {
+	diags := lint(t, &GenFreshAnalyzer{}, "testminedrift")
+	data, err := MarshalDiags(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("want 1 finding, got %d", len(decoded))
+	}
+	loc, _ := decoded[0]["location"].(string)
+	if !strings.Contains(loc, "stale_testmine_wd_gen.go:5:1") {
+		t.Errorf("location = %q, want file:line:col of the generated file", loc)
+	}
+	if decoded[0]["analyzer"] != "genfresh" {
+		t.Errorf("analyzer = %v", decoded[0]["analyzer"])
+	}
+	empty, err := MarshalDiags(nil)
+	if err != nil || string(empty) != "[]" {
+		t.Errorf("MarshalDiags(nil) = %s, %v; want []", empty, err)
 	}
 }
 
