@@ -5,10 +5,11 @@ GO ?= go
 # Packages whose concurrency matters most: the driver/context core, the
 # coordination service, the fake clock they share, the lock-free metric
 # paths (gauge registry, wdobs histograms/journal), the alarm-driven
-# recovery/campaign loop, the fault injector, and the gossiping mesh.
-RACE_PKGS := ./internal/watchdog ./internal/coord ./internal/clock ./internal/gauge ./internal/wdobs ./internal/recovery ./internal/campaign ./internal/wdruntime ./internal/faultinject ./internal/wdmesh ./internal/autowatchdog/testmine
+# recovery/campaign loop, the fault injector, the gossiping mesh, and the
+# lock-light CEP event ring.
+RACE_PKGS := ./internal/watchdog ./internal/coord ./internal/clock ./internal/gauge ./internal/wdobs ./internal/recovery ./internal/campaign ./internal/wdruntime ./internal/faultinject ./internal/wdmesh ./internal/wdcep ./internal/autowatchdog/testmine
 
-.PHONY: build test vet lint race smoke mesh-smoke gen-smoke ablation check golden
+.PHONY: build test vet lint race smoke mesh-smoke cep-smoke cep-bench gen-smoke ablation check golden
 
 build:
 	$(GO) build ./...
@@ -53,6 +54,18 @@ mesh-smoke:
 	$(GO) run ./cmd/wdchaos -substrate mesh -seed 7 -nodes 3 -quorum 2 \
 		-mesh-interval 25ms
 
+# cep-smoke runs the seeded temporal-rule campaign: a streak fault must fire
+# the consecutive-abnormal rule, a concurrent spread fault must fire the
+# distinct-checkers rule, and the fault-free control arm must fire nothing.
+# Virtual clock: instant and bit-deterministic from the seed.
+cep-smoke:
+	$(GO) run ./cmd/wdchaos -substrate cep -seed 42
+
+# cep-bench regenerates the wdcep perf verdict: the engine must sustain at
+# least 1M events/sec single-threaded with zero steady-state allocations.
+cep-bench:
+	$(GO) run ./cmd/wdbench -exp cep -cep-out BENCH_wdcep.json
+
 # gen-smoke proves the test miner still extracts checkers from the real
 # service test suites: awgen -from-tests exits nonzero when a package yields
 # no minable assertion predicates, so a refactor that silently starves the
@@ -81,4 +94,4 @@ golden:
 	$(GO) test ./internal/autowatchdog -run Golden -update
 	$(GO) test ./internal/autowatchdog/testmine -run Golden -update
 
-check: build vet lint test race smoke mesh-smoke gen-smoke
+check: build vet lint test race smoke mesh-smoke cep-smoke gen-smoke cep-bench

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"gowatchdog/internal/wdcep"
+)
+
+// cepPassEventsPerSec is the wdcep ingest throughput bar: the engine must
+// sustain at least one million events per second single-threaded, or the CI
+// perf verdict fails.
+const cepPassEventsPerSec = 1e6
+
+// CEPBenchResult is the machine-readable wdcep perf verdict, written to
+// BENCH_wdcep.json and gated on in CI.
+type CEPBenchResult struct {
+	Benchmark    string  `json:"benchmark"`
+	Iterations   int     `json:"iterations"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	// PassBar echoes the throughput threshold the verdict was scored
+	// against.
+	PassBar float64 `json:"pass_bar_events_per_sec"`
+	Pass    bool    `json:"pass"`
+}
+
+// runCEPBench executes the wdcep ingest benchmark through testing.Benchmark,
+// writes the JSON verdict to outPath, and fails when throughput misses the
+// bar or the steady state allocates.
+func runCEPBench(outPath string) (*CEPBenchResult, error) {
+	res := testing.Benchmark(wdcep.IngestBenchmark())
+	if res.N == 0 {
+		return nil, fmt.Errorf("cep bench: zero iterations")
+	}
+	nsPerEvent := float64(res.T.Nanoseconds()) / float64(res.N)
+	out := &CEPBenchResult{
+		Benchmark:    "BenchmarkEngineIngest",
+		Iterations:   res.N,
+		NsPerEvent:   nsPerEvent,
+		EventsPerSec: 1e9 / nsPerEvent,
+		BytesPerOp:   res.AllocedBytesPerOp(),
+		AllocsPerOp:  res.AllocsPerOp(),
+		PassBar:      cepPassEventsPerSec,
+	}
+	out.Pass = out.EventsPerSec >= cepPassEventsPerSec && out.AllocsPerOp == 0
+	if outPath != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("cep bench: %w", err)
+		}
+	}
+	if !out.Pass {
+		return out, fmt.Errorf("cep bench: %.0f events/sec (bar %.0f) with %d allocs/op",
+			out.EventsPerSec, out.PassBar, out.AllocsPerOp)
+	}
+	return out, nil
+}
+
+// Render formats the perf verdict for humans.
+func (r *CEPBenchResult) Render() string {
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf(
+		"wdcep ingest benchmark (%s, %d iterations)\n"+
+			"  %.1f ns/event  =>  %.2fM events/sec  (bar %.0fM)\n"+
+			"  %d B/op, %d allocs/op\n"+
+			"  %s",
+		r.Benchmark, r.Iterations,
+		r.NsPerEvent, r.EventsPerSec/1e6, r.PassBar/1e6,
+		r.BytesPerOp, r.AllocsPerOp, verdict)
+}

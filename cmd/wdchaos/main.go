@@ -11,6 +11,7 @@
 //	wdchaos -substrate synth -seed 7 -breaker 3 -damp 30s -hang-budget 2
 //	wdchaos -substrate mesh -seed 7 -nodes 3 -quorum 2 -mesh-interval 20ms
 //	wdchaos -substrate kvs -checkers mined -min-detection-rate 0.01 -json
+//	wdchaos -substrate cep -seed 42 -json
 //
 // The -checkers flag (kvs and dfs only) selects the E13 ablation targets:
 // the same substrate scored under the reduced suite, the test-mined suite
@@ -40,7 +41,7 @@ import (
 
 func main() {
 	var (
-		substrate = flag.String("substrate", "synth", "system under campaign: synth|kvs|dfs|mesh")
+		substrate = flag.String("substrate", "synth", "system under campaign: synth|kvs|dfs|mesh|cep")
 		checkers  = flag.String("checkers", "", "ablation checker source for kvs/dfs: reduced|mined|both (empty = standard target)")
 		dir       = flag.String("dir", "", "scratch directory for disk-backed substrates (default: temp dir)")
 		seed      = flag.Int64("seed", 1, "schedule-generation seed")
@@ -70,6 +71,10 @@ func main() {
 
 	if *substrate == "mesh" {
 		runMesh(*seed, *nodes, *quorum, *meshInterval, *rawJSON)
+		return
+	}
+	if *substrate == "cep" {
+		runCEP(*seed, *interval, *rawJSON)
 		return
 	}
 
@@ -163,6 +168,32 @@ func runMesh(seed int64, nodes, quorum int, interval time.Duration, rawJSON bool
 		Seed:     seed,
 		Nodes:    nodes,
 		Quorum:   quorum,
+		Interval: interval,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if rawJSON {
+		data, err := verdict.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Print(verdict.Render())
+	}
+	if !verdict.Pass {
+		os.Exit(1)
+	}
+}
+
+// runCEP scores the temporal-rule campaign: a seeded streak + spread fault
+// sequence on the synthetic substrate under a virtual clock, with a
+// fault-free control arm whose firings count as false positives (see
+// campaign.RunCEP).
+func runCEP(seed int64, interval time.Duration, rawJSON bool) {
+	verdict, err := campaign.RunCEP(campaign.CEPConfig{
+		Seed:     seed,
 		Interval: interval,
 	})
 	if err != nil {

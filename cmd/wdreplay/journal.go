@@ -5,15 +5,19 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
+	"gowatchdog/internal/wdcep"
 	"gowatchdog/internal/wdobs"
 )
 
 // showJournal renders a wdobs JSONL detection journal: the event timeline
 // followed by a per-checker rollup. Reading is lenient — journals from crashed
 // daemons routinely end in a torn final write — but damage is reported, never
-// silently skipped.
-func showJournal(path string) error {
+// silently skipped. With a rule file, the journal is additionally replayed
+// through the wdcep engine offline and the fired rules are printed with their
+// contributing event windows.
+func showJournal(path, rulesPath string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -25,6 +29,46 @@ func showJournal(path string) error {
 	}
 	renderJournal(os.Stdout, events)
 	reportJournalDamage(os.Stdout, stats)
+	if rulesPath != "" {
+		if err := replayRules(os.Stdout, rulesPath, events); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayRules runs the journal through a fresh wdcep engine under the rule
+// file and prints every firing: what fired, when, and the evidence window it
+// fired on. Replay evaluates after every event, so firings land at the
+// earliest event that completes a rule — a tighter bound than the live
+// engine's batched evaluation.
+func replayRules(w io.Writer, rulesPath string, events []wdobs.Event) error {
+	rules, err := wdcep.LoadRules(rulesPath)
+	if err != nil {
+		return err
+	}
+	stream := make([]wdcep.Event, len(events))
+	for i, e := range events {
+		stream[i] = wdobs.CEPEvent(e)
+	}
+	firings, err := wdcep.Replay(rules, stream)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nreplayed %d event(s) through %d rule(s): %d firing(s)\n",
+		len(stream), len(rules), len(firings))
+	for _, f := range firings {
+		fmt.Fprintf(w, "  %s  %-20s %-8s count=%d  window %s .. %s",
+			f.Time.Format("15:04:05.000"), f.Rule, f.Status, f.Count,
+			f.First.Format("15:04:05.000"), f.Last.Format("15:04:05.000"))
+		if len(f.Checkers) > 0 {
+			fmt.Fprintf(w, "  [%s]", strings.Join(f.Checkers, " "))
+		}
+		fmt.Fprintln(w)
+		if f.Detail != "" {
+			fmt.Fprintf(w, "      %s\n", f.Detail)
+		}
+	}
 	return nil
 }
 
@@ -67,12 +111,24 @@ func renderJournal(w io.Writer, events []wdobs.Event) {
 		line := fmt.Sprintf("%5d  %s  %-7s %-24s %s",
 			e.Seq, e.Report.Time.Format("15:04:05.000"), e.Kind,
 			e.Report.Checker, e.Report.Status)
-		if e.Kind == wdobs.KindAlarm {
+		switch e.Kind {
+		case wdobs.KindAlarm:
 			alarms++
 			r.alarms++
 			line += fmt.Sprintf("  (consecutive=%d", e.Consecutive)
 			if e.Validated != nil {
 				line += fmt.Sprintf(", validated=%v", *e.Validated)
+			}
+			line += ")"
+		case wdobs.KindCEP:
+			line += fmt.Sprintf("  (rule=%s, count=%d)", e.Rule, e.Consecutive)
+		case wdobs.KindRecovery:
+			line += fmt.Sprintf("  (%s", e.Outcome)
+			if e.Action != "" {
+				line += fmt.Sprintf(", action=%s", e.Action)
+			}
+			if e.Attempt > 0 {
+				line += fmt.Sprintf(", attempt=%d", e.Attempt)
 			}
 			line += ")"
 		}

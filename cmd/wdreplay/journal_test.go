@@ -6,7 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"gowatchdog/internal/watchdog"
 	"gowatchdog/internal/wdobs"
 )
 
@@ -87,5 +89,67 @@ func TestJournalDamageReport(t *testing.T) {
 	reportJournalDamage(&out, wdobs.JournalReadStats{Lines: 6, Events: 6})
 	if out.Len() != 0 {
 		t.Errorf("clean read produced a damage report: %q", out.String())
+	}
+}
+
+// TestRenderJournalCEPAndRecovery pins the KindCEP/KindRecovery annotations.
+func TestRenderJournalCEPAndRecovery(t *testing.T) {
+	events := []wdobs.Event{
+		{Seq: 1, Kind: wdobs.KindCEP,
+			Report:      watchdog.Report{Checker: "wdcep.wal-streak", Status: watchdog.StatusError},
+			Rule:        "wal-streak",
+			Consecutive: 3},
+		{Seq: 2, Kind: wdobs.KindRecovery,
+			Report:  watchdog.Report{Checker: "kvs.wal", Status: watchdog.StatusError},
+			Outcome: "escalated", Action: "kvs.restart", Attempt: 2},
+	}
+	var out strings.Builder
+	renderJournal(&out, events)
+	got := out.String()
+	for _, want := range []string{
+		"(rule=wal-streak, count=3)",
+		"(escalated, action=kvs.restart, attempt=2)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("rendered journal missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestReplayRules runs a journal through a rule file offline and checks the
+// fired rules print with their contributing event windows.
+func TestReplayRules(t *testing.T) {
+	rulesPath := filepath.Join(t.TempDir(), "rules.json")
+	if err := os.WriteFile(rulesPath, []byte(`{"rules":[
+		{"name":"streak","kind":"consecutive","count":3,"match":{"checker_prefix":"kvs.wal"}}
+	]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 3, 1, 12, 0, 0, 0, time.UTC)
+	var events []wdobs.Event
+	for i := 0; i < 4; i++ {
+		events = append(events, wdobs.Event{
+			Seq:  int64(i + 1),
+			Kind: wdobs.KindReport,
+			Report: watchdog.Report{
+				Checker: "kvs.wal",
+				Status:  watchdog.StatusError,
+				Time:    base.Add(time.Duration(i) * time.Second),
+			},
+		})
+	}
+	var out strings.Builder
+	if err := replayRules(&out, rulesPath, events); err != nil {
+		t.Fatalf("replayRules: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"1 firing(s)", "streak", "count=3", "[kvs.wal]"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("replay output missing %q:\n%s", want, got)
+		}
+	}
+
+	if err := replayRules(&out, filepath.Join(t.TempDir(), "missing.json"), events); err == nil {
+		t.Fatal("missing rule file should error")
 	}
 }

@@ -9,6 +9,7 @@
 //	wdreplay -dir /var/kvs/capsules        # summarize a whole directory
 //	wdreplay detections.jsonl              # journal timeline (by extension)
 //	wdreplay -journal somefile             # journal timeline (forced)
+//	wdreplay -rules rules.json detections.jsonl   # replay through wdcep rules
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 func main() {
 	dir := flag.String("dir", "", "summarize every capsule in this directory")
 	journal := flag.Bool("journal", false, "treat the file as a wdobs JSONL detection journal")
+	rules := flag.String("rules", "", "wdcep JSON rule file: replay the journal through the temporal rule engine and print fired rules")
 	flag.Parse()
 
 	switch {
@@ -36,8 +38,8 @@ func main() {
 	case flag.NArg() == 1:
 		path := flag.Arg(0)
 		var err error
-		if *journal || strings.HasSuffix(path, ".jsonl") {
-			err = showJournal(path)
+		if *journal || *rules != "" || strings.HasSuffix(path, ".jsonl") {
+			err = showJournal(path, *rules)
 		} else {
 			err = show(path)
 		}

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"gowatchdog/internal/wdcep"
 	"gowatchdog/internal/wdobs"
 )
 
@@ -113,6 +114,28 @@ func render(w io.Writer, addr string, snap *wdobs.Snapshot) {
 			shortDur(time.Duration(c.Latency.P50NS)), shortDur(time.Duration(c.Latency.P99NS)),
 			ctxAge, last,
 		})
+	}
+	printTable(w, rows)
+	if snap.CEP != nil {
+		renderCEP(w, snap.CEP)
+	}
+}
+
+// renderCEP prints the temporal-rule engine section: the stream counters and
+// a per-rule fire table.
+func renderCEP(w io.Writer, c *wdcep.Snapshot) {
+	fmt.Fprintf(w, "\ncep: %d rules, %d fired  (published=%d dropped=%d evaluations=%d)\n",
+		c.Rules, c.Fired, c.Published, c.Dropped, c.Evaluations)
+	if len(c.RuleStats) == 0 {
+		return
+	}
+	rows := [][]string{{"RULE", "KIND", "FIRED", "LAST"}}
+	for _, r := range c.RuleStats {
+		last := "-"
+		if !r.LastFired.IsZero() {
+			last = r.LastFired.Format("15:04:05")
+		}
+		rows = append(rows, []string{r.Name, string(r.Kind), fmt.Sprint(r.Fired), last})
 	}
 	printTable(w, rows)
 }

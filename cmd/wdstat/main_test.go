@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/wdcep"
 	"gowatchdog/internal/wdobs"
 )
 
@@ -58,6 +59,19 @@ func TestRenderGolden(t *testing.T) {
 				Context: wdobs.ContextSnapshot{StalenessNS: int64(50 * time.Millisecond)},
 			},
 		},
+		CEP: &wdcep.Snapshot{
+			Rules:       2,
+			Published:   118,
+			Dropped:     0,
+			Evaluations: 40,
+			Fired:       3,
+			RingCap:     8192,
+			RuleStats: []wdcep.RuleStat{
+				{Name: "wal-streak", Kind: wdcep.KindConsecutive, Fired: 3,
+					LastFired: time.Date(2026, 8, 5, 11, 59, 30, 0, time.UTC)},
+				{Name: "cluster-spread", Kind: wdcep.KindDistinct, Fired: 0},
+			},
+		},
 	}
 
 	var b strings.Builder
@@ -72,6 +86,11 @@ func TestRenderGolden(t *testing.T) {
 		"kvs.flusher  skipped  40    6    3       4      6      open(2.5s) x2  0      1.2ms   2.0s    500.0ms  checker still blocked from previous e...",
 		"kvs.indexer  healthy  42    0    0       0      0      closed         0      800µs  1.5ms   50.0ms",
 		"kvs.wal      error    41    12   1       9      0      -              5      0       300µs  never    wal append: injected error",
+		"",
+		"cep: 2 rules, 3 fired  (published=118 dropped=0 evaluations=40)",
+		"RULE            KIND         FIRED  LAST",
+		"wal-streak      consecutive  3      11:59:30",
+		"cluster-spread  distinct     0      -",
 		"",
 	}, "\n")
 	if got != golden {

@@ -149,6 +149,7 @@ type Manager struct {
 	ring      []Event              // fixed-size event ring, eventCap entries
 	ringNext  int
 	ringTotal int64
+	onEvent   []func(Event)  // live listeners, invoked outside the lock
 	wg        sync.WaitGroup // in-flight retry goroutines
 }
 
@@ -340,6 +341,18 @@ func (m *Manager) ObserveReport(rep watchdog.Report) {
 // to make retry outcomes deterministic.
 func (m *Manager) Wait() { m.wg.Wait() }
 
+// OnEvent registers fn to receive every subsequent recovery log entry —
+// wdruntime journals them as KindRecovery detection events so temporal rules
+// and wdreplay see recovery outcomes next to the detections that caused
+// them. Listeners run synchronously on the logging goroutine (which may be a
+// retry goroutine), outside the manager lock; they must not block. Register
+// before the manager starts handling alarms.
+func (m *Manager) OnEvent(fn func(Event)) {
+	m.mu.Lock()
+	m.onEvent = append(m.onEvent, fn)
+	m.mu.Unlock()
+}
+
 func (m *Manager) log(e Event) {
 	m.mu.Lock()
 	if len(m.ring) < m.eventCap {
@@ -349,7 +362,11 @@ func (m *Manager) log(e Event) {
 	}
 	m.ringNext = (m.ringNext + 1) % m.eventCap
 	m.ringTotal++
+	fns := m.onEvent
 	m.mu.Unlock()
+	for _, fn := range fns {
+		fn(e)
+	}
 }
 
 // Events returns a copy of the retained recovery log, oldest first. Once

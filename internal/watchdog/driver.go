@@ -674,6 +674,38 @@ func (d *Driver) BreakerTrips() int64 {
 	return n
 }
 
+// InjectAlarm raises a synthesized alarm — one that did not originate from a
+// registered checker's report stream, e.g. a fired wdcep temporal rule — and
+// routes it through the same alarm policy intrinsic alarms get: the damping
+// gate may swallow it (counted in AlarmsSuppressed; returns false), and an
+// admitted alarm is delivered to every OnAlarm listener, so recovery, mesh
+// gossip tallies, and campaign scoring treat synthesized detections uniformly
+// with checker alarms. The execution observer is NOT notified: the injector
+// owns the journal representation of its detection (wdruntime journals fired
+// rules as KindCEP events) and a KindAlarm double-entry would make one
+// detection look like two.
+func (d *Driver) InjectAlarm(rep Report, consecutive int) bool {
+	alarm := Alarm{Report: rep, Consecutive: consecutive}
+	d.mu.Lock()
+	gate := d.gate
+	alarmFns := d.alarmFns
+	d.mu.Unlock()
+	if gate != nil {
+		damped, ok := gate.Admit(alarm)
+		if !ok {
+			d.mu.Lock()
+			d.suppressed++
+			d.mu.Unlock()
+			return false
+		}
+		alarm = damped
+	}
+	for _, fn := range alarmFns {
+		fn(alarm)
+	}
+	return true
+}
+
 // AlarmsSuppressed returns the total alarms swallowed by damping.
 func (d *Driver) AlarmsSuppressed() int64 {
 	d.mu.Lock()

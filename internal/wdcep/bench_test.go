@@ -1,0 +1,10 @@
+package wdcep
+
+import "testing"
+
+// BenchmarkEngineIngest measures the steady-state publish+evaluate path the
+// journal tap rides on. The same body backs cmd/wdbench's BENCH_wdcep.json
+// verdict; the acceptance bar there is ≥ 1M events/sec and ~0 allocs/op.
+func BenchmarkEngineIngest(b *testing.B) {
+	IngestBenchmark()(b)
+}

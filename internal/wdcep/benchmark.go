@@ -1,0 +1,64 @@
+package wdcep
+
+import (
+	"testing"
+	"time"
+
+	"gowatchdog/internal/watchdog"
+)
+
+// IngestBenchmark returns the canonical steady-state ingest benchmark body:
+// publish one event per iteration against a representative rule set and pump
+// an evaluation pass once per half-ring so the ring never overflows. It is
+// shared by BenchmarkEngineIngest (go test -bench) and cmd/wdbench's
+// BENCH_wdcep.json emitter, so the committed perf verdict and the in-tree
+// benchmark measure the same path.
+//
+// The workload alternates a healthy report in between short abnormal bursts,
+// exercising the trigger, reset, and streak paths without ever crossing a
+// rule threshold — a firing allocates (it is rare by design) and would
+// pollute the steady-state allocation measurement.
+func IngestBenchmark() func(b *testing.B) {
+	return func(b *testing.B) {
+		// Thresholds sit far above what the workload accumulates inside the
+		// (short) windows, so the hot trigger/reset/streak paths all run but
+		// nothing ever fires or overflows.
+		rules := []Rule{
+			Consecutive("bench-streak", 1_000_000).OnChecker("bench."),
+			CountRule("bench-count", 4096, time.Millisecond),
+			Distinct("bench-distinct", 4096, time.Millisecond).OnKinds(EventAlarm),
+			Flap("bench-flap", 4096, time.Millisecond).OnChecker("bench.").WithHealthyFor(time.Minute),
+		}
+		eng, err := NewEngine(Config{Rules: rules})
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+		pumpEvery := eng.ring.cap() / 2
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev := Event{
+				Kind:    EventReport,
+				Checker: "bench.checker",
+				Status:  watchdog.StatusError,
+				Time:    base.Add(time.Duration(i) * time.Microsecond),
+			}
+			if i%8 == 7 {
+				ev.Status = watchdog.StatusHealthy
+			}
+			eng.Publish(ev)
+			if i%pumpEvery == pumpEvery-1 {
+				eng.Evaluate(ev.Time)
+			}
+		}
+		b.StopTimer()
+		eng.Drain(base.Add(time.Duration(b.N) * time.Microsecond))
+		if got := eng.Fired(); got != 0 {
+			b.Fatalf("steady-state benchmark fired %d rules; thresholds are miscalibrated", got)
+		}
+		if dropped := eng.RingDropped(); dropped != 0 {
+			b.Fatalf("benchmark dropped %d events; pump cadence is miscalibrated", dropped)
+		}
+	}
+}

@@ -1,0 +1,457 @@
+package wdcep
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"gowatchdog/internal/watchdog"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func at(d time.Duration) time.Time { return t0.Add(d) }
+
+func report(checker string, s watchdog.Status, d time.Duration) Event {
+	return Event{Kind: EventReport, Checker: checker, Status: s, Time: at(d)}
+}
+
+func mustEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// feed publishes the events and evaluates after each one, like Replay but on
+// an existing engine.
+func feed(eng *Engine, events ...Event) {
+	for _, ev := range events {
+		eng.Publish(ev)
+		eng.Evaluate(ev.Time)
+	}
+}
+
+func TestConsecutiveRule(t *testing.T) {
+	eng := mustEngine(t, Config{Rules: []Rule{
+		Consecutive("streak", 3).OnChecker("kvs."),
+	}})
+	feed(eng,
+		report("kvs.wal", watchdog.StatusError, 0),
+		report("kvs.wal", watchdog.StatusError, time.Second),
+		report("dfs.rep", watchdog.StatusError, time.Second), // other subject: no effect
+	)
+	if got := eng.Fired(); got != 0 {
+		t.Fatalf("fired %d before threshold", got)
+	}
+	feed(eng, report("kvs.wal", watchdog.StatusError, 2*time.Second))
+	firings := eng.Firings()
+	if len(firings) != 1 {
+		t.Fatalf("firings = %d, want 1", len(firings))
+	}
+	f := firings[0]
+	if f.Rule != "streak" || f.Count != 3 {
+		t.Errorf("firing = %+v, want rule streak count 3", f)
+	}
+	if !f.First.Equal(at(0)) {
+		t.Errorf("First = %v, want the streak's earliest event %v", f.First, at(0))
+	}
+	if len(f.Checkers) != 1 || f.Checkers[0] != "kvs.wal" {
+		t.Errorf("Checkers = %v, want [kvs.wal]", f.Checkers)
+	}
+	if f.Status != watchdog.StatusError {
+		t.Errorf("Status = %v, want default severity error", f.Status)
+	}
+
+	// A continuing streak does not refire; a healthy reset re-arms it.
+	feed(eng, report("kvs.wal", watchdog.StatusError, 3*time.Second))
+	if got := eng.Fired(); got != 1 {
+		t.Fatalf("continuing streak refired: %d", got)
+	}
+	feed(eng,
+		report("kvs.wal", watchdog.StatusHealthy, 4*time.Second),
+		report("kvs.wal", watchdog.StatusError, 5*time.Second),
+		report("kvs.wal", watchdog.StatusError, 6*time.Second),
+		report("kvs.wal", watchdog.StatusError, 7*time.Second),
+	)
+	if got := eng.Fired(); got != 2 {
+		t.Fatalf("fired %d after healthy reset + new streak, want 2", got)
+	}
+}
+
+func TestConsecutiveGaugeGate(t *testing.T) {
+	backlog := 10.0
+	eng := mustEngine(t, Config{
+		Rules: []Rule{
+			Consecutive("streak-growth", 2).WithGaugeGrowth("backlog", 5),
+		},
+		GaugeSource: func(name string) (float64, bool) {
+			if name != "backlog" {
+				return 0, false
+			}
+			return backlog, true
+		},
+	})
+	feed(eng,
+		report("kvs.wal", watchdog.StatusError, 0),
+		report("kvs.wal", watchdog.StatusError, time.Second),
+	)
+	if got := eng.Fired(); got != 0 {
+		t.Fatalf("fired %d with a flat gauge", got)
+	}
+	backlog = 16 // grown by 6 ≥ delta 5 since the streak started
+	eng.Evaluate(at(2 * time.Second))
+	if got := eng.Fired(); got != 1 {
+		t.Fatalf("fired %d after gauge growth, want 1", got)
+	}
+}
+
+func TestConsecutiveGaugeMissingNeverFires(t *testing.T) {
+	eng := mustEngine(t, Config{Rules: []Rule{
+		Consecutive("streak-growth", 2).WithGaugeGrowth("nope", 1),
+	}})
+	feed(eng,
+		report("x", watchdog.StatusError, 0),
+		report("x", watchdog.StatusError, time.Second),
+	)
+	if got := eng.Fired(); got != 0 {
+		t.Fatalf("fired %d with no gauge source; growth cannot be confirmed", got)
+	}
+}
+
+func TestCountRuleWindow(t *testing.T) {
+	eng := mustEngine(t, Config{Rules: []Rule{
+		CountRule("burst", 3, 10*time.Second),
+	}})
+	feed(eng,
+		report("a", watchdog.StatusError, 0),
+		report("b", watchdog.StatusStuck, 4*time.Second),
+	)
+	// The first hit slides out of the window before the third arrives.
+	feed(eng, report("c", watchdog.StatusError, 11*time.Second))
+	if got := eng.Fired(); got != 0 {
+		t.Fatalf("fired %d with hits outside the window", got)
+	}
+	feed(eng, report("d", watchdog.StatusError, 12*time.Second))
+	firings := eng.Firings()
+	if len(firings) != 1 {
+		t.Fatalf("firings = %d, want 1", len(firings))
+	}
+	if f := firings[0]; f.Count != 3 || !f.First.Equal(at(4*time.Second)) {
+		t.Errorf("firing = %+v, want count 3 first at %v", f, at(4*time.Second))
+	}
+}
+
+func TestDistinctRule(t *testing.T) {
+	eng := mustEngine(t, Config{Rules: []Rule{
+		Distinct("spread", 3, time.Minute),
+	}})
+	feed(eng,
+		report("a", watchdog.StatusError, 0),
+		report("a", watchdog.StatusError, time.Second),
+		report("b", watchdog.StatusError, 2*time.Second),
+		report("b", watchdog.StatusError, 3*time.Second),
+	)
+	if got := eng.Fired(); got != 0 {
+		t.Fatalf("fired %d with only 2 distinct subjects", got)
+	}
+	feed(eng, report("c", watchdog.StatusError, 4*time.Second))
+	firings := eng.Firings()
+	if len(firings) != 1 {
+		t.Fatalf("firings = %d, want 1", len(firings))
+	}
+	f := firings[0]
+	if f.Count != 3 {
+		t.Errorf("Count = %d, want 3 distinct subjects", f.Count)
+	}
+	want := []string{"a", "b", "c"}
+	if len(f.Checkers) != len(want) {
+		t.Fatalf("Checkers = %v, want %v", f.Checkers, want)
+	}
+	for i := range want {
+		if f.Checkers[i] != want[i] {
+			t.Fatalf("Checkers = %v, want sorted %v", f.Checkers, want)
+		}
+	}
+}
+
+func TestFlapRule(t *testing.T) {
+	eng := mustEngine(t, Config{Rules: []Rule{
+		Flap("verdict-flap", 2, time.Minute).OnKinds(EventMesh).
+			WithHealthyFor(20 * time.Second).WithCooldown(time.Second),
+	}})
+	mesh := func(s watchdog.Status, d time.Duration) Event {
+		return Event{Kind: EventMesh, Checker: "wdmesh.node-2", Status: s, Time: at(d)}
+	}
+	// Raise, clear, raise again quickly: two raises with only a short
+	// healthy gap → flap.
+	feed(eng,
+		mesh(watchdog.StatusStuck, 0),
+		mesh(watchdog.StatusStuck, time.Second), // still abnormal: not a new raise
+		mesh(watchdog.StatusHealthy, 2*time.Second),
+		mesh(watchdog.StatusSlow, 5*time.Second),
+	)
+	firings := eng.Firings()
+	if len(firings) != 1 {
+		t.Fatalf("firings = %d, want 1", len(firings))
+	}
+	if f := firings[0]; f.Count != 2 || f.Checkers[0] != "wdmesh.node-2" {
+		t.Errorf("firing = %+v, want 2 raises on wdmesh.node-2", f)
+	}
+
+	// A sustained-healthy gap (≥ HealthyFor) forgets earlier raises.
+	feed(eng,
+		mesh(watchdog.StatusHealthy, 10*time.Second),
+		mesh(watchdog.StatusStuck, 40*time.Second), // 30s healthy ≥ 20s: reset, raise #1
+		mesh(watchdog.StatusHealthy, 41*time.Second),
+	)
+	if got := eng.Fired(); got != 1 {
+		t.Fatalf("fired %d after sustained-healthy reset, want still 1", got)
+	}
+	feed(eng, mesh(watchdog.StatusStuck, 45*time.Second)) // short gap: raise #2 → flap
+	if got := eng.Fired(); got != 2 {
+		t.Fatalf("fired %d, want 2 after a second quick flap", got)
+	}
+}
+
+func TestCountRuleCooldown(t *testing.T) {
+	eng := mustEngine(t, Config{Rules: []Rule{
+		CountRule("burst", 2, 10*time.Second).WithCooldown(30 * time.Second),
+	}})
+	feed(eng,
+		report("a", watchdog.StatusError, 0),
+		report("b", watchdog.StatusError, time.Second),
+	)
+	if got := eng.Fired(); got != 1 {
+		t.Fatalf("fired %d, want 1", got)
+	}
+	// New hits inside the cooldown are absorbed silently.
+	feed(eng,
+		report("c", watchdog.StatusError, 2*time.Second),
+		report("d", watchdog.StatusError, 3*time.Second),
+	)
+	if got := eng.Fired(); got != 1 {
+		t.Fatalf("fired %d inside cooldown, want 1", got)
+	}
+	feed(eng,
+		report("e", watchdog.StatusError, 32*time.Second),
+		report("f", watchdog.StatusError, 33*time.Second),
+	)
+	if got := eng.Fired(); got != 2 {
+		t.Fatalf("fired %d after cooldown, want 2", got)
+	}
+}
+
+func TestCountRuleHealthyForReset(t *testing.T) {
+	eng := mustEngine(t, Config{Rules: []Rule{
+		CountRule("escalate-twice", 2, 10*time.Minute).
+			OnKinds(EventRecovery).OnOutcomes("escalated").
+			WithHealthyFor(30 * time.Second),
+	}})
+	rec := func(outcome string, s watchdog.Status, d time.Duration) Event {
+		return Event{Kind: EventRecovery, Checker: "kvs.wal", Status: s, Outcome: outcome, Time: at(d)}
+	}
+	// One escalation, then a sustained-healthy stretch (recovered event),
+	// then another escalation much later: no firing.
+	feed(eng,
+		rec("escalated", watchdog.StatusError, 0),
+		rec("recovered", watchdog.StatusHealthy, 10*time.Second),
+		rec("escalated", watchdog.StatusError, 50*time.Second), // 40s healthy ≥ 30s: window cleared
+	)
+	if got := eng.Fired(); got != 0 {
+		t.Fatalf("fired %d across a sustained-healthy gap", got)
+	}
+	feed(eng, rec("escalated", watchdog.StatusError, 55*time.Second))
+	if got := eng.Fired(); got != 1 {
+		t.Fatalf("fired %d on back-to-back escalations, want 1", got)
+	}
+}
+
+func TestDefaultKindsIgnoreMeshRecoveryCEP(t *testing.T) {
+	eng := mustEngine(t, Config{Rules: []Rule{
+		CountRule("burst", 2, time.Minute),
+	}})
+	feed(eng,
+		Event{Kind: EventMesh, Checker: "wdmesh.n", Status: watchdog.StatusStuck, Time: at(0)},
+		Event{Kind: EventRecovery, Checker: "c", Status: watchdog.StatusError, Outcome: "failed", Time: at(time.Second)},
+		Event{Kind: EventCEP, Checker: "wdcep.r", Status: watchdog.StatusError, Rule: "r", Time: at(2 * time.Second)},
+	)
+	if got := eng.Fired(); got != 0 {
+		t.Fatalf("default-kind rule fired %d on mesh/recovery/cep events", got)
+	}
+}
+
+func TestStatusFilterSkipped(t *testing.T) {
+	eng := mustEngine(t, Config{Rules: []Rule{
+		Distinct("breaker-spread", 2, time.Minute).OnStatuses("skipped"),
+	}})
+	feed(eng,
+		report("a", watchdog.StatusError, 0), // not a listed status
+		report("a", watchdog.StatusSkipped, time.Second),
+		report("b", watchdog.StatusSkipped, 2*time.Second),
+	)
+	firings := eng.Firings()
+	if len(firings) != 1 || firings[0].Count != 2 {
+		t.Fatalf("firings = %+v, want one with 2 skipped subjects", firings)
+	}
+}
+
+func TestPumpEvalEveryGate(t *testing.T) {
+	eng := mustEngine(t, Config{
+		Rules:     []Rule{CountRule("burst", 1, time.Minute)},
+		EvalEvery: time.Second,
+	})
+	eng.Publish(report("a", watchdog.StatusError, 0))
+	eng.Pump(at(0)) // first pump always evaluates
+	if got := eng.Snapshot().Evaluations; got != 1 {
+		t.Fatalf("evaluations = %d, want 1", got)
+	}
+	eng.Pump(at(100 * time.Millisecond)) // inside the gate: skipped
+	if got := eng.Snapshot().Evaluations; got != 1 {
+		t.Fatalf("evaluations = %d after gated pump, want 1", got)
+	}
+	eng.Pump(at(1100 * time.Millisecond))
+	if got := eng.Snapshot().Evaluations; got != 2 {
+		t.Fatalf("evaluations = %d after due pump, want 2", got)
+	}
+}
+
+func TestEngineConcurrentPublish(t *testing.T) {
+	eng := mustEngine(t, Config{
+		Rules:    []Rule{CountRule("burst", 4096, time.Millisecond)},
+		RingSize: 256,
+	})
+	const publishers, perPub = 8, 2000
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPub; i++ {
+				eng.Publish(report("c", watchdog.StatusError, time.Duration(i)*time.Microsecond))
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for stop := false; !stop; {
+		select {
+		case <-done:
+			stop = true
+		default:
+			eng.Pump(at(time.Second))
+		}
+	}
+	eng.Drain(at(2 * time.Second))
+	snap := eng.Snapshot()
+	if snap.Published+snap.Dropped != publishers*perPub {
+		t.Fatalf("published %d + dropped %d != %d", snap.Published, snap.Dropped, publishers*perPub)
+	}
+	if snap.Ingested != snap.Published {
+		t.Fatalf("ingested %d != published %d after Drain", snap.Ingested, snap.Published)
+	}
+}
+
+func TestSnapshotCounters(t *testing.T) {
+	eng := mustEngine(t, Config{Rules: []Rule{
+		CountRule("burst", 2, time.Minute),
+		Consecutive("streak", 2),
+	}})
+	feed(eng,
+		report("a", watchdog.StatusError, 0),
+		report("a", watchdog.StatusError, time.Second),
+	)
+	snap := eng.Snapshot()
+	if snap.Rules != 2 || snap.Published != 2 || snap.Ingested != 2 {
+		t.Errorf("snapshot = %+v, want 2 rules / 2 published / 2 ingested", snap)
+	}
+	if snap.Fired != 2 {
+		t.Errorf("fired = %d, want 2 (both rules crossed)", snap.Fired)
+	}
+	if len(snap.RuleStats) != 2 || snap.RuleStats[0].Fired != 1 || snap.RuleStats[1].Fired != 1 {
+		t.Errorf("rule stats = %+v, want one firing each", snap.RuleStats)
+	}
+	if snap.RingCap != DefaultRingSize {
+		t.Errorf("ring cap = %d, want default %d", snap.RingCap, DefaultRingSize)
+	}
+}
+
+func TestReplay(t *testing.T) {
+	rules := []Rule{Consecutive("streak", 2).OnChecker("kvs.")}
+	firings, err := Replay(rules, []Event{
+		report("kvs.wal", watchdog.StatusError, 0),
+		report("kvs.wal", watchdog.StatusError, time.Second),
+		report("kvs.wal", watchdog.StatusHealthy, 2*time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(firings) != 1 {
+		t.Fatalf("firings = %d, want 1", len(firings))
+	}
+	// Earliest-possible semantics: the replay evaluates after every event,
+	// so the firing lands at the second event's time, not at the end.
+	if !firings[0].Time.Equal(at(time.Second)) {
+		t.Errorf("fired at %v, want %v", firings[0].Time, at(time.Second))
+	}
+}
+
+func TestOnFireHook(t *testing.T) {
+	var fired []Firing
+	eng, err := NewEngine(Config{
+		Rules:  []Rule{CountRule("burst", 1, time.Minute)},
+		OnFire: func(f Firing) { fired = append(fired, f) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(eng, report("a", watchdog.StatusError, 0))
+	if len(fired) != 1 || fired[0].Rule != "burst" {
+		t.Fatalf("OnFire saw %+v, want one burst firing", fired)
+	}
+}
+
+func TestFiringLogBounded(t *testing.T) {
+	eng := mustEngine(t, Config{
+		Rules:      []Rule{CountRule("burst", 1, time.Minute).WithCooldown(time.Nanosecond)},
+		MaxFirings: 4,
+	})
+	for i := 0; i < 10; i++ {
+		feed(eng, report("a", watchdog.StatusError, time.Duration(i)*time.Second))
+	}
+	if got := len(eng.Firings()); got != 4 {
+		t.Fatalf("retained %d firings, want 4", got)
+	}
+	snap := eng.Snapshot()
+	if snap.Fired != 10 || snap.FiringsDropped != 6 {
+		t.Fatalf("fired %d dropped %d, want 10/6", snap.Fired, snap.FiringsDropped)
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		rules []Rule
+	}{
+		{"no rules", nil},
+		{"empty name", []Rule{CountRule("", 2, time.Minute)}},
+		{"duplicate names", []Rule{CountRule("x", 2, time.Minute), Consecutive("x", 2)}},
+		{"bad kind", []Rule{{Name: "x", Kind: "sliding", Count: 2}}},
+		{"count without window", []Rule{{Name: "x", Kind: KindCount, Count: 2}}},
+		{"consecutive of one", []Rule{Consecutive("x", 1)}},
+		{"oversized count", []Rule{CountRule("x", maxWindowedCount+1, time.Minute)}},
+		{"bad status", []Rule{CountRule("x", 2, time.Minute).OnStatuses("wedged")}},
+		{"healthy trigger", []Rule{CountRule("x", 2, time.Minute).OnStatuses("healthy")}},
+		{"bad severity", []Rule{CountRule("x", 2, time.Minute).WithSeverity("fine")}},
+		{"benign severity", []Rule{CountRule("x", 2, time.Minute).WithSeverity("healthy")}},
+		{"bad event kind", []Rule{CountRule("x", 2, time.Minute).OnKinds("journal")}},
+		{"gauge on count rule", []Rule{CountRule("x", 2, time.Minute).WithGaugeGrowth("g", 1)}},
+	}
+	for _, tc := range cases {
+		if _, err := NewEngine(Config{Rules: tc.rules}); err == nil {
+			t.Errorf("%s: NewEngine accepted invalid rules", tc.name)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package wdcep
+
+import "sync/atomic"
+
+// DefaultRingSize is the publish ring capacity when Config.RingSize is zero.
+// Detection journals emit tens of events per interval at worst; 8192 slots
+// absorb a full storm between two evaluation pumps.
+const DefaultRingSize = 8192
+
+// slot is one ring cell. seq is the slot's turn counter (Vyukov bounded
+// queue): a slot is free for publish position pos when seq == pos, occupied
+// and readable at consume position pos when seq == pos+1.
+type slot struct {
+	seq atomic.Uint64
+	ev  Event
+}
+
+// ring is a bounded multi-producer single-consumer queue. Producers never
+// block: a full ring drops the event and bumps the drop counter, so a stalled
+// consumer can't back-pressure the watchdog's report path. The single
+// consumer is the engine's evaluation step, serialized by the engine mutex.
+type ring struct {
+	mask  uint64
+	slots []slot
+	_     [56]byte // keep the producer and consumer cursors on separate cache lines
+	head  atomic.Uint64
+	_     [56]byte
+	tail  atomic.Uint64
+	drops atomic.Int64
+}
+
+// newRing returns a ring with capacity rounded up to a power of two.
+func newRing(size int) *ring {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	r := &ring{mask: uint64(n - 1), slots: make([]slot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// cap returns the ring capacity.
+func (r *ring) cap() int { return len(r.slots) }
+
+// publish enqueues ev, returning false (and counting a drop) when the ring
+// is full. Safe for concurrent use from any number of goroutines.
+func (r *ring) publish(ev Event) bool {
+	pos := r.head.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos:
+			if r.head.CompareAndSwap(pos, pos+1) {
+				s.ev = ev
+				s.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.head.Load()
+		case seq < pos:
+			// The consumer hasn't freed this slot from the previous lap:
+			// the ring is full. Drop rather than wait — the publisher is
+			// the driver's report path.
+			r.drops.Add(1)
+			return false
+		default:
+			// Another producer claimed pos but hasn't written yet; retry at
+			// the current head.
+			pos = r.head.Load()
+		}
+	}
+}
+
+// drain moves every ready event into out (appending, up to out's capacity)
+// and frees the slots. Single-consumer: callers must serialize drains.
+func (r *ring) drain(out []Event) []Event {
+	pos := r.tail.Load()
+	for len(out) < cap(out) {
+		s := &r.slots[pos&r.mask]
+		if s.seq.Load() != pos+1 {
+			break
+		}
+		out = append(out, s.ev)
+		s.ev = Event{}
+		s.seq.Store(pos + r.mask + 1)
+		pos++
+	}
+	r.tail.Store(pos)
+	return out
+}
+
+// dropped returns the lifetime count of events rejected on a full ring.
+func (r *ring) dropped() int64 { return r.drops.Load() }

@@ -1,0 +1,114 @@
+package wdcep
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRingOverflowAccounting hammers a small ring from concurrent publishers
+// with no consumer: exactly cap events must be accepted, every other publish
+// must be dropped and counted, and a drain must recover exactly the accepted
+// events.
+func TestRingOverflowAccounting(t *testing.T) {
+	const (
+		publishers = 8
+		perPub     = 1000
+		size       = 64
+	)
+	r := newRing(size)
+	if r.cap() != size {
+		t.Fatalf("cap = %d, want %d", r.cap(), size)
+	}
+	var accepted atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perPub; i++ {
+				if r.publish(Event{Kind: EventReport, Checker: "c", Time: time.Unix(int64(i), 0)}) {
+					accepted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := int64(publishers * perPub)
+	if got := accepted.Load(); got != size {
+		t.Errorf("accepted = %d, want exactly ring cap %d", got, size)
+	}
+	if got := r.dropped(); got != total-accepted.Load() {
+		t.Errorf("dropped = %d, want %d (total %d - accepted %d)", got, total-accepted.Load(), total, accepted.Load())
+	}
+	out := r.drain(make([]Event, 0, size*2))
+	if len(out) != int(accepted.Load()) {
+		t.Errorf("drained %d events, want %d", len(out), accepted.Load())
+	}
+
+	// After a drain the ring accepts again, and the drop counter only moves
+	// on genuine overflow.
+	before := r.dropped()
+	for i := 0; i < size; i++ {
+		if !r.publish(Event{Kind: EventAlarm}) {
+			t.Fatalf("publish %d rejected on a drained ring", i)
+		}
+	}
+	if r.publish(Event{}) {
+		t.Fatalf("publish on a re-filled ring should drop")
+	}
+	if got := r.dropped(); got != before+1 {
+		t.Errorf("dropped = %d after one overflow, want %d", got, before+1)
+	}
+}
+
+// TestRingConcurrentPublishDrain interleaves publishers with a single
+// consumer and checks conservation: accepted == drained + still-buffered,
+// and accepted + dropped == published.
+func TestRingConcurrentPublishDrain(t *testing.T) {
+	const (
+		publishers = 4
+		perPub     = 5000
+	)
+	r := newRing(128)
+	var accepted atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perPub; i++ {
+				if r.publish(Event{Kind: EventReport}) {
+					accepted.Add(1)
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	var drained int64
+	batch := make([]Event, 0, 128)
+	for {
+		batch = r.drain(batch[:0])
+		drained += int64(len(batch))
+		select {
+		case <-done:
+			if len(batch) == 0 {
+				// One final sweep after the last publisher exited.
+				batch = r.drain(batch[:0])
+				drained += int64(len(batch))
+				if acc := accepted.Load(); drained != acc {
+					t.Fatalf("drained %d, accepted %d", drained, acc)
+				}
+				if acc, drop := accepted.Load(), r.dropped(); acc+drop != publishers*perPub {
+					t.Fatalf("accepted %d + dropped %d != published %d", acc, drop, publishers*perPub)
+				}
+				return
+			}
+		default:
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package wdcep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"gowatchdog/internal/watchdog"
+)
+
+// RuleKind selects a rule's temporal operator.
+type RuleKind string
+
+const (
+	// KindConsecutive fires when one subject produces Count consecutive
+	// trigger events with no healthy event in between — "checker X abnormal
+	// for ≥N straight intervals", optionally gated on gauge growth.
+	KindConsecutive RuleKind = "consecutive"
+	// KindCount fires when ≥Count trigger events land inside Window,
+	// regardless of subject.
+	KindCount RuleKind = "count"
+	// KindDistinct fires when trigger events from ≥Count distinct subjects
+	// land inside Window — "K different checkers failing together".
+	KindDistinct RuleKind = "distinct"
+	// KindFlap fires when one subject transitions healthy→abnormal ≥Count
+	// times inside Window without an intervening sustained-healthy gap of
+	// HealthyFor — a verdict or checker that raises, clears, and raises
+	// again.
+	KindFlap RuleKind = "flap"
+)
+
+// Duration is a time.Duration that marshals as a parseable string ("30s") in
+// rule files, and also accepts raw nanosecond integers when decoding.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as its string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON parses either a duration string or integer nanoseconds.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		td, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("wdcep: bad duration %q: %w", s, err)
+		}
+		*d = Duration(td)
+		return nil
+	}
+	ns, err := strconv.ParseInt(string(data), 10, 64)
+	if err != nil {
+		return fmt.Errorf("wdcep: bad duration %s", data)
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// Match selects which events a rule sees. All set fields must match; an
+// entirely zero Match means "every report or alarm event".
+type Match struct {
+	// Kinds restricts the event kinds. Empty means report and alarm — the
+	// intrinsic detection stream; mesh, recovery, and cep events must be
+	// asked for explicitly so rule cascades stay opt-in.
+	Kinds []string `json:"kinds,omitempty"`
+	// CheckerPrefix restricts subjects by name prefix ("kvs.", "wdmesh.").
+	CheckerPrefix string `json:"checker_prefix,omitempty"`
+	// Statuses restricts which statuses count as trigger events, by status
+	// name. Empty means any abnormal status (error, stuck, crashed, slow).
+	// Listing "skipped" lets a rule watch breaker/budget skips, which are
+	// not abnormal.
+	Statuses []string `json:"statuses,omitempty"`
+	// Outcomes restricts recovery events by outcome name ("escalated",
+	// "failed", ...). Only meaningful with Kinds containing "recovery".
+	Outcomes []string `json:"outcomes,omitempty"`
+}
+
+// Rule is one declarative temporal rule. Build rules with the constructor +
+// chaining API (Consecutive, CountRule, ... then On*/With*) or decode them
+// from a JSON rule file (LoadRules). Rules are pure data; the engine compiles
+// them at construction.
+type Rule struct {
+	// Name identifies the rule in firings, journal entries, and metrics.
+	Name string `json:"name"`
+	// Kind selects the temporal operator.
+	Kind RuleKind `json:"kind"`
+	// Match selects the events the rule sees.
+	Match Match `json:"match,omitempty"`
+	// Count is the operator threshold: streak length (consecutive), events
+	// in window (count), distinct subjects (distinct), raises (flap).
+	Count int `json:"count"`
+	// Window bounds the correlation window for count/distinct/flap rules.
+	Window Duration `json:"window,omitempty"`
+	// HealthyFor is the sustained-healthy gap that resets accumulated state:
+	// a subject healthy for at least this long clears the rule's memory of
+	// it. Zero means only Window pruning (and, for consecutive rules, any
+	// healthy event) forgets.
+	HealthyFor Duration `json:"healthy_for,omitempty"`
+	// Cooldown suppresses re-fires after a firing (default: Window, or the
+	// engine's evaluation period for consecutive rules).
+	Cooldown Duration `json:"cooldown,omitempty"`
+	// Gauge, when set on a consecutive rule, additionally requires the named
+	// gauge to have grown by at least GaugeDelta between the streak's first
+	// event and evaluation time — "abnormal while backlog grows".
+	Gauge      string  `json:"gauge,omitempty"`
+	GaugeDelta float64 `json:"gauge_delta,omitempty"`
+	// Severity is the status name the synthesized alarm carries (default
+	// "error").
+	Severity string `json:"severity,omitempty"`
+}
+
+// Consecutive returns a consecutive-streak rule: a single subject abnormal on
+// n straight matching events.
+func Consecutive(name string, n int) Rule {
+	return Rule{Name: name, Kind: KindConsecutive, Count: n}
+}
+
+// CountRule returns a windowed count rule: n trigger events inside window.
+func CountRule(name string, n int, window time.Duration) Rule {
+	return Rule{Name: name, Kind: KindCount, Count: n, Window: Duration(window)}
+}
+
+// Distinct returns a distinct-subject rule: trigger events from n different
+// subjects inside window.
+func Distinct(name string, n int, window time.Duration) Rule {
+	return Rule{Name: name, Kind: KindDistinct, Count: n, Window: Duration(window)}
+}
+
+// Flap returns a flap rule: one subject raising n times inside window without
+// a sustained-healthy gap.
+func Flap(name string, n int, window time.Duration) Rule {
+	return Rule{Name: name, Kind: KindFlap, Count: n, Window: Duration(window)}
+}
+
+// OnChecker restricts the rule to subjects with the given name prefix.
+func (r Rule) OnChecker(prefix string) Rule { r.Match.CheckerPrefix = prefix; return r }
+
+// OnKinds restricts the rule to the given event kinds.
+func (r Rule) OnKinds(kinds ...string) Rule { r.Match.Kinds = kinds; return r }
+
+// OnStatuses restricts the rule's trigger statuses by name.
+func (r Rule) OnStatuses(names ...string) Rule { r.Match.Statuses = names; return r }
+
+// OnOutcomes restricts the rule's trigger events by recovery outcome.
+func (r Rule) OnOutcomes(outcomes ...string) Rule { r.Match.Outcomes = outcomes; return r }
+
+// WithHealthyFor sets the sustained-healthy reset gap.
+func (r Rule) WithHealthyFor(d time.Duration) Rule { r.HealthyFor = Duration(d); return r }
+
+// WithCooldown sets the post-fire suppression period.
+func (r Rule) WithCooldown(d time.Duration) Rule { r.Cooldown = Duration(d); return r }
+
+// WithGaugeGrowth gates a consecutive rule on the named gauge having grown by
+// at least delta over the streak.
+func (r Rule) WithGaugeGrowth(gauge string, delta float64) Rule {
+	r.Gauge, r.GaugeDelta = gauge, delta
+	return r
+}
+
+// WithSeverity sets the synthesized alarm's status by name.
+func (r Rule) WithSeverity(status string) Rule { r.Severity = status; return r }
+
+// ruleFile is the JSON rule-file schema: {"rules":[ ... ]}.
+type ruleFile struct {
+	Rules []Rule `json:"rules"`
+}
+
+// ParseRules decodes a JSON rule file ({"rules":[...]}) and validates every
+// rule.
+func ParseRules(data []byte) ([]Rule, error) {
+	var f ruleFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("wdcep: rule file: %w", err)
+	}
+	if len(f.Rules) == 0 {
+		return nil, fmt.Errorf("wdcep: rule file declares no rules")
+	}
+	for _, r := range f.Rules {
+		if _, err := compileRule(r); err != nil {
+			return nil, err
+		}
+	}
+	return f.Rules, nil
+}
+
+// LoadRules reads and parses a JSON rule file from disk.
+func LoadRules(path string) ([]Rule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wdcep: rule file: %w", err)
+	}
+	return ParseRules(data)
+}
+
+// compiled is a rule with its match sets resolved to cheap runtime forms.
+type compiled struct {
+	rule       Rule
+	kinds      []string // resolved: never empty
+	statusMask uint32   // bit per trigger status; 0 = any abnormal
+	outcomes   []string
+	severity   watchdog.Status
+	window     time.Duration
+	healthyFor time.Duration
+	cooldown   time.Duration
+}
+
+// compileRule validates r and resolves its match sets.
+func compileRule(r Rule) (compiled, error) {
+	c := compiled{
+		rule:       r,
+		window:     time.Duration(r.Window),
+		healthyFor: time.Duration(r.HealthyFor),
+		cooldown:   time.Duration(r.Cooldown),
+		severity:   watchdog.StatusError,
+	}
+	if r.Name == "" {
+		return c, fmt.Errorf("wdcep: rule with empty name")
+	}
+	switch r.Kind {
+	case KindConsecutive:
+		if r.Count < 2 {
+			return c, fmt.Errorf("wdcep: rule %q: consecutive count must be ≥ 2, got %d", r.Name, r.Count)
+		}
+	case KindCount, KindDistinct:
+		if r.Count < 1 {
+			return c, fmt.Errorf("wdcep: rule %q: count must be ≥ 1, got %d", r.Name, r.Count)
+		}
+		if r.Count > maxWindowedCount {
+			return c, fmt.Errorf("wdcep: rule %q: count %d exceeds the %d bound windowed state is sized for", r.Name, r.Count, maxWindowedCount)
+		}
+		if c.window <= 0 {
+			return c, fmt.Errorf("wdcep: rule %q: %s rules need a positive window", r.Name, r.Kind)
+		}
+	case KindFlap:
+		if r.Count < 2 {
+			return c, fmt.Errorf("wdcep: rule %q: flap count must be ≥ 2, got %d", r.Name, r.Count)
+		}
+		if r.Count > maxWindowedCount {
+			return c, fmt.Errorf("wdcep: rule %q: count %d exceeds the %d bound windowed state is sized for", r.Name, r.Count, maxWindowedCount)
+		}
+		if c.window <= 0 {
+			return c, fmt.Errorf("wdcep: rule %q: flap rules need a positive window", r.Name)
+		}
+	default:
+		return c, fmt.Errorf("wdcep: rule %q: unknown kind %q", r.Name, r.Kind)
+	}
+	if r.Gauge != "" && r.Kind != KindConsecutive {
+		return c, fmt.Errorf("wdcep: rule %q: gauge growth applies to consecutive rules only", r.Name)
+	}
+	c.kinds = r.Match.Kinds
+	if len(c.kinds) == 0 {
+		c.kinds = []string{EventReport, EventAlarm}
+	}
+	for _, k := range c.kinds {
+		switch k {
+		case EventReport, EventAlarm, EventMesh, EventRecovery, EventCEP:
+		default:
+			return c, fmt.Errorf("wdcep: rule %q: unknown event kind %q", r.Name, k)
+		}
+	}
+	for _, name := range r.Match.Statuses {
+		s, err := watchdog.ParseStatus(name)
+		if err != nil {
+			return c, fmt.Errorf("wdcep: rule %q: %w", r.Name, err)
+		}
+		if s == watchdog.StatusHealthy || s == watchdog.StatusContextPending {
+			// Healthy is the reset signal, not a trigger; context-pending
+			// means no execution happened at all.
+			return c, fmt.Errorf("wdcep: rule %q: status %q cannot be a trigger", r.Name, name)
+		}
+		c.statusMask |= 1 << uint(s)
+	}
+	c.outcomes = r.Match.Outcomes
+	if r.Severity != "" {
+		s, err := watchdog.ParseStatus(r.Severity)
+		if err != nil {
+			return c, fmt.Errorf("wdcep: rule %q: severity: %w", r.Name, err)
+		}
+		if !s.Abnormal() {
+			return c, fmt.Errorf("wdcep: rule %q: severity %q is not an abnormal status", r.Name, r.Severity)
+		}
+		c.severity = s
+	}
+	if c.cooldown <= 0 {
+		c.cooldown = c.window
+	}
+	return c, nil
+}
+
+// subject reports whether ev falls under the rule at all (kind + subject
+// prefix), independent of trigger/healthy classification.
+func (c *compiled) subject(ev *Event) bool {
+	ok := false
+	for _, k := range c.kinds {
+		if ev.Kind == k {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return false
+	}
+	if p := c.rule.Match.CheckerPrefix; p != "" {
+		if len(ev.Checker) < len(p) || ev.Checker[:len(p)] != p {
+			return false
+		}
+	}
+	return true
+}
+
+// trigger reports whether a subject event counts toward the rule's threshold.
+func (c *compiled) trigger(ev *Event) bool {
+	if c.statusMask != 0 {
+		if c.statusMask&(1<<uint(ev.Status)) == 0 {
+			return false
+		}
+	} else if !ev.Status.Abnormal() {
+		return false
+	}
+	if len(c.outcomes) > 0 {
+		ok := false
+		for _, o := range c.outcomes {
+			if ev.Outcome == o {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// healthy reports whether a subject event is a health signal for the rule —
+// the recovery transition that breaks streaks and, sustained long enough,
+// clears windows.
+func (c *compiled) healthy(ev *Event) bool {
+	return ev.Status == watchdog.StatusHealthy
+}

@@ -1,0 +1,150 @@
+package wdcep
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gowatchdog/internal/watchdog"
+)
+
+const sampleRuleFile = `{
+  "rules": [
+    {
+      "name": "wal-streak-backlog",
+      "kind": "consecutive",
+      "count": 3,
+      "match": {"checker_prefix": "kvs.wal"},
+      "gauge": "wal.backlog",
+      "gauge_delta": 100,
+      "severity": "stuck"
+    },
+    {
+      "name": "cluster-spread",
+      "kind": "distinct",
+      "count": 2,
+      "window": "30s",
+      "match": {"kinds": ["alarm"]}
+    },
+    {
+      "name": "mesh-verdict-flap",
+      "kind": "flap",
+      "count": 2,
+      "window": "5m",
+      "healthy_for": "1m",
+      "match": {"kinds": ["mesh"], "checker_prefix": "wdmesh."}
+    },
+    {
+      "name": "recovery-escalation",
+      "kind": "count",
+      "count": 2,
+      "window": "10m",
+      "healthy_for": "45s",
+      "cooldown": "2m",
+      "match": {"kinds": ["recovery"], "outcomes": ["escalated"]}
+    }
+  ]
+}`
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules([]byte(sampleRuleFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 4 {
+		t.Fatalf("parsed %d rules, want 4", len(rules))
+	}
+	r := rules[0]
+	if r.Kind != KindConsecutive || r.Gauge != "wal.backlog" || r.GaugeDelta != 100 {
+		t.Errorf("rule 0 = %+v, want consecutive with gauge gate", r)
+	}
+	if r.Severity != "stuck" {
+		t.Errorf("severity = %q, want stuck", r.Severity)
+	}
+	if d := time.Duration(rules[1].Window); d != 30*time.Second {
+		t.Errorf("window = %v, want 30s", d)
+	}
+	if d := time.Duration(rules[3].Cooldown); d != 2*time.Minute {
+		t.Errorf("cooldown = %v, want 2m", d)
+	}
+	// The parsed rules must compile into an engine as-is.
+	if _, err := NewEngine(Config{Rules: rules}); err != nil {
+		t.Fatalf("parsed rules rejected by the engine: %v", err)
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"empty", `{"rules":[]}`, "no rules"},
+		{"not json", `{`, "rule file"},
+		{"bad duration", `{"rules":[{"name":"x","kind":"count","count":2,"window":"soon"}]}`, "bad duration"},
+		{"bad kind", `{"rules":[{"name":"x","kind":"sliding","count":2}]}`, "unknown kind"},
+		{"bad status", `{"rules":[{"name":"x","kind":"count","count":2,"window":"1m","match":{"statuses":["wedged"]}}]}`, "unknown status"},
+	}
+	for _, tc := range cases {
+		_, err := ParseRules([]byte(tc.body))
+		if err == nil {
+			t.Errorf("%s: ParseRules accepted invalid input", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestLoadRules(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rules.json")
+	if err := os.WriteFile(path, []byte(sampleRuleFile), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rules, err := LoadRules(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 4 {
+		t.Fatalf("loaded %d rules, want 4", len(rules))
+	}
+	if _, err := LoadRules(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("LoadRules on a missing file succeeded")
+	}
+}
+
+func TestDurationRoundTrip(t *testing.T) {
+	rules := []Rule{CountRule("x", 2, 90*time.Second).WithHealthyFor(time.Minute)}
+	data, err := json.Marshal(ruleFile{Rules: rules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"1m30s"`) {
+		t.Errorf("marshaled rule file %s does not render windows as duration strings", data)
+	}
+	back, err := ParseRules(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(back[0].Window) != 90*time.Second || time.Duration(back[0].HealthyFor) != time.Minute {
+		t.Errorf("round trip = %+v, want original durations", back[0])
+	}
+	// Integer nanoseconds decode too (hand-written files).
+	var d Duration
+	if err := json.Unmarshal([]byte("1500000000"), &d); err != nil || time.Duration(d) != 1500*time.Millisecond {
+		t.Errorf("integer duration decode = %v, %v", d, err)
+	}
+}
+
+func TestSeverityCarriedIntoFiring(t *testing.T) {
+	eng := mustEngine(t, Config{Rules: []Rule{
+		CountRule("burst", 1, time.Minute).WithSeverity("stuck"),
+	}})
+	feed(eng, report("a", watchdog.StatusError, 0))
+	firings := eng.Firings()
+	if len(firings) != 1 || firings[0].Status != watchdog.StatusStuck {
+		t.Fatalf("firings = %+v, want one with status stuck", firings)
+	}
+}

@@ -1,0 +1,75 @@
+// Package wdcep is a complex-event-processing layer over the watchdog
+// detection event stream: it evaluates declarative temporal rules against the
+// journal events the rest of the stack already produces (checker reports,
+// alarms, mesh cluster verdicts, recovery-manager outcomes) and synthesizes
+// alarms for cross-component and temporal failure scenarios no single checker
+// can express — "abnormal for N consecutive intervals while a gauge grows",
+// "K distinct checkers failing inside one window", "a mesh verdict flapping
+// without a sustained-healthy gap", "recovery escalating repeatedly".
+//
+// This is the runtime-verification-over-event-streams idea (Cotroneo et al.,
+// "Towards Runtime Verification via Event Stream Processing") applied to the
+// paper's intrinsic watchdogs: point detections stay with the checkers, and
+// the temporal/correlation layer consumes their event stream.
+//
+// The engine is built for the hot path the journal tap sits on:
+//
+//   - Publish is lock-free and non-blocking — a bounded MPMC ring buffer
+//     (per-slot sequence numbers, Vyukov-style) accepts events from any
+//     goroutine; when the ring is full the event is dropped and counted, so a
+//     rule-evaluation stall can never back-pressure the driver.
+//   - Evaluation is batched and explicit — Pump(now) runs on the driver's
+//     report cadence with the driver's clock, so campaigns on a virtual clock
+//     stay bit-deterministic, and the steady-state ingest path allocates
+//     nothing.
+//
+// Rules are data: build them with the Rule builder API or load them from a
+// JSON rule file (see LoadRules); wdruntime wires either form through the
+// -wd-rules flag. A fired rule becomes a Firing, which wdruntime journals as
+// a KindCEP event and re-injects as a synthesized driver alarm so breakers,
+// damping, recovery, and mesh gossip treat temporal detections uniformly
+// with intrinsic checker alarms.
+package wdcep
+
+import (
+	"time"
+
+	"gowatchdog/internal/watchdog"
+)
+
+// Event kinds, mirroring the wdobs journal kind strings. wdcep cannot import
+// wdobs (wdobs exposes the engine snapshot, so the dependency points the
+// other way); wdobs's tests pin the two sets of constants together.
+const (
+	// EventReport is a journaled checker report.
+	EventReport = "report"
+	// EventAlarm is a raised driver alarm.
+	EventAlarm = "alarm"
+	// EventMesh is a mesh cluster-verdict transition (raise or clear).
+	EventMesh = "mesh"
+	// EventRecovery is a recovery-manager outcome (recovered, retried,
+	// failed, escalated, unmatched).
+	EventRecovery = "recovery"
+	// EventCEP is a fired temporal rule. CEP events re-enter the stream but
+	// only match rules that ask for the kind explicitly, so rule cascades
+	// are opt-in and accidental feedback loops are impossible.
+	EventCEP = "cep"
+)
+
+// Event is the engine's wire unit: a flattened journal entry small enough to
+// copy through the ring by value. The strings are shared, not copied, so
+// publishing is a handful of word moves.
+type Event struct {
+	// Kind is one of the Event* constants.
+	Kind string
+	// Checker is the subject name ("kvs.wal", "wdmesh.node-2", ...).
+	Checker string
+	// Status is the report status carried by the journal entry.
+	Status watchdog.Status
+	// Outcome is the recovery outcome name for EventRecovery events.
+	Outcome string
+	// Rule is the fired rule name for EventCEP events.
+	Rule string
+	// Time is the event's timestamp on the driver's clock.
+	Time time.Time
+}

@@ -1,0 +1,74 @@
+package wdobs
+
+import (
+	"fmt"
+	"io"
+
+	"gowatchdog/internal/wdcep"
+)
+
+// KindCEP marks a journaled temporal-rule firing from the wdcep engine: the
+// event stream itself crossed a declarative rule's threshold.
+const KindCEP = "cep"
+
+// SetCEP wires a wdcep engine snapshot source into the observability
+// surface: /watchdog gains a "cep" section and /metrics gains the wdcep_*
+// series. Pass nil to detach.
+func (o *Obs) SetCEP(fn func() *wdcep.Snapshot) {
+	o.mu.Lock()
+	o.cepFn = fn
+	o.mu.Unlock()
+}
+
+// cepSnapshot returns the engine view, or nil when no engine is wired.
+func (o *Obs) cepSnapshot() *wdcep.Snapshot {
+	o.mu.RLock()
+	fn := o.cepFn
+	o.mu.RUnlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// CEPEvent flattens a journal entry into the wdcep engine's wire unit. It is
+// the adapter the journal tap publishes through; keeping it here (rather
+// than in wdcep) pins the two packages' kind strings to the same values —
+// journal kinds are already the engine's kind vocabulary.
+func CEPEvent(e Event) wdcep.Event {
+	return wdcep.Event{
+		Kind:    e.Kind,
+		Checker: e.Report.Checker,
+		Status:  e.Report.Status,
+		Outcome: e.Outcome,
+		Rule:    e.Rule,
+		Time:    e.Report.Time,
+	}
+}
+
+// writeCEPMetrics emits the wdcep_* Prometheus series for one engine view.
+func writeCEPMetrics(w io.Writer, s *wdcep.Snapshot) {
+	fmt.Fprintf(w, "# HELP wdcep_rules Temporal rules loaded.\n")
+	fmt.Fprintf(w, "# TYPE wdcep_rules gauge\n")
+	fmt.Fprintf(w, "wdcep_rules %d\n", s.Rules)
+	fmt.Fprintf(w, "# HELP wdcep_events_published_total Events accepted into the engine ring.\n")
+	fmt.Fprintf(w, "# TYPE wdcep_events_published_total counter\n")
+	fmt.Fprintf(w, "wdcep_events_published_total %d\n", s.Published)
+	fmt.Fprintf(w, "# HELP wdcep_events_dropped_total Events rejected on a full engine ring.\n")
+	fmt.Fprintf(w, "# TYPE wdcep_events_dropped_total counter\n")
+	fmt.Fprintf(w, "wdcep_events_dropped_total %d\n", s.Dropped)
+	fmt.Fprintf(w, "# HELP wdcep_evaluations_total Rule-evaluation passes.\n")
+	fmt.Fprintf(w, "# TYPE wdcep_evaluations_total counter\n")
+	fmt.Fprintf(w, "wdcep_evaluations_total %d\n", s.Evaluations)
+	fmt.Fprintf(w, "# HELP wdcep_fired_total Temporal-rule firings.\n")
+	fmt.Fprintf(w, "# TYPE wdcep_fired_total counter\n")
+	fmt.Fprintf(w, "wdcep_fired_total %d\n", s.Fired)
+	if len(s.RuleStats) > 0 {
+		fmt.Fprintf(w, "# HELP wdcep_rule_fired_total Firings per rule.\n")
+		fmt.Fprintf(w, "# TYPE wdcep_rule_fired_total counter\n")
+		for _, r := range s.RuleStats {
+			fmt.Fprintf(w, "wdcep_rule_fired_total{rule=%q,kind=%q} %d\n",
+				escapeLabel(r.Name), escapeLabel(string(r.Kind)), r.Fired)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package wdobs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/wdcep"
+)
+
+// TestCEPKindVocabulary pins the journal kind strings to the wdcep event
+// kinds: the tap publishes journal events verbatim, so a drift here would
+// silently stop rules from matching.
+func TestCEPKindVocabulary(t *testing.T) {
+	pairs := []struct{ journal, cep string }{
+		{KindReport, wdcep.EventReport},
+		{KindAlarm, wdcep.EventAlarm},
+		{KindMesh, wdcep.EventMesh},
+		{KindRecovery, wdcep.EventRecovery},
+		{KindCEP, wdcep.EventCEP},
+	}
+	for _, p := range pairs {
+		if p.journal != p.cep {
+			t.Errorf("journal kind %q != wdcep kind %q", p.journal, p.cep)
+		}
+	}
+}
+
+func TestCEPEventMapping(t *testing.T) {
+	ts := time.Date(2026, 2, 3, 4, 5, 6, 0, time.UTC)
+	e := Event{
+		Kind: KindRecovery,
+		Report: watchdog.Report{
+			Checker: "wal.flush",
+			Status:  watchdog.StatusError,
+			Time:    ts,
+		},
+		Outcome: "escalated",
+		Rule:    "r1",
+	}
+	got := CEPEvent(e)
+	want := wdcep.Event{
+		Kind:    KindRecovery,
+		Checker: "wal.flush",
+		Status:  watchdog.StatusError,
+		Outcome: "escalated",
+		Rule:    "r1",
+		Time:    ts,
+	}
+	if got != want {
+		t.Fatalf("CEPEvent = %+v, want %+v", got, want)
+	}
+}
+
+// TestJournalTap verifies the tap sees every append, sequenced, in order, and
+// that detaching stops delivery.
+func TestJournalTap(t *testing.T) {
+	j := NewJournal(4)
+	var seen []Event
+	j.SetTap(func(e Event) { seen = append(seen, e) })
+	for i := 0; i < 6; i++ {
+		j.Append(Event{Kind: KindReport, Report: watchdog.Report{Checker: "c"}})
+	}
+	if len(seen) != 6 {
+		t.Fatalf("tap saw %d events, want 6 (ring eviction must not affect the tap)", len(seen))
+	}
+	for i, e := range seen {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, i+1)
+		}
+	}
+	j.SetTap(nil)
+	j.Append(Event{Kind: KindReport})
+	if len(seen) != 6 {
+		t.Fatalf("tap still invoked after detach: saw %d", len(seen))
+	}
+}
+
+// TestSnapshotCEPSection verifies SetCEP surfaces the engine view in the JSON
+// snapshot and the wdcep_* series on /metrics.
+func TestSnapshotCEPSection(t *testing.T) {
+	o := New()
+	if o.Snapshot().CEP != nil {
+		t.Fatal("CEP section present with no engine wired")
+	}
+	eng, err := wdcep.NewEngine(wdcep.Config{Rules: []wdcep.Rule{
+		wdcep.Consecutive("streak", 3),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.SetCEP(eng.Snapshot)
+	snap := o.Snapshot()
+	if snap.CEP == nil {
+		t.Fatal("CEP section missing after SetCEP")
+	}
+	if snap.CEP.Rules != 1 {
+		t.Fatalf("CEP.Rules = %d, want 1", snap.CEP.Rules)
+	}
+
+	var sb strings.Builder
+	writeCEPMetrics(&sb, snap.CEP)
+	out := sb.String()
+	for _, want := range []string{
+		"wdcep_rules 1",
+		"wdcep_events_published_total 0",
+		"wdcep_events_dropped_total 0",
+		"wdcep_fired_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+
+	o.SetCEP(nil)
+	if o.Snapshot().CEP != nil {
+		t.Fatal("CEP section still present after detach")
+	}
+}

@@ -19,6 +19,10 @@ const (
 	KindReport = "report"
 	// KindAlarm marks a raised alarm.
 	KindAlarm = "alarm"
+	// KindRecovery marks a recovery-manager outcome (recovered, retried,
+	// failed, escalated, unmatched), journaled so temporal rules and
+	// wdreplay see recovery activity next to the detections that drove it.
+	KindRecovery = "recovery"
 )
 
 // Event is one detection-journal entry. Its JSON form is one line of the
@@ -26,14 +30,24 @@ const (
 type Event struct {
 	// Seq is the 1-based append sequence number, monotonic per journal.
 	Seq int64 `json:"seq"`
-	// Kind is KindReport or KindAlarm.
+	// Kind is KindReport, KindAlarm, KindMesh, KindRecovery, or KindCEP.
 	Kind string `json:"kind"`
 	// Report is the journaled report (for alarms, the report that crossed
-	// the threshold).
+	// the threshold; for recovery and CEP entries, a synthesized report
+	// naming the subject).
 	Report watchdog.Report `json:"report"`
 	// Consecutive and Validated carry the alarm fields for KindAlarm.
+	// KindCEP entries reuse Consecutive for the rule's threshold
+	// measurement at fire time.
 	Consecutive int   `json:"consecutive,omitempty"`
 	Validated   *bool `json:"validated,omitempty"`
+	// Rule names the fired temporal rule for KindCEP entries.
+	Rule string `json:"rule,omitempty"`
+	// Outcome, Action, and Attempt carry the recovery-manager fields for
+	// KindRecovery entries.
+	Outcome string `json:"outcome,omitempty"`
+	Action  string `json:"action,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
 }
 
 // Journal is a bounded ring buffer of detection events with an optional
@@ -47,6 +61,7 @@ type Journal struct {
 	seq     int64
 	sink    io.Writer
 	sinkErr error
+	tap     func(Event)
 }
 
 // NewJournal returns a journal retaining the last capacity events
@@ -75,6 +90,17 @@ func (j *Journal) SinkErr() error {
 	return j.sinkErr
 }
 
+// SetTap installs a live event tap: every subsequent appended event is handed
+// to fn, sequenced, in append order. The tap runs under the journal lock so
+// ordering is exact — it must be non-blocking and must not call back into the
+// journal (the wdcep wiring publishes into a lock-free ring, which is safe).
+// Pass nil to detach.
+func (j *Journal) SetTap(fn func(Event)) {
+	j.mu.Lock()
+	j.tap = fn
+	j.mu.Unlock()
+}
+
 // Append assigns the event its sequence number, stores it in the ring, and
 // streams it to the sink.
 func (j *Journal) Append(e Event) {
@@ -94,6 +120,9 @@ func (j *Journal) Append(e Event) {
 				j.sink = nil
 			}
 		}
+	}
+	if j.tap != nil {
+		j.tap(e)
 	}
 	j.mu.Unlock()
 }

@@ -141,6 +141,9 @@ func (o *Obs) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	if snap.Mesh != nil {
 		writeMeshMetrics(w, snap.Mesh)
 	}
+	if snap.CEP != nil {
+		writeCEPMetrics(w, snap.CEP)
+	}
 
 	if len(snap.Checkers) > 0 {
 		fmt.Fprintf(w, "# HELP watchdog_checker_runs_total Checker executions by resulting status.\n")

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/wdcep"
 	"gowatchdog/internal/wdmesh"
 )
 
@@ -33,6 +34,8 @@ type Snapshot struct {
 	Checkers []CheckerSnapshot `json:"checkers"`
 	// Mesh is the cluster health-plane view, present when a mesh is wired.
 	Mesh *wdmesh.Snapshot `json:"mesh,omitempty"`
+	// CEP is the temporal-rule engine view, present when an engine is wired.
+	CEP *wdcep.Snapshot `json:"cep,omitempty"`
 }
 
 // CheckerSnapshot is one checker's live state.
@@ -100,6 +103,7 @@ func (o *Obs) Snapshot() *Snapshot {
 		Alarms:     o.alarms.Value(),
 		JournalSeq: o.journal.Seq(),
 		Mesh:       o.meshSnapshot(),
+		CEP:        o.cepSnapshot(),
 	}
 	o.mu.RLock()
 	d := o.driver

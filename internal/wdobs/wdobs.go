@@ -27,6 +27,7 @@ import (
 
 	"gowatchdog/internal/gauge"
 	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/wdcep"
 	"gowatchdog/internal/wdmesh"
 )
 
@@ -53,6 +54,7 @@ type Obs struct {
 	driver   *watchdog.Driver
 	registry *gauge.Registry
 	meshFn   func() *wdmesh.Snapshot
+	cepFn    func() *wdcep.Snapshot
 
 	// last caches the most recently observed checker. Reports for one
 	// checker arrive in bursts (CheckNow loops, per-checker schedules), so

@@ -20,6 +20,7 @@ type Flags struct {
 	DrainBudget  time.Duration
 	ObsAddr      string
 	Journal      string
+	Rules        string
 	MeshAddr     string
 	Peers        string
 	MeshInterval time.Duration
@@ -28,8 +29,8 @@ type Flags struct {
 }
 
 // BindFlags registers the canonical -wd-interval/-wd-timeout/-wd-breaker/
-// -wd-damp/-wd-hang-budget/-wd-drain-budget/-obs-addr/-journal flags plus the
-// mesh flag set (-wd-mesh-addr/-wd-peers/-wd-mesh-interval/-wd-suspect-after/
+// -wd-damp/-wd-hang-budget/-wd-drain-budget/-obs-addr/-journal/-wd-rules
+// flags plus the mesh flag set (-wd-mesh-addr/-wd-peers/-wd-mesh-interval/-wd-suspect-after/
 // -wd-quorum) on fs and returns the struct their parsed values land in. Call
 // fs.Parse (or flag.Parse for the command line) before Options.
 func BindFlags(fs *flag.FlagSet) *Flags {
@@ -42,6 +43,7 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	fs.DurationVar(&f.DrainBudget, "wd-drain-budget", 0, "how long shutdown waits for hung checker goroutines to be reaped (0 = 2x wd-timeout)")
 	fs.StringVar(&f.ObsAddr, "obs-addr", "", "observability listen address (/metrics, /healthz, /watchdog, pprof)")
 	fs.StringVar(&f.Journal, "journal", "", "file to stream the detection journal to as JSONL (wdreplay-compatible)")
+	fs.StringVar(&f.Rules, "wd-rules", "", "JSON temporal-rule file for the wdcep engine; non-empty enables rule evaluation over the detection stream")
 	fs.StringVar(&f.MeshAddr, "wd-mesh-addr", "", "mesh identity and listen address for the cluster health plane (required with -wd-peers)")
 	fs.StringVar(&f.Peers, "wd-peers", "", "comma-separated peer mesh addresses; non-empty joins the cluster health plane")
 	fs.DurationVar(&f.MeshInterval, "wd-mesh-interval", time.Second, "mesh gossip interval")
@@ -74,6 +76,9 @@ func (f *Flags) Options() []Option {
 	}
 	if f.Journal != "" {
 		opts = append(opts, WithJournalPath(f.Journal))
+	}
+	if f.Rules != "" {
+		opts = append(opts, WithCEPRulesFile(f.Rules))
 	}
 	if f.Peers != "" {
 		var peers []string

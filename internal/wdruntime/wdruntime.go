@@ -36,6 +36,7 @@ import (
 	"gowatchdog/internal/gauge"
 	"gowatchdog/internal/recovery"
 	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/wdcep"
 	"gowatchdog/internal/wdmesh"
 	"gowatchdog/internal/wdobs"
 )
@@ -95,6 +96,22 @@ type Config struct {
 	// MeshTransport overrides the TCP transport (campaigns and tests pass an
 	// in-process wdmesh.MemNetwork endpoint).
 	MeshTransport wdmesh.Transport
+
+	// CEPRules, when non-empty, enables the temporal rule engine (see
+	// internal/wdcep): journal events stream through a lock-free ring into
+	// declarative rules, and firings synthesize alarms back through the
+	// driver. Enabling rules forces the observability layer on — the engine
+	// feeds off the detection journal.
+	CEPRules []wdcep.Rule
+	// CEPRulesFile, when non-empty, loads additional rules from a JSON rule
+	// file (appended after CEPRules).
+	CEPRulesFile string
+	// CEPRingSize overrides the engine's event ring capacity (0 = the wdcep
+	// default; rounded up to a power of two).
+	CEPRingSize int
+	// CEPEvalEvery floors the time between rule-evaluation passes
+	// (0 = Interval).
+	CEPEvalEvery time.Duration
 
 	// Factory, when non-nil, is the context factory the driver resolves
 	// checker contexts from (hook-instrumented systems pass theirs here).
@@ -167,6 +184,20 @@ func WithMeshTransport(tr wdmesh.Transport) Option {
 	return func(c *Config) { c.MeshTransport = tr }
 }
 
+// WithCEPRules enables the temporal rule engine with the given rules.
+func WithCEPRules(rules ...wdcep.Rule) Option {
+	return func(c *Config) { c.CEPRules = append(c.CEPRules, rules...) }
+}
+
+// WithCEPRulesFile loads temporal rules from a JSON rule file.
+func WithCEPRulesFile(path string) Option { return func(c *Config) { c.CEPRulesFile = path } }
+
+// WithCEPRingSize overrides the engine's event ring capacity.
+func WithCEPRingSize(n int) Option { return func(c *Config) { c.CEPRingSize = n } }
+
+// WithCEPEvalEvery floors the time between rule-evaluation passes.
+func WithCEPEvalEvery(d time.Duration) Option { return func(c *Config) { c.CEPEvalEvery = d } }
+
 // WithObsAddr serves the observability endpoints there on Start.
 func WithObsAddr(addr string) Option { return func(c *Config) { c.ObsAddr = addr } }
 
@@ -209,6 +240,7 @@ type Runtime struct {
 
 	mesh       *wdmesh.Mesh
 	meshAlarms atomic.Int64
+	cep        *wdcep.Engine
 
 	mu        sync.Mutex
 	started   bool
@@ -273,7 +305,8 @@ func New(opts ...Option) (*Runtime, error) {
 
 	rt := &Runtime{cfg: cfg, driver: watchdog.New(dopts...), rec: cfg.Recovery}
 
-	if cfg.ObsAddr != "" || cfg.JournalPath != "" || cfg.JournalSink != nil || len(cfg.ObsOptions) > 0 {
+	if cfg.ObsAddr != "" || cfg.JournalPath != "" || cfg.JournalSink != nil || len(cfg.ObsOptions) > 0 ||
+		len(cfg.CEPRules) > 0 || cfg.CEPRulesFile != "" {
 		oopts := append([]wdobs.Option(nil), cfg.ObsOptions...)
 		if cfg.Registry != nil {
 			oopts = append(oopts, wdobs.WithRegistry(cfg.Registry))
@@ -294,7 +327,21 @@ func New(opts ...Option) (*Runtime, error) {
 		rt.obs.Attach(rt.driver)
 	}
 
+	if rt.obs != nil {
+		if err := rt.setupCEP(); err != nil {
+			if rt.journalF != nil {
+				_ = rt.journalF.Close()
+			}
+			return nil, err
+		}
+	}
+
 	if rt.rec != nil {
+		if rt.obs != nil {
+			// Journal recovery outcomes (KindRecovery) before the manager
+			// handles any alarm, so every escalation and retry is recorded.
+			rt.rec.OnEvent(rt.onRecoveryEvent)
+		}
 		rt.driver.OnAlarm(rt.rec.HandleAlarm)
 		rt.driver.OnReport(rt.rec.ObserveReport)
 	}
@@ -325,6 +372,9 @@ func (rt *Runtime) Mesh() *wdmesh.Mesh {
 	defer rt.mu.Unlock()
 	return rt.mesh
 }
+
+// CEP returns the temporal rule engine, or nil when no rules were configured.
+func (rt *Runtime) CEP() *wdcep.Engine { return rt.cep }
 
 // ObsAddr returns the bound observability address after Start ("" when not
 // serving).
@@ -423,6 +473,12 @@ func (rt *Runtime) Close() error {
 			errs = append(errs, m.Close())
 		}
 		errs = append(errs, rt.Drain())
+		// Drain the rule engine after the driver stops but before the journal
+		// sink flushes: events already published must get their evaluation
+		// pass, and any resulting KindCEP entries must reach the sink.
+		if rt.cep != nil {
+			rt.cep.Drain(rt.driver.Clock().Now())
+		}
 		if rt.journalF != nil {
 			errs = append(errs, rt.journalF.Sync(), rt.journalF.Close())
 		} else if f, ok := rt.cfg.JournalSink.(interface{ Flush() error }); ok {
