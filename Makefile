@@ -7,9 +7,9 @@ GO ?= go
 # paths (gauge registry, wdobs histograms/journal), the alarm-driven
 # recovery/campaign loop, the fault injector, the gossiping mesh, and the
 # lock-light CEP event ring.
-RACE_PKGS := ./internal/watchdog ./internal/coord ./internal/clock ./internal/gauge ./internal/wdobs ./internal/recovery ./internal/campaign ./internal/wdruntime ./internal/faultinject ./internal/wdmesh ./internal/wdcep ./internal/autowatchdog/testmine
+RACE_PKGS := ./internal/watchdog ./internal/coord ./internal/clock ./internal/gauge ./internal/wdobs ./internal/recovery ./internal/campaign ./internal/wdruntime ./internal/faultinject ./internal/wdmesh ./internal/wdcep ./internal/autowatchdog/testmine ./internal/supervise ./internal/sdnotify
 
-.PHONY: build test vet lint race smoke mesh-smoke cep-smoke cep-bench gen-smoke ablation check golden
+.PHONY: build test vet lint race smoke mesh-smoke cep-smoke super-smoke cep-bench gen-smoke ablation check golden
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,15 @@ mesh-smoke:
 cep-smoke:
 	$(GO) run ./cmd/wdchaos -substrate cep -seed 42
 
+# super-smoke runs the seeded supervision campaign: a real crash-restart
+# supervisor over re-executions of wdchaos, scored on time-to-restart after
+# SIGKILL, stuck detection after SIGSTOP (feeds stop, process lives), episode
+# adoption across a supervisor restart, and the crash-loop storm breaker.
+# Exactly one open/close ledger pair per induced outage or the exit is
+# nonzero.
+super-smoke:
+	$(GO) run ./cmd/wdchaos -substrate super -seed 42 -outages 2
+
 # cep-bench regenerates the wdcep perf verdict: the engine must sustain at
 # least 1M events/sec single-threaded with zero steady-state allocations.
 cep-bench:
@@ -94,4 +103,4 @@ golden:
 	$(GO) test ./internal/autowatchdog -run Golden -update
 	$(GO) test ./internal/autowatchdog/testmine -run Golden -update
 
-check: build vet lint test race smoke mesh-smoke cep-smoke gen-smoke cep-bench
+check: build vet lint test race smoke mesh-smoke cep-smoke super-smoke gen-smoke cep-bench

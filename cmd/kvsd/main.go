@@ -24,6 +24,7 @@ import (
 	"gowatchdog/internal/faultinject"
 	"gowatchdog/internal/kvs"
 	"gowatchdog/internal/recovery"
+	"gowatchdog/internal/supervise"
 	"gowatchdog/internal/watchdog"
 	"gowatchdog/internal/watchdog/wdio"
 	"gowatchdog/internal/wdruntime"
@@ -41,6 +42,7 @@ func main() {
 		injectAfter = flag.Duration("inject-after", 5*time.Second, "delay before injecting")
 		capsuleDir  = flag.String("capsules", "", "directory to record failure capsules (§5.2)")
 		autoRecover = flag.Bool("recover", false, "enable cheap recovery on alarms (§5.2)")
+		recoverExit = flag.Bool("recover-exit", false, "with -recover: exit 70 when escalation fails so a supervisor (wdsuper/systemd) restarts the process")
 	)
 	wdf := wdruntime.BindFlags(flag.CommandLine)
 	flag.Parse()
@@ -86,7 +88,14 @@ func main() {
 			wdruntime.WithRegistry(store.Metrics()),
 		)
 		if *autoRecover {
-			mgr := recovery.New()
+			var mopts []recovery.Option
+			if *recoverExit {
+				// The ladder's top rung: when in-process recovery keeps
+				// failing, exit with the watchdog-trigger code and let the
+				// supervisor restart us as a fresh process.
+				mopts = append(mopts, recovery.WithEscalationExit(supervise.ExitWatchdogTrigger))
+			}
+			mgr := recovery.New(mopts...)
 			mgr.Register(recovery.ForSiteOp("quarantine-corrupt-tables", "sstable.VerifyChecksum",
 				func(rep watchdog.Report) error {
 					total := 0

@@ -12,6 +12,7 @@
 //	wdchaos -substrate mesh -seed 7 -nodes 3 -quorum 2 -mesh-interval 20ms
 //	wdchaos -substrate kvs -checkers mined -min-detection-rate 0.01 -json
 //	wdchaos -substrate cep -seed 42 -json
+//	wdchaos -substrate super -seed 42 -outages 2 -json
 //
 // The -checkers flag (kvs and dfs only) selects the E13 ablation targets:
 // the same substrate scored under the reduced suite, the test-mined suite
@@ -24,7 +25,10 @@
 // seed. The kvs and dfs substrates exercise real stores on the real clock;
 // keep -interval small and the tick counts modest there. The mesh substrate
 // boots a seeded in-process cluster and scores remote gray-failure detection
-// and partition tolerance (see campaign.RunMesh).
+// and partition tolerance (see campaign.RunMesh). The super substrate runs a
+// real crash-restart supervisor over re-executions of this binary and scores
+// time-to-restart, stuck detection, episode adoption, and the restart-storm
+// breaker (see campaign.RunSuper).
 package main
 
 import (
@@ -40,8 +44,12 @@ import (
 )
 
 func main() {
+	// When the super campaign re-executes this binary as its supervised
+	// daemon, become the child and never reach flag parsing.
+	campaign.MaybeSuperChild()
+
 	var (
-		substrate = flag.String("substrate", "synth", "system under campaign: synth|kvs|dfs|mesh|cep")
+		substrate = flag.String("substrate", "synth", "system under campaign: synth|kvs|dfs|mesh|cep|super")
 		checkers  = flag.String("checkers", "", "ablation checker source for kvs/dfs: reduced|mined|both (empty = standard target)")
 		dir       = flag.String("dir", "", "scratch directory for disk-backed substrates (default: temp dir)")
 		seed      = flag.Int64("seed", 1, "schedule-generation seed")
@@ -66,6 +74,10 @@ func main() {
 		nodes        = flag.Int("nodes", 3, "mesh substrate: cluster size")
 		quorum       = flag.Int("quorum", 2, "mesh substrate: cluster-verdict corroboration threshold")
 		meshInterval = flag.Duration("mesh-interval", 25*time.Millisecond, "mesh substrate: shared check + gossip period")
+
+		outages       = flag.Int("outages", 2, "super substrate: SIGKILL rounds before the hang/adoption/storm phases")
+		feedWindow    = flag.Duration("feed-window", 300*time.Millisecond, "super substrate: sd_notify watchdog window")
+		stormRestarts = flag.Int("storm-restarts", 3, "super substrate: crash-loop breaker threshold")
 	)
 	flag.Parse()
 
@@ -75,6 +87,10 @@ func main() {
 	}
 	if *substrate == "cep" {
 		runCEP(*seed, *interval, *rawJSON)
+		return
+	}
+	if *substrate == "super" {
+		runSuper(*seed, *outages, *feedWindow, *stormRestarts, *dir, *rawJSON)
 		return
 	}
 
@@ -195,6 +211,39 @@ func runCEP(seed int64, interval time.Duration, rawJSON bool) {
 	verdict, err := campaign.RunCEP(campaign.CEPConfig{
 		Seed:     seed,
 		Interval: interval,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if rawJSON {
+		data, err := verdict.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Print(verdict.Render())
+	}
+	if !verdict.Pass {
+		os.Exit(1)
+	}
+}
+
+// runSuper scores the supervision campaign: a real Supervisor over
+// re-executions of this binary, SIGKILLed, SIGSTOPped, and crash-looped on a
+// seeded schedule (see campaign.RunSuper).
+func runSuper(seed int64, outages int, feedWindow time.Duration, stormRestarts int, dir string, rawJSON bool) {
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	verdict, err := campaign.RunSuper(campaign.SuperConfig{
+		Seed:          seed,
+		ChildCommand:  []string{exe},
+		Outages:       outages,
+		FeedWindow:    feedWindow,
+		StormRestarts: stormRestarts,
+		Dir:           dir,
 	})
 	if err != nil {
 		fatal(err)

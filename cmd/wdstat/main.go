@@ -7,6 +7,7 @@
 //	wdstat -addr 127.0.0.1:9120
 //	wdstat -addr 127.0.0.1:9120 -watch -every 2s
 //	wdstat -addr 127.0.0.1:9120 -json
+//	wdstat -episodes wdsuper-episodes.jsonl
 package main
 
 import (
@@ -18,19 +19,30 @@ import (
 	"strings"
 	"time"
 
+	"gowatchdog/internal/supervise/episode"
 	"gowatchdog/internal/wdcep"
 	"gowatchdog/internal/wdobs"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:9120", "daemon observability address (host:port)")
-		watch   = flag.Bool("watch", false, "poll continuously instead of one-shot")
-		every   = flag.Duration("every", time.Second, "poll interval with -watch")
-		rawJSON = flag.Bool("json", false, "print the raw JSON snapshot and exit")
-		timeout = flag.Duration("timeout", 3*time.Second, "per-attempt HTTP timeout (one retry with backoff on transient failures)")
+		addr     = flag.String("addr", "127.0.0.1:9120", "daemon observability address (host:port)")
+		watch    = flag.Bool("watch", false, "poll continuously instead of one-shot")
+		every    = flag.Duration("every", time.Second, "poll interval with -watch")
+		rawJSON  = flag.Bool("json", false, "print the raw JSON snapshot and exit")
+		timeout  = flag.Duration("timeout", 3*time.Second, "per-attempt HTTP timeout (one retry with backoff on transient failures)")
+		episodes = flag.String("episodes", "", "render a wdsuper outage-episode ledger file offline and exit (no daemon needed)")
 	)
 	flag.Parse()
+
+	if *episodes != "" {
+		eps, torn, err := episode.Read(*episodes)
+		if err != nil {
+			fatal(err)
+		}
+		renderEpisodes(os.Stdout, episode.SnapshotOf(eps, torn, len(eps)))
+		return
+	}
 
 	client := wdobs.NewScrapeClient(*timeout)
 
@@ -119,6 +131,44 @@ func render(w io.Writer, addr string, snap *wdobs.Snapshot) {
 	if snap.CEP != nil {
 		renderCEP(w, snap.CEP)
 	}
+	if snap.Recovery != nil {
+		fmt.Fprintf(w, "\nrecovery: events=%d dropped=%d\n",
+			snap.Recovery.Events, snap.Recovery.Dropped)
+	}
+	if snap.Episodes != nil {
+		renderEpisodes(w, snap.Episodes)
+	}
+}
+
+// renderEpisodes prints the supervision plane's outage history: the ledger
+// totals and one row per episode, newest last.
+func renderEpisodes(w io.Writer, s *episode.Snapshot) {
+	fmt.Fprintf(w, "\nepisodes: total=%d open=%d", s.Total, s.Open)
+	if s.TornRecords > 0 {
+		fmt.Fprintf(w, " torn=%d", s.TornRecords)
+	}
+	fmt.Fprintln(w)
+	if len(s.Episodes) == 0 {
+		return
+	}
+	rows := [][]string{{"ID", "DAEMON", "CAUSE", "OPENED", "RESTARTS", "RESOLUTION", "OUTAGE", "TO-HEALTHY"}}
+	for _, e := range s.Episodes {
+		resolution := "open"
+		outage, healthy := "-", "-"
+		if e.Closed {
+			resolution = e.Resolution
+			outage = shortDur(time.Duration(e.OutageNS))
+			healthy = shortDur(time.Duration(e.HealthyNS))
+		}
+		if e.Adopted {
+			resolution += " (adopted)"
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(e.ID), e.Daemon, e.Cause, e.OpenedAt.Format("15:04:05"),
+			fmt.Sprint(e.Restarts), resolution, outage, healthy,
+		})
+	}
+	printTable(w, rows)
 }
 
 // renderCEP prints the temporal-rule engine section: the stream counters and

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"gowatchdog/internal/supervise/episode"
 	"gowatchdog/internal/watchdog"
 	"gowatchdog/internal/wdcep"
 	"gowatchdog/internal/wdobs"
@@ -72,6 +73,26 @@ func TestRenderGolden(t *testing.T) {
 				{Name: "cluster-spread", Kind: wdcep.KindDistinct, Fired: 0},
 			},
 		},
+		Recovery: &wdobs.RecoverySnapshot{Events: 37, Dropped: 5},
+		Episodes: &episode.Snapshot{
+			Total: 2,
+			Open:  1,
+			Episodes: []episode.Episode{
+				{
+					ID: 1, Daemon: "kvsd", Cause: "signal:killed",
+					OpenedAt: time.Date(2026, 8, 5, 11, 58, 0, 0, time.UTC),
+					Restarts: 1, Closed: true, Resolution: episode.ResolutionHealthy,
+					OutageNS:  int64(1200 * time.Millisecond),
+					HealthyNS: int64(5200 * time.Millisecond),
+					Adopted:   true,
+				},
+				{
+					ID: 2, Daemon: "kvsd", Cause: "watchdog-trigger",
+					OpenedAt: time.Date(2026, 8, 5, 11, 59, 50, 0, time.UTC),
+				},
+			},
+			TornRecords: 1,
+		},
 	}
 
 	var b strings.Builder
@@ -91,6 +112,13 @@ func TestRenderGolden(t *testing.T) {
 		"RULE            KIND         FIRED  LAST",
 		"wal-streak      consecutive  3      11:59:30",
 		"cluster-spread  distinct     0      -",
+		"",
+		"recovery: events=37 dropped=5",
+		"",
+		"episodes: total=2 open=1 torn=1",
+		"ID  DAEMON  CAUSE             OPENED    RESTARTS  RESOLUTION         OUTAGE  TO-HEALTHY",
+		"1   kvsd    signal:killed     11:58:00  1         healthy (adopted)  1.2s    5.2s",
+		"2   kvsd    watchdog-trigger  11:59:50  0         open               -       -",
 		"",
 	}, "\n")
 	if got != golden {

@@ -1,0 +1,121 @@
+// Command wdsuper supervises one watchdog-instrumented daemon (kvsd, dfsd,
+// coordd, or anything else) the way the paper's escalation ladder ends: when
+// in-process recovery cannot repair a partial failure, the process itself is
+// restarted from outside.
+//
+// wdsuper spawns the command after --, provides it a NOTIFY_SOCKET, and
+// treats the sd_notify stream as ground truth: WATCHDOG=1 feeds (sent by
+// wdruntime only while the intrinsic watchdog verdict is healthy) keep the
+// child alive, feed silence past -feed-window gets it killed and restarted,
+// STOPPING=1 disarms the timer for deliberate shutdowns, and
+// WATCHDOG=trigger forces an immediate restart. Crashes and
+// watchdog-trigger exits (code 70) restart with capped exponential backoff;
+// a restart storm (-max-restarts within -restart-window) makes wdsuper give
+// up and exit nonzero. Every outage is recorded in the episode ledger
+// (-episodes), which supervised children also surface on /watchdog.
+//
+// Usage:
+//
+//	wdsuper -episodes /var/lib/kvsd/episodes.jsonl -- kvsd -dir /var/lib/kvsd -watchdog
+//	wdsuper -feed-window 10s -max-restarts 5 -restart-window 1m -- dfsd -root /srv/dfs
+//	wdsuper -notify=false -stable-after 5s -- coordd -addr :7090
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gowatchdog/internal/supervise"
+	"gowatchdog/internal/supervise/episode"
+)
+
+// exitStorm is wdsuper's own exit code when the restart-storm breaker trips:
+// EX_UNAVAILABLE, distinct from the child's ExitWatchdogTrigger (70) so a
+// supervisor-of-supervisors can tell "child kept dying" from "child asked".
+const exitStorm = 69
+
+func main() {
+	var (
+		name          = flag.String("name", "", "daemon label in logs and episodes (default: command basename)")
+		episodesPath  = flag.String("episodes", "wdsuper-episodes.jsonl", "outage-episode ledger (JSONL)")
+		notify        = flag.Bool("notify", true, "provide NOTIFY_SOCKET to the child and use sd_notify feeds as the health signal")
+		feedWindow    = flag.Duration("feed-window", 15*time.Second, "max feed silence before the child is unhealthy (advertised as WATCHDOG_USEC)")
+		probeEvery    = flag.Duration("probe-every", time.Second, "health evaluation cadence")
+		stuckAfter    = flag.Duration("stuck-after", 30*time.Second, "kill a child whose health has not succeeded for this long")
+		stableAfter   = flag.Duration("stable-after", 5*time.Second, "without -notify: uptime counting as healthy")
+		backoffBase   = flag.Duration("backoff-base", 200*time.Millisecond, "first restart delay")
+		backoffCap    = flag.Duration("backoff-cap", 10*time.Second, "restart delay ceiling")
+		jitterSeed    = flag.Int64("jitter-seed", 1, "seed for restart-delay jitter")
+		maxRestarts   = flag.Int("max-restarts", 5, "storm breaker: give up after this many deaths within -restart-window")
+		restartWindow = flag.Duration("restart-window", time.Minute, "storm breaker window")
+		termGrace     = flag.Duration("term-grace", 5*time.Second, "SIGTERM-to-SIGKILL grace on shutdown")
+	)
+	flag.Parse()
+	command := flag.Args()
+	if len(command) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: wdsuper [flags] -- command [args...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	log.SetPrefix("wdsuper: ")
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	ledger, err := episode.Open(*episodesPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ledger.CloseFile()
+
+	cfg := supervise.Config{
+		Name:          *name,
+		Command:       command,
+		BackoffBase:   *backoffBase,
+		BackoffCap:    *backoffCap,
+		JitterSeed:    *jitterSeed,
+		MaxRestarts:   *maxRestarts,
+		RestartWindow: *restartWindow,
+		ProbeEvery:    *probeEvery,
+		StuckAfter:    *stuckAfter,
+		StableAfter:   *stableAfter,
+		TermGrace:     *termGrace,
+		Ledger:        ledger,
+		Logf: func(format string, args ...any) {
+			log.Printf(format, args...)
+		},
+	}
+	if *notify {
+		nl, err := supervise.ListenNotify(os.TempDir(), *feedWindow)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer nl.Close()
+		cfg.Env = nl.Env()
+		cfg.HealthProbe = nl.Probe
+		cfg.Trigger = nl.Trigger()
+		cfg.OnSpawn = nl.Reset
+	}
+
+	sup, err := supervise.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	switch err := sup.Run(ctx); err.(type) {
+	case nil:
+	case *supervise.StormError:
+		log.Print(err)
+		os.Exit(exitStorm)
+	default:
+		log.Fatal(err)
+	}
+}

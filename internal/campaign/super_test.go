@@ -1,0 +1,66 @@
+package campaign
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain lets the test binary double as the supervised daemon: when the
+// campaign re-executes it with EnvSuperChild set, it becomes the child
+// instead of running the test suite.
+func TestMain(m *testing.M) {
+	MaybeSuperChild()
+	os.Exit(m.Run())
+}
+
+// TestRunSuper drives the full supervision campaign against real processes:
+// SIGKILL outages, a SIGSTOP hang, an adoption across a supervisor restart,
+// and a crash-loop storm — scored end-to-end through the episode ledger.
+func TestRunSuper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes; skipped in -short")
+	}
+	v, err := RunSuper(SuperConfig{
+		Seed:         42,
+		ChildCommand: []string{os.Args[0]},
+		Outages:      1,
+		Dir:          t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("RunSuper: %v", err)
+	}
+	if !v.Pass {
+		t.Fatalf("campaign failed: %v\n%s", v.Failures, v.Render())
+	}
+	if len(v.Outages) != 3 { // 1 sigkill + sigstop + adoption
+		t.Fatalf("outages = %d, want 3", len(v.Outages))
+	}
+	kinds := map[string]bool{}
+	for _, o := range v.Outages {
+		kinds[o.Kind] = true
+		if o.RestartNS <= 0 || o.HealthyNS < o.RestartNS {
+			t.Errorf("%s latencies implausible: restart=%d healthy=%d", o.Kind, o.RestartNS, o.HealthyNS)
+		}
+	}
+	for _, want := range []string{"sigkill", "sigstop", "adoption"} {
+		if !kinds[want] {
+			t.Errorf("no %q outage recorded", want)
+		}
+	}
+	if v.StormDeaths != 3 {
+		t.Errorf("storm deaths = %d, want 3", v.StormDeaths)
+	}
+	if !v.AdoptedClosed || !v.LedgerConsistent {
+		t.Errorf("adopted_closed=%v ledger_consistent=%v, want both true", v.AdoptedClosed, v.LedgerConsistent)
+	}
+	if _, err := v.JSON(); err != nil {
+		t.Errorf("JSON: %v", err)
+	}
+}
+
+// TestRunSuperValidation pins the config guard.
+func TestRunSuperValidation(t *testing.T) {
+	if _, err := RunSuper(SuperConfig{}); err == nil {
+		t.Fatal("empty ChildCommand should be rejected")
+	}
+}

@@ -13,6 +13,7 @@ package recovery
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -92,6 +93,10 @@ const (
 	// EventRetried means an attempt failed and a retry is scheduled; only
 	// the final failure of a cycle is logged as EventFailed.
 	EventRetried
+	// EventExited means the escalation-exit rung fired: in-process recovery
+	// is out of options and the process is terminating so an external
+	// supervisor can restart it (WithEscalationExit).
+	EventExited
 )
 
 // String returns the kind name.
@@ -105,6 +110,8 @@ func (k EventKind) String() string {
 		return "escalated"
 	case EventRetried:
 		return "retried"
+	case EventExited:
+		return "exited"
 	default:
 		return "unmatched"
 	}
@@ -142,11 +149,16 @@ type Manager struct {
 	healthyReset time.Duration
 	eventCap     int
 
+	exitArmed bool
+	exitCode  int
+	exitFn    func(int)
+
 	mu        sync.Mutex
 	actions   []Action
 	attempts  map[string][]time.Time
-	lastCycle map[string]time.Time // per-checker completion time of the last cycle
-	ring      []Event              // fixed-size event ring, eventCap entries
+	lastCycle map[string]time.Time   // per-checker completion time of the last cycle
+	escalated map[string][]time.Time // per-checker escalation-action runs in the window
+	ring      []Event                // fixed-size event ring, eventCap entries
 	ringNext  int
 	ringTotal int64
 	onEvent   []func(Event)  // live listeners, invoked outside the lock
@@ -190,6 +202,25 @@ func WithHealthyReset(d time.Duration) Option { return func(m *Manager) { m.heal
 // dropped and counted once the ring wraps.
 func WithEventCap(n int) Option { return func(m *Manager) { m.eventCap = n } }
 
+// WithEscalationExit arms the top rung of the ladder: terminate the process
+// with the given exit code so an external supervisor restarts it. It fires
+// when a checker re-alarms past the escalation threshold after the
+// escalation action has already run within the window — or immediately at
+// the threshold when no escalation action is registered. EventExited is
+// logged (and delivered to OnEvent listeners, e.g. the sdnotify trigger)
+// before exiting. Use supervise.ExitWatchdogTrigger (70) so wdsuper records
+// the restart cause as watchdog-trigger.
+func WithEscalationExit(code int) Option {
+	return func(m *Manager) {
+		m.exitArmed = true
+		m.exitCode = code
+	}
+}
+
+// WithExitFunc replaces os.Exit for the escalation-exit rung (test seam —
+// the replacement should not return for production use).
+func WithExitFunc(fn func(code int)) Option { return func(m *Manager) { m.exitFn = fn } }
+
 // New returns a Manager.
 func New(opts ...Option) *Manager {
 	m := &Manager{
@@ -197,8 +228,10 @@ func New(opts ...Option) *Manager {
 		maxAttempts: 3,
 		window:      time.Minute,
 		eventCap:    1024,
+		exitFn:      os.Exit,
 		attempts:    make(map[string][]time.Time),
 		lastCycle:   make(map[string]time.Time),
+		escalated:   make(map[string][]time.Time),
 	}
 	for _, o := range opts {
 		o(m)
@@ -244,7 +277,24 @@ func (m *Manager) HandleAlarm(a watchdog.Alarm) {
 		}
 	}
 	m.attempts[rep.Checker] = recent
-	escalate := len(recent) >= m.maxAttempts && m.escalation != nil
+	escalate := len(recent) >= m.maxAttempts && (m.escalation != nil || m.exitArmed)
+	exitNow := false
+	if escalate && m.exitArmed {
+		// The exit rung fires once escalation itself has been given a chance:
+		// either an escalation run is already on record inside the window, or
+		// there is no escalation action to try at all.
+		esc := m.escalated[rep.Checker][:0]
+		for _, t := range m.escalated[rep.Checker] {
+			if now.Sub(t) <= m.window {
+				esc = append(esc, t)
+			}
+		}
+		m.escalated[rep.Checker] = esc
+		exitNow = m.escalation == nil || len(esc) > 0
+	}
+	if escalate && !exitNow && m.exitArmed {
+		m.escalated[rep.Checker] = append(m.escalated[rep.Checker], now)
+	}
 	var action Action
 	if !escalate {
 		for _, cand := range m.actions {
@@ -257,6 +307,11 @@ func (m *Manager) HandleAlarm(a watchdog.Alarm) {
 	m.mu.Unlock()
 
 	switch {
+	case exitNow:
+		// Logged first so OnEvent listeners (journal, sdnotify trigger) run
+		// before the process dies — exitFn normally never returns.
+		m.log(Event{Kind: EventExited, Checker: rep.Checker, Time: now})
+		m.exitFn(m.exitCode)
 	case escalate:
 		err := m.escalation.Recover(rep)
 		m.log(Event{Kind: EventEscalated, Checker: rep.Checker,
@@ -333,6 +388,7 @@ func (m *Manager) ObserveReport(rep watchdog.Report) {
 	if last, ok := m.lastCycle[rep.Checker]; ok && now.Sub(last) >= m.healthyReset {
 		delete(m.attempts, rep.Checker)
 		delete(m.lastCycle, rep.Checker)
+		delete(m.escalated, rep.Checker)
 	}
 	m.mu.Unlock()
 }
@@ -383,6 +439,15 @@ func (m *Manager) Events() []Event {
 	out = append(out, m.ring[m.ringNext:]...)
 	out = append(out, m.ring[:m.ringNext]...)
 	return out
+}
+
+// TotalEvents returns how many events have ever been logged (retained plus
+// dropped) — the denominator the observability layer pairs with
+// DroppedEvents.
+func (m *Manager) TotalEvents() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ringTotal
 }
 
 // DroppedEvents returns how many events fell out of the bounded ring.

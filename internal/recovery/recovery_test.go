@@ -287,3 +287,123 @@ func TestEventRingOverflow(t *testing.T) {
 		t.Fatalf("ring retained %d events after concurrent overflow, want 4", got)
 	}
 }
+
+// TestEscalationExitAfterEscalationRan: the exit rung fires only after the
+// escalation action has had its chance within the window — the hand-off from
+// in-process repair to external restart (wdsuper).
+func TestEscalationExitAfterEscalationRan(t *testing.T) {
+	v := clock.NewVirtual()
+	var (
+		escalated int
+		exits     []int
+	)
+	m := New(
+		WithClock(v),
+		WithMaxAttempts(2),
+		WithWindow(time.Minute),
+		WithEscalation(ActionFunc{
+			ActionName: "restart-component",
+			Match:      func(watchdog.Report) bool { return true },
+			Fn:         func(watchdog.Report) error { escalated++; return nil },
+		}),
+		WithEscalationExit(70),
+		WithExitFunc(func(code int) { exits = append(exits, code) }),
+	)
+	m.Register(ForChecker("noop", "kvs.", func(watchdog.Report) error { return nil }))
+
+	// Two cheap attempts, then one escalation, then exit.
+	for i := 0; i < 4; i++ {
+		m.HandleAlarm(alarmFor("kvs.flusher", watchdog.Site{}))
+		v.Advance(time.Second)
+	}
+	if escalated != 1 {
+		t.Fatalf("escalations = %d, want 1 before the exit rung", escalated)
+	}
+	if len(exits) != 1 || exits[0] != 70 {
+		t.Fatalf("exits = %v, want [70]", exits)
+	}
+	ev := m.Events()
+	last := ev[len(ev)-1]
+	if last.Kind != EventExited || last.Checker != "kvs.flusher" {
+		t.Fatalf("last event = %+v, want EventExited", last)
+	}
+	if EventExited.String() != "exited" {
+		t.Fatalf("EventExited.String() = %q", EventExited.String())
+	}
+}
+
+// TestEscalationExitWithoutEscalationAction: with no escalation action the
+// exit rung fires directly at the threshold.
+func TestEscalationExitWithoutEscalationAction(t *testing.T) {
+	v := clock.NewVirtual()
+	var exits []int
+	m := New(
+		WithClock(v),
+		WithMaxAttempts(2),
+		WithEscalationExit(70),
+		WithExitFunc(func(code int) { exits = append(exits, code) }),
+	)
+	m.Register(ForChecker("noop", "kvs.", func(watchdog.Report) error { return nil }))
+	for i := 0; i < 3; i++ {
+		m.HandleAlarm(alarmFor("kvs.flusher", watchdog.Site{}))
+		v.Advance(time.Second)
+	}
+	if len(exits) != 1 || exits[0] != 70 {
+		t.Fatalf("exits = %v, want [70]", exits)
+	}
+}
+
+// TestEscalationExitClearedByHealth: sustained health clears the escalation
+// record, so the next failure cycle starts back at the cheap rung.
+func TestEscalationExitClearedByHealth(t *testing.T) {
+	v := clock.NewVirtual()
+	var (
+		escalated int
+		exits     []int
+	)
+	m := New(
+		WithClock(v),
+		WithMaxAttempts(1),
+		WithWindow(time.Minute),
+		WithHealthyReset(time.Second),
+		WithEscalation(ActionFunc{
+			ActionName: "restart-component",
+			Match:      func(watchdog.Report) bool { return true },
+			Fn:         func(watchdog.Report) error { escalated++; return nil },
+		}),
+		WithEscalationExit(70),
+		WithExitFunc(func(code int) { exits = append(exits, code) }),
+	)
+	m.Register(ForChecker("noop", "kvs.", func(watchdog.Report) error { return nil }))
+
+	m.HandleAlarm(alarmFor("kvs.flusher", watchdog.Site{})) // cheap
+	v.Advance(time.Second)
+	m.HandleAlarm(alarmFor("kvs.flusher", watchdog.Site{})) // escalation runs
+	if escalated != 1 || len(exits) != 0 {
+		t.Fatalf("escalated=%d exits=%v before health", escalated, exits)
+	}
+
+	// The escalation repaired it; health holds past the reset period.
+	v.Advance(2 * time.Second)
+	m.ObserveReport(watchdog.Report{Checker: "kvs.flusher", Status: watchdog.StatusHealthy})
+
+	// A later relapse climbs the ladder from the bottom instead of exiting.
+	m.HandleAlarm(alarmFor("kvs.flusher", watchdog.Site{}))
+	if len(exits) != 0 {
+		t.Fatalf("exits = %v after healthy reset, want none", exits)
+	}
+}
+
+func TestTotalEvents(t *testing.T) {
+	m := New(WithEventCap(2))
+	m.Register(ForChecker("noop", "x", func(watchdog.Report) error { return nil }))
+	for i := 0; i < 5; i++ {
+		m.HandleAlarm(alarmFor("x.y", watchdog.Site{}))
+	}
+	if m.TotalEvents() != 5 {
+		t.Fatalf("TotalEvents = %d, want 5", m.TotalEvents())
+	}
+	if m.DroppedEvents() != 3 {
+		t.Fatalf("DroppedEvents = %d, want 3", m.DroppedEvents())
+	}
+}

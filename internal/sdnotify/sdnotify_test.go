@@ -1,0 +1,133 @@
+package sdnotify
+
+import (
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// listen binds a fake supervisor-side unixgram socket and returns the path
+// plus a channel of received datagrams.
+func listen(t *testing.T) (string, <-chan string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "notify.sock")
+	conn, err := net.ListenUnixgram("unixgram", &net.UnixAddr{Name: path, Net: "unixgram"})
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	msgs := make(chan string, 64)
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				close(msgs)
+				return
+			}
+			msgs <- string(buf[:n])
+		}
+	}()
+	return path, msgs
+}
+
+func recvOne(t *testing.T, msgs <-chan string) string {
+	t.Helper()
+	select {
+	case m := <-msgs:
+		return m
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for a notify datagram")
+		return ""
+	}
+}
+
+func TestStates(t *testing.T) {
+	path, msgs := listen(t)
+	n := At(path)
+	if !n.Enabled() {
+		t.Fatal("notifier with a socket should be enabled")
+	}
+	steps := []struct {
+		name string
+		send func() error
+		want string
+	}{
+		{"ready", n.Ready, "READY=1"},
+		{"feed", n.Feed, "WATCHDOG=1"},
+		{"trigger", n.Trigger, "WATCHDOG=trigger"},
+		{"status", func() error { return n.Status("serving") }, "STATUS=serving"},
+		{"stopping", n.Stopping, "STOPPING=1"},
+	}
+	for _, s := range steps {
+		if err := s.send(); err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		if got := recvOne(t, msgs); got != s.want {
+			t.Fatalf("%s: sent %q, want %q", s.name, got, s.want)
+		}
+	}
+}
+
+// TestDisabledNoop: without NOTIFY_SOCKET every send is a silent success —
+// daemons run unchanged outside systemd.
+func TestDisabledNoop(t *testing.T) {
+	t.Setenv(EnvSocket, "")
+	n := New()
+	if n.Enabled() {
+		t.Fatal("notifier without a socket should be disabled")
+	}
+	for _, err := range []error{n.Ready(), n.Feed(), n.Stopping(), n.Trigger(), n.Status("x")} {
+		if err != nil {
+			t.Fatalf("disabled notifier returned %v", err)
+		}
+	}
+	var nilNotifier *Notifier
+	if nilNotifier.Enabled() {
+		t.Fatal("nil notifier should report disabled")
+	}
+}
+
+func TestNewFromEnv(t *testing.T) {
+	path, msgs := listen(t)
+	t.Setenv(EnvSocket, path)
+	n := New()
+	if err := n.Ready(); err != nil {
+		t.Fatalf("ready: %v", err)
+	}
+	if got := recvOne(t, msgs); got != "READY=1" {
+		t.Fatalf("got %q, want READY=1", got)
+	}
+}
+
+// TestSendErrorSurfaces: a configured but dead socket reports the error so
+// callers can log it (and nothing more).
+func TestSendErrorSurfaces(t *testing.T) {
+	n := At(filepath.Join(t.TempDir(), "gone.sock"))
+	if err := n.Feed(); err == nil {
+		t.Fatal("feed to a missing socket should error")
+	}
+}
+
+func TestFeedInterval(t *testing.T) {
+	n := At("x")
+	t.Setenv(EnvWatchdogUsec, "")
+	if got := n.FeedInterval(time.Second); got != time.Second {
+		t.Fatalf("unset usec: got %v, want fallback 1s", got)
+	}
+	t.Setenv(EnvWatchdogUsec, "3000000") // 3s timeout -> feed every 1s
+	if got := n.FeedInterval(5 * time.Second); got != time.Second {
+		t.Fatalf("3s usec: got %v, want 1s", got)
+	}
+	// A supervisor timeout far above the check interval must not slow the
+	// feed below the driver cadence.
+	t.Setenv(EnvWatchdogUsec, "60000000")
+	if got := n.FeedInterval(time.Second); got != time.Second {
+		t.Fatalf("60s usec with 1s fallback: got %v, want 1s", got)
+	}
+	t.Setenv(EnvWatchdogUsec, "garbage")
+	if got := n.FeedInterval(2 * time.Second); got != 2*time.Second {
+		t.Fatalf("bad usec: got %v, want fallback", got)
+	}
+}

@@ -15,6 +15,13 @@ import (
 // §3 uniform-deployment argument warns about. Library and test code may still
 // build bare drivers; a deliberately bespoke deployment driver can carry a
 // `//wdlint:ignore runtimecfg <reason>` directive.
+//
+// It also enforces the sd_notify feed/disarm contract: a deployment package
+// that feeds an external watchdog by hand (sdnotify.Notifier.Feed) without
+// ever disarming it (Stopping) leaves clean shutdowns indistinguishable from
+// hangs — the supervisor's timer keeps running after the last feed and fires
+// a spurious restart. wdruntime's feed loop disarms on Drain automatically;
+// bespoke feeders must do the same.
 type RuntimeCfgAnalyzer struct{}
 
 // Name implements Analyzer.
@@ -39,6 +46,11 @@ func (a *RuntimeCfgAnalyzer) Run(u *Unit) []Diag {
 		if !deploymentScope(p) {
 			continue
 		}
+		// Feed/disarm is a package-level contract: collect every hand-rolled
+		// Feed site, then check that a Stopping call exists somewhere in the
+		// same package.
+		var feeds []ast.Node
+		stops := false
 		for _, f := range p.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
@@ -65,8 +77,26 @@ func (a *RuntimeCfgAnalyzer) Run(u *Unit) []Diag {
 							p.ImportPath),
 					})
 				}
+				switch sdnotifyMethod(p, call.Fun) {
+				case "Feed":
+					feeds = append(feeds, call)
+				case "Stopping":
+					stops = true
+				}
 				return true
 			})
+		}
+		if !stops {
+			for _, feed := range feeds {
+				diags = append(diags, Diag{
+					Pos:      p.Pos(feed.Pos()),
+					Analyzer: a.Name(),
+					Severity: SevWarn,
+					Message: fmt.Sprintf(
+						"deployment package %s feeds sd_notify (Notifier.Feed) but never disarms it (Notifier.Stopping); a clean shutdown will look like a hang and trigger a spurious restart — disarm before exiting, or feed through wdruntime's loop which disarms on Drain (//wdlint:ignore runtimecfg for a feeder with its own disarm path)",
+						p.ImportPath),
+				})
+			}
 		}
 	}
 	return diags

@@ -65,6 +65,38 @@ func meshFunc(p *Package, e ast.Expr) string {
 	return sel.Sel.Name
 }
 
+// sdnotifyPath matches the sd_notify client package by import-path suffix so
+// the analyzer works on this module and on fixtures alike.
+const sdnotifyPath = "/sdnotify"
+
+// isSdnotifyPkg reports whether pkg is the sd_notify client package.
+func isSdnotifyPkg(pkg *types.Package) bool {
+	return pkg != nil &&
+		(pkg.Path() == "sdnotify" || strings.HasSuffix(pkg.Path(), sdnotifyPath))
+}
+
+// sdnotifyMethod returns the sdnotify.Notifier method name called by e
+// ("Feed", "Stopping", ...), or "" if e is not a Notifier method call.
+func sdnotifyMethod(p *Package, e ast.Expr) string {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	selection, ok := p.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return ""
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Notifier" || !isSdnotifyPkg(named.Obj().Pkg()) {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
 // constString returns the constant string value of e, if any.
 func constString(p *Package, e ast.Expr) (string, bool) {
 	tv, ok := p.Info.Types[e]

@@ -18,6 +18,8 @@ func TestSelfLint(t *testing.T) {
 		"../campaign",
 		"../wdruntime",
 		"../wdmesh",
+		"../sdnotify",
+		"../supervise",
 	}, All())
 	if err != nil {
 		t.Fatal(err)

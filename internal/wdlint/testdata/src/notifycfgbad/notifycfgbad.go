@@ -1,0 +1,35 @@
+// Package main hand-feeds an external sd_notify watchdog without ever
+// disarming it — the runtimecfg analyzer demands a Stopping call somewhere in
+// any deployment package that feeds by hand, so a clean shutdown cannot be
+// mistaken for a hang by the supervisor.
+package main
+
+import (
+	"time"
+
+	"gowatchdog/internal/sdnotify"
+)
+
+// BadFeeder pets the external watchdog in a loop and then just returns; the
+// supervisor's timer keeps running and fires a spurious restart. // want: Stopping
+func BadFeeder(done <-chan struct{}) {
+	n := sdnotify.New()
+	_ = n.Ready()
+	for {
+		select {
+		case <-done:
+			return
+		case <-time.After(time.Second):
+			_ = n.Feed()
+		}
+	}
+}
+
+// BespokeFeeder documents why its feed has no package-local disarm: the
+// ignore directive suppresses the finding.
+func BespokeFeeder(n *sdnotify.Notifier) {
+	//wdlint:ignore runtimecfg disarm happens in the caller's shutdown hook
+	_ = n.Feed()
+}
+
+func main() {}

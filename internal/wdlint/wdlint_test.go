@@ -158,6 +158,29 @@ func TestRuntimeCfgMeshFixture(t *testing.T) {
 	}
 }
 
+// TestRuntimeCfgNotifyFixture: a deployment package feeding sd_notify by hand
+// without a Stopping call anywhere leaves clean shutdowns indistinguishable
+// from hangs. The second feeder carries an ignore directive.
+func TestRuntimeCfgNotifyFixture(t *testing.T) {
+	diags := lint(t, &RuntimeCfgAnalyzer{}, "notifycfgbad")
+	d := wantDiag(t, diags, "Notifier.Feed", "Notifier.Stopping", "spurious restart")
+	if d.Severity != SevWarn {
+		t.Errorf("notify runtimecfg severity = %s, want warn", d.Severity)
+	}
+	if n := len(diags); n != 1 {
+		t.Errorf("want 1 notify runtimecfg finding, got %d:\n%s", n, render(diags))
+	}
+}
+
+// TestRuntimeCfgNotifyDisarmed: a hand feeder whose package also calls
+// Stopping honors the contract and produces no findings.
+func TestRuntimeCfgNotifyDisarmed(t *testing.T) {
+	diags := lint(t, &RuntimeCfgAnalyzer{}, "notifycfggood")
+	if len(diags) != 0 {
+		t.Errorf("runtimecfg flagged a feeder with a disarm path:\n%s", render(diags))
+	}
+}
+
 // TestRuntimeCfgScope: library packages may build bare drivers — only
 // commands and the campaign layer are deployment scope.
 func TestRuntimeCfgScope(t *testing.T) {

@@ -1,0 +1,82 @@
+package wdobs
+
+import (
+	"fmt"
+	"io"
+
+	"gowatchdog/internal/supervise/episode"
+)
+
+// RecoverySnapshot is the recovery manager's bounded-event-ring accounting
+// in the /watchdog report: how many recovery events were ever logged and how
+// many fell out of the ring. A growing dropped count tells the operator the
+// in-memory log no longer holds the whole story and the journal is the
+// authoritative record.
+type RecoverySnapshot struct {
+	Events  int64 `json:"events_total"`
+	Dropped int64 `json:"dropped_total"`
+}
+
+// SetRecovery wires a recovery-manager snapshot source into the
+// observability surface: /watchdog gains a "recovery" section and /metrics
+// gains the wdrecovery_* series. Pass nil to detach.
+func (o *Obs) SetRecovery(fn func() *RecoverySnapshot) {
+	o.mu.Lock()
+	o.recoveryFn = fn
+	o.mu.Unlock()
+}
+
+// recoverySnapshot returns the manager view, or nil when none is wired.
+func (o *Obs) recoverySnapshot() *RecoverySnapshot {
+	o.mu.RLock()
+	fn := o.recoveryFn
+	o.mu.RUnlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// SetEpisodes wires an outage-episode snapshot source (typically a closure
+// over episode.Read on the wdsuper ledger) into the observability surface:
+// /watchdog gains an "episodes" section and /metrics gains the wdepisodes_*
+// series. Pass nil to detach.
+func (o *Obs) SetEpisodes(fn func() *episode.Snapshot) {
+	o.mu.Lock()
+	o.episodesFn = fn
+	o.mu.Unlock()
+}
+
+// episodesSnapshot returns the ledger view, or nil when none is wired.
+func (o *Obs) episodesSnapshot() *episode.Snapshot {
+	o.mu.RLock()
+	fn := o.episodesFn
+	o.mu.RUnlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// writeRecoveryMetrics emits the wdrecovery_* Prometheus series.
+func writeRecoveryMetrics(w io.Writer, r *RecoverySnapshot) {
+	fmt.Fprintf(w, "# HELP wdrecovery_events_total Recovery events ever logged.\n")
+	fmt.Fprintf(w, "# TYPE wdrecovery_events_total counter\n")
+	fmt.Fprintf(w, "wdrecovery_events_total %d\n", r.Events)
+	fmt.Fprintf(w, "# HELP wdrecovery_dropped_total Recovery events dropped from the bounded ring.\n")
+	fmt.Fprintf(w, "# TYPE wdrecovery_dropped_total counter\n")
+	fmt.Fprintf(w, "wdrecovery_dropped_total %d\n", r.Dropped)
+}
+
+// writeEpisodeMetrics emits the wdepisodes_* Prometheus series.
+func writeEpisodeMetrics(w io.Writer, s *episode.Snapshot) {
+	fmt.Fprintf(w, "# HELP wdepisodes_total Outage episodes recorded in the supervision ledger.\n")
+	fmt.Fprintf(w, "# TYPE wdepisodes_total counter\n")
+	fmt.Fprintf(w, "wdepisodes_total %d\n", s.Total)
+	fmt.Fprintf(w, "# HELP wdepisodes_open Outage episodes currently open.\n")
+	fmt.Fprintf(w, "# TYPE wdepisodes_open gauge\n")
+	fmt.Fprintf(w, "wdepisodes_open %d\n", s.Open)
+	fmt.Fprintf(w, "# HELP wdepisodes_torn_records Malformed ledger lines skipped while reading.\n")
+	fmt.Fprintf(w, "# TYPE wdepisodes_torn_records gauge\n")
+	fmt.Fprintf(w, "wdepisodes_torn_records %d\n", s.TornRecords)
+}

@@ -144,6 +144,12 @@ func (o *Obs) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	if snap.CEP != nil {
 		writeCEPMetrics(w, snap.CEP)
 	}
+	if snap.Recovery != nil {
+		writeRecoveryMetrics(w, snap.Recovery)
+	}
+	if snap.Episodes != nil {
+		writeEpisodeMetrics(w, snap.Episodes)
+	}
 
 	if len(snap.Checkers) > 0 {
 		fmt.Fprintf(w, "# HELP watchdog_checker_runs_total Checker executions by resulting status.\n")

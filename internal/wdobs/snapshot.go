@@ -3,6 +3,7 @@ package wdobs
 import (
 	"time"
 
+	"gowatchdog/internal/supervise/episode"
 	"gowatchdog/internal/watchdog"
 	"gowatchdog/internal/wdcep"
 	"gowatchdog/internal/wdmesh"
@@ -36,6 +37,12 @@ type Snapshot struct {
 	Mesh *wdmesh.Snapshot `json:"mesh,omitempty"`
 	// CEP is the temporal-rule engine view, present when an engine is wired.
 	CEP *wdcep.Snapshot `json:"cep,omitempty"`
+	// Recovery is the recovery manager's event-ring accounting, present when
+	// a manager is wired.
+	Recovery *RecoverySnapshot `json:"recovery,omitempty"`
+	// Episodes is the supervision plane's outage history, present when an
+	// episode ledger is wired (daemons under wdsuper).
+	Episodes *episode.Snapshot `json:"episodes,omitempty"`
 }
 
 // CheckerSnapshot is one checker's live state.
@@ -104,6 +111,8 @@ func (o *Obs) Snapshot() *Snapshot {
 		JournalSeq: o.journal.Seq(),
 		Mesh:       o.meshSnapshot(),
 		CEP:        o.cepSnapshot(),
+		Recovery:   o.recoverySnapshot(),
+		Episodes:   o.episodesSnapshot(),
 	}
 	o.mu.RLock()
 	d := o.driver

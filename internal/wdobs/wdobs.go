@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"gowatchdog/internal/gauge"
+	"gowatchdog/internal/supervise/episode"
 	"gowatchdog/internal/watchdog"
 	"gowatchdog/internal/wdcep"
 	"gowatchdog/internal/wdmesh"
@@ -55,6 +56,9 @@ type Obs struct {
 	registry *gauge.Registry
 	meshFn   func() *wdmesh.Snapshot
 	cepFn    func() *wdcep.Snapshot
+
+	recoveryFn func() *RecoverySnapshot
+	episodesFn func() *episode.Snapshot
 
 	// last caches the most recently observed checker. Reports for one
 	// checker arrive in bursts (CheckNow loops, per-checker schedules), so

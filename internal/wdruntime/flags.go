@@ -2,6 +2,7 @@ package wdruntime
 
 import (
 	"flag"
+	"os"
 	"strings"
 	"time"
 
@@ -21,6 +22,8 @@ type Flags struct {
 	ObsAddr      string
 	Journal      string
 	Rules        string
+	SdNotify     bool
+	Episodes     string
 	MeshAddr     string
 	Peers        string
 	MeshInterval time.Duration
@@ -44,6 +47,8 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.ObsAddr, "obs-addr", "", "observability listen address (/metrics, /healthz, /watchdog, pprof)")
 	fs.StringVar(&f.Journal, "journal", "", "file to stream the detection journal to as JSONL (wdreplay-compatible)")
 	fs.StringVar(&f.Rules, "wd-rules", "", "JSON temporal-rule file for the wdcep engine; non-empty enables rule evaluation over the detection stream")
+	fs.BoolVar(&f.SdNotify, "sd-notify", true, "feed the supervisor's watchdog (NOTIFY_SOCKET) while the intrinsic verdict is healthy; no-op when unsupervised")
+	fs.StringVar(&f.Episodes, "episodes", os.Getenv("WDSUPER_EPISODES"), "outage-episode ledger (JSONL) to surface on /watchdog; wdsuper exports it as WDSUPER_EPISODES")
 	fs.StringVar(&f.MeshAddr, "wd-mesh-addr", "", "mesh identity and listen address for the cluster health plane (required with -wd-peers)")
 	fs.StringVar(&f.Peers, "wd-peers", "", "comma-separated peer mesh addresses; non-empty joins the cluster health plane")
 	fs.DurationVar(&f.MeshInterval, "wd-mesh-interval", time.Second, "mesh gossip interval")
@@ -79,6 +84,12 @@ func (f *Flags) Options() []Option {
 	}
 	if f.Rules != "" {
 		opts = append(opts, WithCEPRulesFile(f.Rules))
+	}
+	if f.SdNotify {
+		opts = append(opts, WithSdNotify())
+	}
+	if f.Episodes != "" {
+		opts = append(opts, WithEpisodePath(f.Episodes))
 	}
 	if f.Peers != "" {
 		var peers []string

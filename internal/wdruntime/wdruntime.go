@@ -35,6 +35,8 @@ import (
 	"gowatchdog/internal/clock"
 	"gowatchdog/internal/gauge"
 	"gowatchdog/internal/recovery"
+	"gowatchdog/internal/sdnotify"
+	"gowatchdog/internal/supervise/episode"
 	"gowatchdog/internal/watchdog"
 	"gowatchdog/internal/wdcep"
 	"gowatchdog/internal/wdmesh"
@@ -113,6 +115,25 @@ type Config struct {
 	// (0 = Interval).
 	CEPEvalEvery time.Duration
 
+	// EpisodePath, when non-empty, surfaces the supervision plane's outage
+	// ledger (see internal/supervise/episode) on /watchdog and /metrics. The
+	// ledger is read on each snapshot — the supervisor owns the writes.
+	// wdsuper exports the path to its children as $WDSUPER_EPISODES, which
+	// BindFlags picks up as the -episodes default.
+	EpisodePath string
+
+	// SdNotify enables the supervisor notification client (sd_notify
+	// protocol, spoken by systemd and wdsuper): READY=1 once Start is
+	// serving, WATCHDOG=1 each feed interval while the intrinsic watchdog
+	// verdict is healthy, STOPPING=1 exactly once when Drain begins, and
+	// WATCHDOG=trigger when the recovery manager's escalation-exit rung
+	// fires. The socket comes from $NOTIFY_SOCKET; when unset everything
+	// no-ops, so the flag is safe to leave on outside supervision.
+	SdNotify bool
+	// Notifier overrides the env-resolved sd_notify client (tests point it
+	// at their own socket via sdnotify.At). Implies SdNotify.
+	Notifier *sdnotify.Notifier
+
 	// Factory, when non-nil, is the context factory the driver resolves
 	// checker contexts from (hook-instrumented systems pass theirs here).
 	Factory *watchdog.Factory
@@ -132,6 +153,10 @@ type Config struct {
 	// forces the observability layer on even without ObsAddr/JournalPath.
 	ObsOptions []wdobs.Option
 }
+
+// maxEpisodesInSnapshot caps how many episode entries one /watchdog snapshot
+// carries; totals still count the full ledger.
+const maxEpisodesInSnapshot = 32
 
 // Option mutates a Config during New.
 type Option func(*Config)
@@ -198,6 +223,15 @@ func WithCEPRingSize(n int) Option { return func(c *Config) { c.CEPRingSize = n 
 // WithCEPEvalEvery floors the time between rule-evaluation passes.
 func WithCEPEvalEvery(d time.Duration) Option { return func(c *Config) { c.CEPEvalEvery = d } }
 
+// WithEpisodePath surfaces the outage-episode ledger at path on /watchdog.
+func WithEpisodePath(path string) Option { return func(c *Config) { c.EpisodePath = path } }
+
+// WithSdNotify enables the sd_notify client on the $NOTIFY_SOCKET socket.
+func WithSdNotify() Option { return func(c *Config) { c.SdNotify = true } }
+
+// WithNotifier sets an explicit sd_notify client (implies WithSdNotify).
+func WithNotifier(n *sdnotify.Notifier) Option { return func(c *Config) { c.Notifier = n } }
+
 // WithObsAddr serves the observability endpoints there on Start.
 func WithObsAddr(addr string) Option { return func(c *Config) { c.ObsAddr = addr } }
 
@@ -241,11 +275,14 @@ type Runtime struct {
 	mesh       *wdmesh.Mesh
 	meshAlarms atomic.Int64
 	cep        *wdcep.Engine
+	notifier   *sdnotify.Notifier
 
 	mu        sync.Mutex
 	started   bool
 	srv       *wdobs.Server
 	watchStop chan struct{}
+	feedStop  chan struct{}
+	feedDone  chan struct{}
 
 	drainOnce sync.Once
 	drainErr  error
@@ -334,6 +371,29 @@ func New(opts ...Option) (*Runtime, error) {
 			}
 			return nil, err
 		}
+		if rt.rec != nil {
+			rt.obs.SetRecovery(func() *wdobs.RecoverySnapshot {
+				return &wdobs.RecoverySnapshot{
+					Events:  rt.rec.TotalEvents(),
+					Dropped: rt.rec.DroppedEvents(),
+				}
+			})
+		}
+		if path := cfg.EpisodePath; path != "" {
+			rt.obs.SetEpisodes(func() *episode.Snapshot {
+				eps, torn, err := episode.Read(path)
+				if err != nil {
+					return nil
+				}
+				return episode.SnapshotOf(eps, torn, maxEpisodesInSnapshot)
+			})
+		}
+	}
+
+	if cfg.Notifier != nil {
+		rt.notifier = cfg.Notifier
+	} else if cfg.SdNotify {
+		rt.notifier = sdnotify.New()
 	}
 
 	if rt.rec != nil {
@@ -341,6 +401,17 @@ func New(opts ...Option) (*Runtime, error) {
 			// Journal recovery outcomes (KindRecovery) before the manager
 			// handles any alarm, so every escalation and retry is recorded.
 			rt.rec.OnEvent(rt.onRecoveryEvent)
+		}
+		if rt.notifier.Enabled() {
+			// The escalation-exit rung logs EventExited synchronously before
+			// calling its exit function, so the WATCHDOG=trigger datagram is
+			// on the wire before the process dies — the supervisor restarts
+			// immediately instead of waiting out the feed window.
+			rt.rec.OnEvent(func(e recovery.Event) {
+				if e.Kind == recovery.EventExited {
+					_ = rt.notifier.Trigger()
+				}
+			})
 		}
 		rt.driver.OnAlarm(rt.rec.HandleAlarm)
 		rt.driver.OnReport(rt.rec.ObserveReport)
@@ -419,6 +490,14 @@ func (rt *Runtime) Start(ctx context.Context) error {
 		// describe a live watchdog rather than a pre-start snapshot.
 		m.Start()
 	}
+	if rt.notifier.Enabled() {
+		_ = rt.notifier.Ready()
+		stop, done := make(chan struct{}), make(chan struct{})
+		rt.mu.Lock()
+		rt.feedStop, rt.feedDone = stop, done
+		rt.mu.Unlock()
+		go rt.feedLoop(stop, done)
+	}
 	if ctx != nil && ctx.Done() != nil {
 		stop := make(chan struct{})
 		rt.mu.Lock()
@@ -435,6 +514,29 @@ func (rt *Runtime) Start(ctx context.Context) error {
 	return nil
 }
 
+// feedLoop feeds the supervisor's watchdog on wall-clock cadence (external
+// watchdog timers run on wall time even when the driver is on a virtual
+// clock), but only while the intrinsic verdict is healthy — feed silence
+// must mean "hung or failing", never "the feeder was descheduled while the
+// daemon burned". On stop it sends the STOPPING=1 disarm from the same
+// goroutine, so no feed can ever be ordered after the disarm.
+func (rt *Runtime) feedLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(rt.notifier.FeedInterval(rt.cfg.Interval))
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if rt.driver.Healthy() {
+				_ = rt.notifier.Feed()
+			}
+		case <-stop:
+			_ = rt.notifier.Stopping()
+			return
+		}
+	}
+}
+
 // Drain stops scheduling and waits — up to the drain budget — for hung
 // checker goroutines to be reaped, so a shutdown never races in-flight
 // checks. It is idempotent; the first call's verdict is returned to all.
@@ -445,7 +547,16 @@ func (rt *Runtime) Drain() error {
 			close(rt.watchStop)
 			rt.watchStop = nil
 		}
+		feedStop, feedDone := rt.feedStop, rt.feedDone
+		rt.feedStop, rt.feedDone = nil, nil
 		rt.mu.Unlock()
+		if feedStop != nil {
+			// Disarm the external watchdog before the driver stops: the
+			// deliberate shutdown ahead must not read as a hang, and the
+			// STOPPING=1 send is awaited so no later feed can re-arm it.
+			close(feedStop)
+			<-feedDone
+		}
 		rt.driver.Stop()
 		// Hung checker goroutines outlive Stop by design (the reaper abandons
 		// them); poll in real time — even under a virtual clock the leaked

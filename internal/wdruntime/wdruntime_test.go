@@ -312,6 +312,8 @@ func TestBindFlagsParity(t *testing.T) {
 		"wd-mesh-interval": "1s",
 		"wd-suspect-after": "0s",
 		"wd-quorum":        "2",
+		"sd-notify":        "true",
+		"episodes":         "",
 	}
 	for name, def := range wantDefaults {
 		fl := fs.Lookup(name)
