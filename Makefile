@@ -7,9 +7,9 @@ GO ?= go
 # paths (gauge registry, wdobs histograms/journal), the alarm-driven
 # recovery/campaign loop, the fault injector, the gossiping mesh, and the
 # lock-light CEP event ring.
-RACE_PKGS := ./internal/watchdog ./internal/coord ./internal/clock ./internal/gauge ./internal/wdobs ./internal/recovery ./internal/campaign ./internal/wdruntime ./internal/faultinject ./internal/wdmesh ./internal/wdcep ./internal/autowatchdog/testmine ./internal/supervise ./internal/sdnotify
+RACE_PKGS := ./internal/watchdog ./internal/coord ./internal/clock ./internal/gauge ./internal/wdobs ./internal/recovery ./internal/campaign ./internal/wdruntime ./internal/faultinject ./internal/wdmesh ./internal/wdcep ./internal/autowatchdog/testmine ./internal/supervise ./internal/sdnotify ./internal/kvs ./internal/kvsload
 
-.PHONY: build test vet lint race smoke mesh-smoke cep-smoke super-smoke cep-bench gen-smoke ablation check golden
+.PHONY: build test vet lint race smoke mesh-smoke cep-smoke super-smoke cep-bench kvs-bench gen-smoke ablation check golden
 
 build:
 	$(GO) build ./...
@@ -75,6 +75,13 @@ super-smoke:
 cep-bench:
 	$(GO) run ./cmd/wdbench -exp cep -cep-out BENCH_wdcep.json
 
+# kvs-bench regenerates the kvs hot-path perf verdict: paired watchdog-off
+# and watchdog-on wdload runs at saturation (64 pipelined connections,
+# 1M+ total ops, durable group-commit writes). The run fails if watchdog
+# overhead on throughput exceeds 5% or the on-arm drops below the floor.
+kvs-bench:
+	$(GO) run ./cmd/wdbench -exp kvsload -kvs-out BENCH_kvs.json
+
 # gen-smoke proves the test miner still extracts checkers from the real
 # service test suites: awgen -from-tests exits nonzero when a package yields
 # no minable assertion predicates, so a refactor that silently starves the
@@ -103,4 +110,4 @@ golden:
 	$(GO) test ./internal/autowatchdog -run Golden -update
 	$(GO) test ./internal/autowatchdog/testmine -run Golden -update
 
-check: build vet lint test race smoke mesh-smoke cep-smoke super-smoke gen-smoke cep-bench
+check: build vet lint test race smoke mesh-smoke cep-smoke super-smoke gen-smoke cep-bench kvs-bench

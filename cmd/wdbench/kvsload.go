@@ -1,0 +1,240 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gowatchdog/internal/kvs"
+	"gowatchdog/internal/kvsload"
+	"gowatchdog/internal/watchdog"
+	"gowatchdog/internal/watchdog/wdio"
+	"gowatchdog/internal/wdruntime"
+)
+
+// The kvsload experiment drives the full serving stack (TCP server,
+// pipelined wire protocol, group-committed WAL) to saturation with wdload's
+// engine, once without any watchdog and once with the complete generated
+// suite running at production cadence, and scores the throughput delta
+// against the paper's <5% overhead claim (§3.2) end to end rather than on
+// the storage API alone.
+const (
+	// kvsLoadConns/Depth/OpsPerRun shape each measured run: 64 pipelined
+	// connections, 64-deep windows, 256k requests — five trials per arm put
+	// >2.5M total requests behind the committed verdict. Best-of-trials per
+	// arm: scheduler/GC jitter only ever subtracts throughput, so the max
+	// converges to the true ceiling as trials grow.
+	kvsLoadConns     = 64
+	kvsLoadDepth     = 64
+	kvsLoadOpsPerRun = 256_000
+	kvsLoadTrials    = 5
+	kvsLoadKeySpace  = 16_384
+	kvsLoadValueSize = 64
+
+	// kvsPassOverheadPct is the watchdog-on throughput regression bar.
+	kvsPassOverheadPct = 5.0
+	// kvsPassFloorOpsPerSec is the absolute throughput floor for the
+	// watchdog-on arm — a backstop so the overhead ratio cannot pass by
+	// both arms collapsing together.
+	kvsPassFloorOpsPerSec = 100_000.0
+)
+
+// KVSArm is one configuration's best-of-trials measurement.
+type KVSArm struct {
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50NS     int64   `json:"p50_ns"`
+	P99NS     int64   `json:"p99_ns"`
+	Ops       int64   `json:"ops"`
+	Errors    int64   `json:"errors"`
+}
+
+// KVSBenchResult is the machine-readable kvs serving-path perf verdict,
+// written to BENCH_kvs.json and gated on in CI.
+type KVSBenchResult struct {
+	Conns       int     `json:"conns"`
+	Depth       int     `json:"pipeline_depth"`
+	OpsPerRun   int64   `json:"ops_per_run"`
+	Trials      int     `json:"trials_per_arm"`
+	TotalOps    int64   `json:"total_ops"`
+	Mix         string  `json:"mix"`
+	ValueSize   int     `json:"value_size"`
+	KeySpace    int     `json:"key_space"`
+	Off         KVSArm  `json:"watchdog_off"`
+	On          KVSArm  `json:"watchdog_on"`
+	OverheadPct float64 `json:"overhead_pct"`
+	// OverheadBarPct and FloorOpsPerSec echo the thresholds the verdict
+	// was scored against.
+	OverheadBarPct float64 `json:"pass_bar_overhead_pct"`
+	FloorOpsPerSec float64 `json:"pass_floor_ops_per_sec"`
+	Pass           bool    `json:"pass"`
+}
+
+// Render formats the perf verdict for humans.
+func (r *KVSBenchResult) Render() string {
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	arm := func(name string, a KVSArm) string {
+		return fmt.Sprintf("  %-12s %8.0f ops/sec  p50 %-10v p99 %-10v (%d ops, %d errors)",
+			name, a.OpsPerSec,
+			time.Duration(a.P50NS).Round(time.Microsecond),
+			time.Duration(a.P99NS).Round(time.Microsecond),
+			a.Ops, a.Errors)
+	}
+	return fmt.Sprintf(
+		"kvs serving-path benchmark (%d conns x depth %d, %s, best of %d trials per arm, %d total ops)\n%s\n%s\n"+
+			"  overhead     %+.2f%% (bar %.0f%%, floor %.0f ops/sec)\n  %s",
+		r.Conns, r.Depth, r.Mix, r.Trials, r.TotalOps,
+		arm("watchdog off", r.Off), arm("watchdog on", r.On),
+		r.OverheadPct, r.OverheadBarPct, r.FloorOpsPerSec, verdict)
+}
+
+// runKVSLoadBench measures the paired arms, alternating them across trials
+// so machine drift lands on both sides, and writes the JSON verdict.
+func runKVSLoadBench(scratch, outPath string) (*KVSBenchResult, error) {
+	mix := kvsload.Mix{Get: 70, Set: 25, Scan: 5}
+	out := &KVSBenchResult{
+		Conns:          kvsLoadConns,
+		Depth:          kvsLoadDepth,
+		OpsPerRun:      kvsLoadOpsPerRun,
+		Trials:         kvsLoadTrials,
+		Mix:            mix.String(),
+		ValueSize:      kvsLoadValueSize,
+		KeySpace:       kvsLoadKeySpace,
+		OverheadBarPct: kvsPassOverheadPct,
+		FloorOpsPerSec: kvsPassFloorOpsPerSec,
+	}
+	// One unmeasured run first: the initial run on a cold machine (page
+	// cache, ext4 journal) reads consistently slower than steady state, and
+	// that drift must not land in either arm.
+	if _, err := runKVSLoadArm(filepath.Join(scratch, "kvs-warmup"), false, mix); err != nil {
+		return nil, fmt.Errorf("kvs bench warmup: %w", err)
+	}
+	for trial := 0; trial < kvsLoadTrials; trial++ {
+		// ABBA ordering: alternate which arm goes first each trial so any
+		// residual machine drift cancels instead of crediting one side.
+		order := []bool{false, true}
+		if trial%2 == 1 {
+			order = []bool{true, false}
+		}
+		for _, on := range order {
+			dir := filepath.Join(scratch, fmt.Sprintf("kvs-on%v-t%d", on, trial))
+			res, err := runKVSLoadArm(dir, on, mix)
+			if err != nil {
+				return nil, fmt.Errorf("kvs bench (watchdog=%v trial %d): %w", on, trial, err)
+			}
+			if res.Errors > 0 {
+				return nil, fmt.Errorf("kvs bench (watchdog=%v trial %d): %d request errors", on, trial, res.Errors)
+			}
+			out.TotalOps += res.Ops
+			arm := &out.Off
+			if on {
+				arm = &out.On
+			}
+			if res.OpsPerSec > arm.OpsPerSec {
+				*arm = KVSArm{
+					OpsPerSec: res.OpsPerSec,
+					P50NS:     res.P50.Nanoseconds(),
+					P99NS:     res.P99.Nanoseconds(),
+					Ops:       res.Ops,
+					Errors:    res.Errors,
+				}
+			}
+		}
+	}
+	out.OverheadPct = 100 * (out.Off.OpsPerSec - out.On.OpsPerSec) / out.Off.OpsPerSec
+	out.Pass = out.OverheadPct <= kvsPassOverheadPct && out.On.OpsPerSec >= kvsPassFloorOpsPerSec
+	if outPath != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("kvs bench: %w", err)
+		}
+	}
+	if !out.Pass {
+		return out, fmt.Errorf("kvs bench: %.2f%% overhead (bar %.0f%%), on-arm %.0f ops/sec (floor %.0f)",
+			out.OverheadPct, kvsPassOverheadPct, out.On.OpsPerSec, kvsPassFloorOpsPerSec)
+	}
+	return out, nil
+}
+
+// runKVSLoadArm boots a disk-backed store and server, optionally with the
+// generated watchdog suite at production cadence (composed through
+// wdruntime, like a real deployment), and drives one saturation run.
+func runKVSLoadArm(dir string, watchdogOn bool, mix kvsload.Mix) (kvsload.Result, error) {
+	var factory *watchdog.Factory
+	if watchdogOn {
+		factory = watchdog.NewFactory()
+	}
+	// Two deviations from the deployment defaults, both to keep the paired
+	// comparison CPU-bound and repeatable enough for a 5% gate:
+	//   - SyncNone: with group commit on (the default), throughput is bound
+	//     by fsync latency, which on shared/virtualized storage swings by
+	//     2x run to run — noise that buries any watchdog signal. Watchdog
+	//     cost lives on the CPU path (context hooks, driver scheduling,
+	//     gauge updates), which this still measures on every request;
+	//     group-commit durability is covered by its own crash-consistency
+	//     tests and stays the serving default.
+	//   - FlushThresholdBytes past the run volume: mid-run flush and
+	//     compaction timing decides how many preads a GET costs, the other
+	//     big variance source. Both arms measure the same path: TCP
+	//     pipeline, WAL append, memtable.
+	store, err := kvs.Open(kvs.Config{
+		Dir:                 dir,
+		WatchdogFactory:     factory,
+		Sync:                kvs.SyncNone,
+		FlushThresholdBytes: 1 << 30,
+	})
+	if err != nil {
+		return kvsload.Result{}, err
+	}
+	defer store.Close()
+	store.Start()
+	srv, err := kvs.Serve("127.0.0.1:0", store)
+	if err != nil {
+		return kvsload.Result{}, err
+	}
+	defer srv.Close()
+
+	if watchdogOn {
+		shadow, err := wdio.NewFS(kvs.ShadowDirFor(dir), 0)
+		if err != nil {
+			return kvsload.Result{}, err
+		}
+		// Production cadence: the wdruntime default 1s interval, the same
+		// rate kvsd deploys with — the paper's overhead claim is about
+		// checkers running out-of-band at deployment settings, not a
+		// stress-rate tick.
+		rt, err := wdruntime.New(
+			wdruntime.WithFactory(factory),
+			wdruntime.WithRegistry(store.Metrics()),
+			wdruntime.WithTimeout(2*time.Second),
+		)
+		if err != nil {
+			return kvsload.Result{}, err
+		}
+		store.InstallWatchdog(rt.Driver(), shadow)
+		if err := rt.Start(context.Background()); err != nil {
+			return kvsload.Result{}, err
+		}
+		defer rt.Close()
+	}
+
+	return kvsload.Run(context.Background(), kvsload.Config{
+		Addr:      srv.Addr(),
+		Conns:     kvsLoadConns,
+		Depth:     kvsLoadDepth,
+		Ops:       kvsLoadOpsPerRun,
+		Mix:       mix,
+		ValueSize: kvsLoadValueSize,
+		KeySpace:  kvsLoadKeySpace,
+		Seed:      1,
+		Preload:   -1,
+	})
+}

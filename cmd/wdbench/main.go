@@ -29,10 +29,11 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1|table2|zk2201|context|validate|disk|overhead|reduction|cep|all")
+		exp    = flag.String("exp", "all", "experiment: table1|table2|zk2201|context|validate|disk|overhead|reduction|cep|kvsload|all")
 		paper  = flag.Bool("paper", false, "use the paper's 1s/6s watchdog parameters for zk2201")
 		scrape = flag.String("scrape", "", "wdobs address to snapshot before and after the run")
 		cepOut = flag.String("cep-out", "", "write the wdcep perf verdict (BENCH_wdcep.json) here when running -exp cep")
+		kvsOut = flag.String("kvs-out", "", "write the kvs serving-path perf verdict (BENCH_kvs.json) here when running -exp kvsload")
 	)
 	flag.Parse()
 
@@ -104,6 +105,9 @@ func main() {
 	})
 	run("cep", func() (interface{ Render() string }, error) {
 		return runCEPBench(*cepOut)
+	})
+	run("kvsload", func() (interface{ Render() string }, error) {
+		return runKVSLoadBench(filepath.Join(scratch, "kvsload"), *kvsOut)
 	})
 	run("reduction", func() (interface{ Render() string }, error) {
 		wd, err := os.Getwd()

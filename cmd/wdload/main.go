@@ -1,0 +1,86 @@
+// Command wdload drives a kvs server with pipelined, multi-connection load
+// and reports throughput plus latency percentiles.
+//
+// Closed-loop saturation run (the wdbench kvsload configuration):
+//
+//	wdload -addr 127.0.0.1:7070 -conns 64 -depth 64 -ops 1000000
+//
+// Open-loop run at a fixed arrival rate (latency measured from the intended
+// send time, so queueing delay shows up in the tail):
+//
+//	wdload -addr 127.0.0.1:7070 -conns 16 -rate 50000 -duration 30s
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"gowatchdog/internal/kvsload"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7070", "kvs server address")
+		conns     = flag.Int("conns", 8, "concurrent connections")
+		depth     = flag.Int("depth", 64, "pipeline window per connection")
+		ops       = flag.Int64("ops", 0, "total request budget (0 = run for -duration)")
+		duration  = flag.Duration("duration", 10*time.Second, "run length when -ops is 0")
+		mixSpec   = flag.String("mix", "get=70,set=25,scan=5", "request blend weights")
+		valueSize = flag.Int("value", 64, "SET value size in bytes")
+		keySpace  = flag.Int("keys", 65536, "distinct key count")
+		seed      = flag.Int64("seed", 1, "PRNG seed for keys and op mix")
+		rate      = flag.Int("rate", 0, "open-loop aggregate ops/sec (0 = closed loop)")
+		preload   = flag.Int("preload", -1, "keys to SET before the run (-1 = whole keyspace, 0 = none)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		scanLimit = flag.Int("scan-limit", 10, "SCAN response size limit")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
+	)
+	flag.Parse()
+
+	mix, err := kvsload.ParseMix(*mixSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := kvsload.Config{
+		Addr:       *addr,
+		Conns:      *conns,
+		Depth:      *depth,
+		Ops:        *ops,
+		Duration:   *duration,
+		Mix:        mix,
+		ValueSize:  *valueSize,
+		KeySpace:   *keySpace,
+		Seed:       *seed,
+		RatePerSec: *rate,
+		Preload:    *preload,
+		Timeout:    *timeout,
+		ScanLimit:  *scanLimit,
+	}
+	if *ops > 0 {
+		cfg.Duration = 0 // budget-bounded run; no wall-clock cutoff
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := kvsload.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wdload: %v\n", err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(res)
+	} else {
+		fmt.Print(res.Render())
+	}
+	if err != nil {
+		os.Exit(1)
+	}
+}

@@ -14,10 +14,12 @@ import (
 var ErrNotFound = errors.New("kvs: key not found")
 
 // Client is a synchronous client for the kvs text protocol. It is not safe
-// for concurrent use; open one client per goroutine.
+// for concurrent use; open one client per goroutine, or use Pipeline to
+// keep many requests in flight on one connection.
 type Client struct {
 	conn    net.Conn
 	r       *bufio.Reader
+	w       *bufio.Writer
 	timeout time.Duration
 }
 
@@ -31,7 +33,12 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), timeout: timeout}, nil
+	return &Client{
+		conn:    conn,
+		r:       bufio.NewReaderSize(conn, 64<<10),
+		w:       bufio.NewWriterSize(conn, 64<<10),
+		timeout: timeout,
+	}, nil
 }
 
 // Close closes the connection.
@@ -40,7 +47,9 @@ func (c *Client) Close() error { return c.conn.Close() }
 // roundTrip sends one line and reads one response line.
 func (c *Client) roundTrip(line string) (string, error) {
 	c.conn.SetDeadline(time.Now().Add(c.timeout))
-	if _, err := fmt.Fprintf(c.conn, "%s\n", line); err != nil {
+	c.w.WriteString(line)
+	c.w.WriteByte('\n')
+	if err := c.w.Flush(); err != nil {
 		return "", err
 	}
 	resp, err := c.r.ReadString('\n')

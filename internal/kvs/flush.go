@@ -29,6 +29,11 @@ func (s *Store) FlushPartition(i int, force bool) error {
 	if p.dir == "" {
 		return nil
 	}
+	// The write gate excludes mutations for the whole flush, so the memtable
+	// drain and WAL reset can never interleave with an
+	// appended-but-unpublished group commit (lock order: writeGate, mu).
+	p.writeGate.Lock()
+	defer p.writeGate.Unlock()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if !force && p.mem.ApproxBytes() < s.cfg.FlushThresholdBytes {
@@ -70,6 +75,7 @@ func (s *Store) FlushPartition(i int, force bool) error {
 		if err := p.log.Reset(); err != nil {
 			return fmt.Errorf("flush p%d wal reset: %w", p.id, err)
 		}
+		p.resetCommitWatermarks(0)
 	}
 	p.mem = memtable.New()
 	s.mets.Counter("kvs.flushes").Inc()
@@ -187,6 +193,10 @@ func (s *Store) CompactPartition(i int) error {
 // served throughout — no process restart.
 func (s *Store) RepairPartition(i int) (int, error) {
 	p := s.parts[i]
+	// Exclude writers: repair may swap the WAL out from under the group
+	// committer otherwise.
+	p.writeGate.Lock()
+	defer p.writeGate.Unlock()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	quarantined := 0
@@ -215,6 +225,7 @@ func (s *Store) RepairPartition(i int) (int, error) {
 				return quarantined, fmt.Errorf("repair p%d wal: %w", p.id, err)
 			}
 			p.log = fresh
+			p.resetCommitWatermarks(fresh.SyncedSize())
 		}
 	}
 	s.mets.Counter("kvs.repairs").Inc()

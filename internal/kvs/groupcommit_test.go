@@ -1,0 +1,231 @@
+package kvs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGroupCommitCoalesces drives concurrent writers into one partition and
+// checks the committer batches them: far fewer fsyncs than mutations, and
+// every mutation readable afterwards.
+func TestGroupCommitCoalesces(t *testing.T) {
+	s := openStore(t, func(c *Config) { c.Partitions = 1 })
+	var syncs atomic.Int64
+	s.parts[0].log.SetSyncHook(func() error { syncs.Add(1); return nil })
+
+	const writers, perWriter = 16, 32
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("w%d-%d", w, i)
+				if err := s.Set([]byte(key), []byte("v")); err != nil {
+					t.Errorf("Set %s: %v", key, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := int64(writers * perWriter)
+	if n := syncs.Load(); n >= total {
+		t.Fatalf("no coalescing: %d syncs for %d sets", n, total)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			key := fmt.Sprintf("w%d-%d", w, i)
+			if _, ok, err := s.Get([]byte(key)); err != nil || !ok {
+				t.Fatalf("Get %s after commit: ok=%v err=%v", key, ok, err)
+			}
+		}
+	}
+}
+
+// TestGroupCommitSyncFailureNotPublished injects an fsync failure and checks
+// the batch's records never reach the memtable: the caller sees the error,
+// the key stays invisible, and the partition keeps accepting writes once the
+// disk "recovers".
+func TestGroupCommitSyncFailureNotPublished(t *testing.T) {
+	s := openStore(t, func(c *Config) { c.Partitions = 1 })
+	p := s.parts[0]
+	if err := s.Set([]byte("pre"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+
+	fail := errors.New("injected sync failure")
+	p.log.SetSyncHook(func() error { return fail })
+	if err := s.Set([]byte("lost"), []byte("x")); !errors.Is(err, fail) {
+		t.Fatalf("Set under failing sync: %v", err)
+	}
+	if _, ok, _ := s.Get([]byte("lost")); ok {
+		t.Fatal("unsynced record visible in memtable")
+	}
+
+	// Disk recovers: the partition must not be wedged by the failed batch.
+	p.log.SetSyncHook(nil)
+	if err := s.Set([]byte("after"), []byte("2")); err != nil {
+		t.Fatalf("Set after recovery: %v", err)
+	}
+	for _, key := range []string{"pre", "after"} {
+		if _, ok, err := s.Get([]byte(key)); err != nil || !ok {
+			t.Fatalf("Get %s: ok=%v err=%v", key, ok, err)
+		}
+	}
+}
+
+// TestGroupCommitConcurrentFailureAllSurface checks that when a sync fails,
+// every writer parked on that batch gets the error — none are silently
+// acknowledged.
+func TestGroupCommitConcurrentFailureAllSurface(t *testing.T) {
+	s := openStore(t, func(c *Config) { c.Partitions = 1 })
+	fail := errors.New("boom")
+	s.parts[0].log.SetSyncHook(func() error { return fail })
+
+	const writers = 8
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			errs <- s.Set([]byte(fmt.Sprintf("k%d", w)), []byte("v"))
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-errs; !errors.Is(err, fail) {
+			t.Fatalf("writer got %v, want injected failure", err)
+		}
+	}
+	for w := 0; w < writers; w++ {
+		if _, ok, _ := s.Get([]byte(fmt.Sprintf("k%d", w))); ok {
+			t.Fatalf("k%d visible after failed batch", w)
+		}
+	}
+}
+
+// TestReplayRecoversSyncedPrefix crashes the store (no clean close), appends
+// garbage to the WAL to model a torn tail, and checks recovery replays
+// exactly the synced prefix: every acknowledged write, nothing fabricated.
+func TestReplayRecoversSyncedPrefix(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, Partitions: 1, FlushThresholdBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := s.Set([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	walPath := s.parts[0].log.Path()
+	// Simulate the crash: drop the handle without flushing anything more.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Torn tail: a partial frame the crash left behind.
+	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xDE, 0xAD, 0xBE}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := Open(Config{Dir: dir, Partitions: 1, FlushThresholdBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		v, ok, err := re.Get([]byte(key))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get %s after recovery = %q %v %v", key, v, ok, err)
+		}
+	}
+	got, err := re.Scan(nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("recovered %d keys, want %d", len(got), n)
+	}
+}
+
+// TestRepairPartitionAfterSyncFailure checks the cheap-recovery path leaves
+// healthy state alone after a failed group commit: nothing quarantined, the
+// unsynced tail truncated, and writes resume cleanly.
+func TestRepairPartitionAfterSyncFailure(t *testing.T) {
+	s := openStore(t, func(c *Config) { c.Partitions = 1 })
+	p := s.parts[0]
+	if err := s.Set([]byte("good"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	fail := errors.New("dead disk")
+	p.log.SetSyncHook(func() error { return fail })
+	if err := s.Set([]byte("bad"), []byte("v")); !errors.Is(err, fail) {
+		t.Fatalf("Set: %v", err)
+	}
+	p.log.SetSyncHook(nil)
+
+	quarantined, err := s.RepairPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quarantined != 0 {
+		t.Fatalf("repair quarantined %d healthy tables", quarantined)
+	}
+	if _, ok, err := s.Get([]byte("good")); err != nil || !ok {
+		t.Fatalf("good key lost by repair: ok=%v err=%v", ok, err)
+	}
+	if err := s.Set([]byte("resume"), []byte("v")); err != nil {
+		t.Fatalf("Set after repair: %v", err)
+	}
+	if _, ok, _ := s.Get([]byte("resume")); !ok {
+		t.Fatal("write after repair not visible")
+	}
+}
+
+// TestFlushResetsCommitWatermarks checks a flush (WAL reset to empty) does
+// not strand the group committer's offsets: post-flush writes commit and
+// survive reopen.
+func TestFlushResetsCommitWatermarks(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, Partitions: 1, FlushThresholdBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FlushPartition(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set([]byte("b"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(Config{Dir: dir, Partitions: 1, FlushThresholdBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for key, want := range map[string]string{"a": "1", "b": "2"} {
+		v, ok, err := re.Get([]byte(key))
+		if err != nil || !ok || string(v) != want {
+			t.Fatalf("Get %s = %q %v %v, want %q", key, v, ok, err, want)
+		}
+	}
+	if fis, err := filepath.Glob(filepath.Join(dir, "p*", "*.sst")); err != nil || len(fis) == 0 {
+		t.Fatalf("flush produced no sstable: %v %v", fis, err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"gowatchdog/internal/memtable"
 	"gowatchdog/internal/sstable"
@@ -16,13 +17,23 @@ import (
 )
 
 // partition is one key range [lo, hi) with its own memtable, write-ahead
-// log, and SSTable stack (newest first). The partition manager keeps
-// partitions sorted by range.
+// log, SSTable stack (newest first), and group committer. The partition
+// manager keeps partitions sorted by range.
+//
+// Lock order: writeGate before mu. Writers hold writeGate.RLock for the
+// whole append → sync → publish sequence; the flusher and repairer take
+// writeGate.Lock, so a memtable drain or WAL reset can never interleave
+// with an appended-but-unpublished mutation.
 type partition struct {
 	id  int
 	lo  []byte // inclusive; nil = no lower bound
 	hi  []byte // exclusive; nil = no upper bound
 	dir string // empty in in-memory mode
+
+	// writeGate serializes mutations against flush/repair. Striped per
+	// partition, so group commits on different partitions proceed
+	// independently.
+	writeGate sync.RWMutex
 
 	mu         sync.Mutex
 	mem        *memtable.Table
@@ -30,12 +41,25 @@ type partition struct {
 	tables     []*sstable.Reader
 	nextID     int
 	compacting bool // at most one compaction per partition at a time
+
+	// Group-commit state. gcMu orders WAL appends with the pending queue so
+	// publish order equals log order; gcCommitMu guards the commit watermarks
+	// and leader election.
+	gcMu       sync.Mutex
+	gcPending  []record
+	gcCommitMu sync.Mutex
+	gcCond     *sync.Cond
+	gcSyncing  bool  // a leader is inside sync+publish
+	gcDone     int64 // log offset the committer has finished (synced or failed) through
+	gcDurable  int64 // log offset synced and published successfully through
+	gcErr      error // error of the most recent failed batch
 }
 
 // newPartition opens or recovers a partition rooted at dir (or in memory
 // when dir is empty).
 func newPartition(id int, lo, hi []byte, dir string) (*partition, error) {
 	p := &partition{id: id, lo: lo, hi: hi, dir: dir, mem: memtable.New(), nextID: 1}
+	p.gcCond = sync.NewCond(&p.gcCommitMu)
 	if dir == "" {
 		return p, nil
 	}
@@ -110,6 +134,88 @@ func (p *partition) applyToMem(rec record) {
 	}
 }
 
+// memBytes returns the live memtable's approximate footprint.
+func (p *partition) memBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mem.ApproxBytes()
+}
+
+// appendCommit is the group-commit write path: it appends payload to the
+// WAL (buffered, ordered by gcMu) and parks until a sync covers the record.
+// The first parked writer becomes the batch leader: it optionally waits out
+// the latency budget so concurrent writers can pile on, issues ONE fsync
+// for the whole batch, publishes the batch's records to the memtable in log
+// order, and wakes everyone. Records of a failed sync are never published,
+// so the memtable always trails the durable WAL prefix — a crash can lose
+// only mutations whose callers saw an error.
+//
+// Callers must hold p.writeGate.RLock.
+func (p *partition) appendCommit(rec record, payload []byte, budget time.Duration) error {
+	p.gcMu.Lock()
+	if err := p.log.Append(payload); err != nil {
+		p.gcMu.Unlock()
+		return err
+	}
+	p.gcPending = append(p.gcPending, rec)
+	myOff := p.log.Size()
+	p.gcMu.Unlock()
+
+	p.gcCommitMu.Lock()
+	for p.gcDone < myOff {
+		if p.gcSyncing {
+			p.gcCond.Wait()
+			continue
+		}
+		// Become the leader for the next batch.
+		p.gcSyncing = true
+		p.gcCommitMu.Unlock()
+		if budget > 0 {
+			time.Sleep(budget) // bounded coalescing window
+		}
+		p.gcMu.Lock()
+		batch := p.gcPending
+		p.gcPending = nil
+		target := p.log.Size()
+		p.gcMu.Unlock()
+		err := p.log.Sync()
+		if err == nil && len(batch) > 0 {
+			p.mu.Lock()
+			for _, r := range batch {
+				p.applyToMem(r)
+			}
+			p.mu.Unlock()
+		}
+		p.gcCommitMu.Lock()
+		p.gcSyncing = false
+		p.gcDone = target
+		if err == nil {
+			p.gcDurable = target
+		} else {
+			p.gcErr = err
+		}
+		p.gcCond.Broadcast()
+	}
+	var err error
+	if p.gcDurable < myOff {
+		err = p.gcErr
+	}
+	p.gcCommitMu.Unlock()
+	return err
+}
+
+// resetCommitWatermarks rewinds the group-commit watermarks to off after
+// the WAL itself rewound (flush Reset → 0, repair reopen → the reopened
+// log's durable size). Callers must hold p.writeGate.Lock, which guarantees
+// no appendCommit is in flight and the pending queue is empty.
+func (p *partition) resetCommitWatermarks(off int64) {
+	p.gcCommitMu.Lock()
+	p.gcDone = off
+	p.gcDurable = off
+	p.gcErr = nil
+	p.gcCommitMu.Unlock()
+}
+
 // owns reports whether key falls in this partition's range.
 func (p *partition) owns(key []byte) bool {
 	if p.lo != nil && bytes.Compare(key, p.lo) < 0 {
@@ -148,56 +254,87 @@ func (p *partition) get(key []byte) ([]byte, bool, error) {
 	return nil, false, nil
 }
 
+// scanCursor is one source of a bounded scan merge: cur is the next
+// in-range entry (valid while ok), advanced lazily.
+type scanCursor struct {
+	cur memtable.Entry
+	ok  bool
+	// next advances past the current entry; start is the next seek key.
+	next func(start []byte) (memtable.Entry, bool, error)
+}
+
+func (c *scanCursor) advance() error {
+	// Seek strictly past the current key: its successor in byte order is
+	// the key with a zero byte appended.
+	seek := append(append([]byte(nil), c.cur.Key...), 0)
+	e, ok, err := c.next(seek)
+	c.cur, c.ok = e, ok
+	return err
+}
+
 // scan merges live entries in [start, end) across the memtable and tables,
-// newest shadowing oldest, up to limit results (0 = unlimited).
+// newest shadowing oldest, up to limit results (0 = unlimited). It is a
+// k-way merge over sorted cursors, so a limited scan touches O(limit)
+// entries per source instead of materializing the whole range — the
+// difference between a microsecond SCAN and one that reads the entire
+// partition under load.
 func (p *partition) scan(start, end []byte, limit int) ([]memtable.Entry, error) {
 	p.mu.Lock()
 	mem := p.mem
 	tables := append([]*sstable.Reader(nil), p.tables...)
 	p.mu.Unlock()
 
-	merged := make(map[string]memtable.Entry)
-	inRange := func(k []byte) bool {
-		if start != nil && bytes.Compare(k, start) < 0 {
-			return false
-		}
-		if end != nil && bytes.Compare(k, end) >= 0 {
-			return false
-		}
-		return true
+	// Cursors ordered newest first (memtable, then tables newest-to-oldest):
+	// on key ties the lowest cursor index wins.
+	curs := make([]*scanCursor, 0, len(tables)+1)
+	memNext := func(seek []byte) (memtable.Entry, bool, error) {
+		e, ok := mem.Ceil(seek)
+		return e, ok, nil
 	}
-	// Oldest tables first so newer entries overwrite.
-	for i := len(tables) - 1; i >= 0; i-- {
-		err := tables[i].Iterate(func(e memtable.Entry) bool {
-			if inRange(e.Key) {
-				merged[string(e.Key)] = e
-			}
-			return true
-		})
+	curs = append(curs, &scanCursor{next: memNext})
+	for _, t := range tables {
+		it := t.Seek(start)
+		curs = append(curs, &scanCursor{next: func(_ []byte) (memtable.Entry, bool, error) {
+			return it.Next()
+		}})
+	}
+	// Prime every cursor at the range start.
+	for _, c := range curs {
+		e, ok, err := c.next(start)
 		if err != nil {
 			return nil, err
 		}
+		c.cur, c.ok = e, ok
 	}
-	mem.Iterate(func(e memtable.Entry) bool {
-		if inRange(e.Key) {
-			merged[string(e.Key)] = e
+
+	var out []memtable.Entry
+	for limit <= 0 || len(out) < limit {
+		// Smallest key across cursors; newest source wins ties.
+		var winner *scanCursor
+		for _, c := range curs {
+			if !c.ok {
+				continue
+			}
+			if winner == nil || bytes.Compare(c.cur.Key, winner.cur.Key) < 0 {
+				winner = c
+			}
 		}
-		return true
-	})
-	keys := make([]string, 0, len(merged))
-	for k, e := range merged {
-		if e.Tombstone {
-			continue
+		if winner == nil || (end != nil && bytes.Compare(winner.cur.Key, end) >= 0) {
+			break
 		}
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	if limit > 0 && len(keys) > limit {
-		keys = keys[:limit]
-	}
-	out := make([]memtable.Entry, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, merged[k])
+		e := winner.cur
+		// Consume this key from every cursor holding it (the winner's entry
+		// shadows the older ones).
+		for _, c := range curs {
+			if c.ok && bytes.Equal(c.cur.Key, e.Key) {
+				if err := c.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if !e.Tombstone {
+			out = append(out, e)
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,181 @@
+package kvs
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// pendKind tags the expected response shape of a queued request.
+type pendKind byte
+
+const (
+	pendOK    pendKind = iota // OK | ERR
+	pendGet                   // VALUE | NOT_FOUND | ERR
+	pendPing                  // PONG | ERR
+	pendBlock                 // COUNT <k> + k lines | ERR
+)
+
+// Result is one pipelined response. Err carries server-side errors
+// (including ErrNotFound for a missing GET); transport errors come back
+// from Recv itself.
+type Result struct {
+	// Value is the GET value ("" otherwise).
+	Value string
+	// Lines are the body lines of a SCAN/STATS COUNT block.
+	Lines []string
+	// Err is the per-request server error, nil on success.
+	Err error
+}
+
+// Pipeline queues many requests on one connection and reads the responses
+// in order, so a single connection can keep up to depth requests in flight
+// — the client half of the server's pipelined wire protocol.
+//
+// Usage is either single-goroutine batches (queue up to depth requests,
+// then Exec) or split halves: one goroutine queueing and flushing, another
+// looping Recv. The window channel synchronizes the two; no other methods
+// of the Client may be used while a Pipeline is active.
+type Pipeline struct {
+	c       *Client
+	pending chan pendKind
+}
+
+// Pipeline starts a pipeline with the given window depth (≤ 0 means 128).
+func (c *Client) Pipeline(depth int) *Pipeline {
+	if depth <= 0 {
+		depth = 128
+	}
+	return &Pipeline{c: c, pending: make(chan pendKind, depth)}
+}
+
+// queue writes the request line and registers its expected response kind.
+// When the window is full the accumulated requests are flushed first, so a
+// lone sender cannot deadlock against its own unflushed bytes; it then
+// blocks until the receiver drains a slot.
+func (p *Pipeline) queue(kind pendKind, parts ...string) error {
+	if len(p.pending) == cap(p.pending) {
+		if err := p.Flush(); err != nil {
+			return err
+		}
+	}
+	p.c.conn.SetWriteDeadline(time.Now().Add(p.c.timeout))
+	w := p.c.w
+	for i, part := range parts {
+		if i > 0 {
+			w.WriteByte(' ')
+		}
+		w.WriteString(part)
+	}
+	if err := w.WriteByte('\n'); err != nil {
+		return err
+	}
+	p.pending <- kind
+	return nil
+}
+
+// Set queues SET <key> <value>.
+func (p *Pipeline) Set(key, value string) error { return p.queue(pendOK, "SET", key, value) }
+
+// Append queues APPEND <key> <value>.
+func (p *Pipeline) Append(key, value string) error { return p.queue(pendOK, "APPEND", key, value) }
+
+// Get queues GET <key>.
+func (p *Pipeline) Get(key string) error { return p.queue(pendGet, "GET", key) }
+
+// Del queues DEL <key>.
+func (p *Pipeline) Del(key string) error { return p.queue(pendOK, "DEL", key) }
+
+// Ping queues PING.
+func (p *Pipeline) Ping() error { return p.queue(pendPing, "PING") }
+
+// Scan queues SCAN <start|-> <end|-> <limit>; "" means unbounded.
+func (p *Pipeline) Scan(start, end string, limit int) error {
+	if start == "" {
+		start = "-"
+	}
+	if end == "" {
+		end = "-"
+	}
+	return p.queue(pendBlock, "SCAN", start, end, strconv.Itoa(limit))
+}
+
+// Flush sends all queued requests to the server.
+func (p *Pipeline) Flush() error {
+	p.c.conn.SetWriteDeadline(time.Now().Add(p.c.timeout))
+	return p.c.w.Flush()
+}
+
+// Outstanding returns the number of queued requests not yet Recv'd.
+func (p *Pipeline) Outstanding() int { return len(p.pending) }
+
+// Recv reads the next pending response in order. The returned error is a
+// transport failure (connection or protocol breakdown); per-request server
+// errors arrive in Result.Err. Recv blocks until a response arrives; call
+// it only when requests are outstanding (after a Flush, or from a receiver
+// goroutine paired with a queueing sender).
+func (p *Pipeline) Recv() (Result, error) {
+	kind := <-p.pending
+	p.c.conn.SetReadDeadline(time.Now().Add(p.c.timeout))
+	line, err := p.c.r.ReadString('\n')
+	if err != nil {
+		return Result{}, err
+	}
+	line = strings.TrimSuffix(line, "\n")
+	switch kind {
+	case pendOK:
+		return Result{Err: expectOK(line)}, nil
+	case pendPing:
+		if line != "PONG" {
+			return Result{Err: fmt.Errorf("kvs: unexpected ping response %q", line)}, nil
+		}
+		return Result{}, nil
+	case pendGet:
+		switch {
+		case strings.HasPrefix(line, "VALUE "):
+			return Result{Value: strings.TrimPrefix(line, "VALUE ")}, nil
+		case line == "NOT_FOUND":
+			return Result{Err: ErrNotFound}, nil
+		case strings.HasPrefix(line, "ERR "):
+			return Result{Err: errors.New(strings.TrimPrefix(line, "ERR "))}, nil
+		default:
+			return Result{}, fmt.Errorf("kvs: unexpected response %q", line)
+		}
+	default: // pendBlock
+		if strings.HasPrefix(line, "ERR ") {
+			return Result{Err: errors.New(strings.TrimPrefix(line, "ERR "))}, nil
+		}
+		n, err := strconv.Atoi(strings.TrimPrefix(line, "COUNT "))
+		if !strings.HasPrefix(line, "COUNT ") || err != nil {
+			return Result{}, fmt.Errorf("kvs: unexpected response %q", line)
+		}
+		lines := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			body, err := p.c.r.ReadString('\n')
+			if err != nil {
+				return Result{}, err
+			}
+			lines = append(lines, strings.TrimSuffix(body, "\n"))
+		}
+		return Result{Lines: lines}, nil
+	}
+}
+
+// Exec flushes and collects every currently outstanding response — the
+// single-goroutine batch form: queue up to depth requests, Exec, repeat.
+func (p *Pipeline) Exec() ([]Result, error) {
+	if err := p.Flush(); err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(p.pending))
+	for len(p.pending) > 0 {
+		r, err := p.Recv()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,184 @@
+package kvs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPipelineBatchRoundTrip(t *testing.T) {
+	srv, _ := startServer(t, nil)
+	c := dialClient(t, srv.Addr())
+	p := c.Pipeline(32)
+
+	if err := p.Set("a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("b", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Get("missing"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Del("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Scan("", "", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	results, err := p.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 7 {
+		t.Fatalf("got %d results, want 7", len(results))
+	}
+	for i := range []int{0, 1} {
+		if results[i].Err != nil {
+			t.Fatalf("SET %d: %v", i, results[i].Err)
+		}
+	}
+	if results[2].Value != "1" || results[2].Err != nil {
+		t.Fatalf("GET a = %+v", results[2])
+	}
+	if !errors.Is(results[3].Err, ErrNotFound) {
+		t.Fatalf("GET missing: %v", results[3].Err)
+	}
+	if results[4].Err != nil {
+		t.Fatalf("DEL: %v", results[4].Err)
+	}
+	// After the in-order DEL, the scan sees only "a".
+	if len(results[5].Lines) != 1 || !strings.HasPrefix(results[5].Lines[0], "a") {
+		t.Fatalf("SCAN lines = %q", results[5].Lines)
+	}
+	if results[6].Err != nil {
+		t.Fatalf("PING: %v", results[6].Err)
+	}
+}
+
+// TestPipelineOrderingUnderDepth checks responses come back in request order
+// across many windows: each GET must observe the SET queued just before it
+// on the same connection (read-your-writes through the pipeline).
+func TestPipelineOrderingUnderDepth(t *testing.T) {
+	srv, _ := startServer(t, nil)
+	c := dialClient(t, srv.Addr())
+	p := c.Pipeline(16)
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("k%d", i%7)
+		want := fmt.Sprintf("v%d", i)
+		if err := p.Set(key, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Get(key); err != nil {
+			t.Fatal(err)
+		}
+		if p.Outstanding() >= 14 {
+			results, err := p.Exec()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j+1 < len(results); j += 2 {
+				if results[j].Err != nil {
+					t.Fatalf("set: %v", results[j].Err)
+				}
+			}
+		}
+	}
+	if _, err := p.Exec(); err != nil {
+		t.Fatal(err)
+	}
+	// Final values reflect the last write per key.
+	for i := 293; i < 300; i++ {
+		key := fmt.Sprintf("k%d", i%7)
+		v, err := c.Get(key)
+		if err != nil || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get %s = %q %v", key, v, err)
+		}
+	}
+}
+
+// TestPipelineSplitSenderReceiver exercises the concurrent mode under the
+// race detector: one goroutine queues and flushes, the main goroutine
+// receives, with the window channel as the only synchronization.
+func TestPipelineSplitSenderReceiver(t *testing.T) {
+	srv, _ := startServer(t, nil)
+	c := dialClient(t, srv.Addr())
+	const depth, total = 32, 2000
+	p := c.Pipeline(depth)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			var err error
+			if i%3 == 0 {
+				err = p.Set(fmt.Sprintf("k%d", i%50), "v")
+			} else {
+				err = p.Get(fmt.Sprintf("k%d", i%50))
+			}
+			if err != nil {
+				t.Errorf("queue %d: %v", i, err)
+				return
+			}
+		}
+		if err := p.Flush(); err != nil {
+			t.Errorf("flush: %v", err)
+		}
+	}()
+
+	for i := 0; i < total; i++ {
+		res, err := p.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if res.Err != nil && !errors.Is(res.Err, ErrNotFound) {
+			t.Fatalf("recv %d: server error %v", i, res.Err)
+		}
+	}
+	wg.Wait()
+	if p.Outstanding() != 0 {
+		t.Fatalf("%d requests still outstanding", p.Outstanding())
+	}
+}
+
+// TestServerRejectsOverlongLine checks the protocol guardrail: a line past
+// the 1 MiB cap draws "ERR line too long" and the connection resynchronizes
+// at the next newline instead of dying or misparsing.
+func TestServerRejectsOverlongLine(t *testing.T) {
+	srv, _ := startServer(t, nil)
+	c := dialClient(t, srv.Addr())
+	// Both the boundary case (cap exceeded only by the final buffer chunk)
+	// and the deep case (many chunks past the cap) must be rejected.
+	for _, size := range []int{1<<20 + 16, 3 << 20} {
+		huge := strings.Repeat("x", size)
+		resp, err := c.roundTrip("SET big " + huge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(resp, "too long") {
+			t.Fatalf("overlong line (%d bytes) -> %q, want line-too-long error", size, resp)
+		}
+	}
+	// The connection must still be usable for well-formed requests.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after overlong line: %v", err)
+	}
+	if err := c.Set("ok", "v"); err != nil {
+		t.Fatalf("set after overlong line: %v", err)
+	}
+	if v, err := c.Get("ok"); err != nil || v != "v" {
+		t.Fatalf("get after overlong line = %q %v", v, err)
+	}
+	if _, ok, _ := srv.store.Get([]byte("big")); ok {
+		t.Fatal("overlong SET was applied")
+	}
+}

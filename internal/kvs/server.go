@@ -2,12 +2,31 @@ package kvs
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"net"
 	"strconv"
-	"strings"
 	"sync"
+
+	"gowatchdog/internal/gauge"
 )
+
+// Wire-protocol limits and hot-path tuning.
+const (
+	// maxLineLen bounds one request line; longer lines are answered with
+	// "ERR line too long" and discarded, keeping the connection usable.
+	maxLineLen = 1 << 20
+	// readBufSize is the per-connection read buffer; lines that fit are
+	// parsed in place with zero copies.
+	readBufSize = 64 << 10
+	// respQueueDepth bounds the per-connection response queue joining the
+	// reader and writer goroutines. A full queue backpressures the reader.
+	respQueueDepth = 512
+)
+
+// respPool recycles response buffers between the reader (which fills them)
+// and the writer (which releases them after the flush).
+var respPool = sync.Pool{New: func() any { return make([]byte, 0, 256) }}
 
 // Server exposes a Store over a line-based TCP protocol:
 //
@@ -21,6 +40,11 @@ import (
 //	STATS                  -> COUNT <k> followed by k "<name> <value>" lines
 //
 // Keys must not contain spaces; values run to end of line.
+//
+// The protocol is pipelined: each connection runs a reader goroutine that
+// parses and executes requests and a writer goroutine that drains a bounded
+// response queue, batching one Flush per readable burst — many requests can
+// be in flight on one connection (see Client.Pipeline).
 type Server struct {
 	ln    net.Listener
 	store *Store
@@ -28,6 +52,10 @@ type Server struct {
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 	stop  bool
+
+	// Cached hot-path metrics: registry lookups are off the request path.
+	requestsC *gauge.Counter
+	connsG    *gauge.Gauge
 }
 
 // Serve listens on addr and dispatches requests against store.
@@ -36,7 +64,13 @@ func Serve(addr string, store *Store) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, store: store, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		ln:        ln,
+		store:     store,
+		conns:     make(map[net.Conn]struct{}),
+		requestsC: store.mets.Counter("kvs.requests"),
+		connsG:    store.mets.Gauge("kvs.conns"),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -72,124 +106,292 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.conns[conn] = struct{}{}
-		s.store.mets.Gauge("kvs.conns").Set(float64(len(s.conns)))
+		s.connsG.Set(float64(len(s.conns)))
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.handle(conn)
 	}
 }
 
+// handle is the per-connection reader: it parses request lines in place,
+// executes them, and enqueues response buffers for the writer goroutine.
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
-		s.store.mets.Gauge("kvs.conns").Set(float64(len(s.conns)))
+		s.connsG.Set(float64(len(s.conns)))
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	w := bufio.NewWriter(conn)
-	for sc.Scan() {
-		line := sc.Text()
-		resp := s.dispatch(line)
-		if _, err := w.WriteString(resp); err != nil {
-			return
+
+	out := make(chan []byte, respQueueDepth)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go s.writeLoop(conn, out, &writerWG)
+	defer writerWG.Wait()
+	defer close(out)
+
+	r := bufio.NewReaderSize(conn, readBufSize)
+	var long []byte // scratch for lines longer than the read buffer
+	for {
+		line, err := readLine(r, &long)
+		switch err {
+		case nil:
+		case errLineTooLong:
+			// Answer instead of silently dropping the connection; readLine
+			// already advanced past the oversized line, so the next read
+			// starts at a request boundary.
+			out <- append(respPool.Get().([]byte)[:0], "ERR line too long\n"...)
+			continue
+		default:
+			return // EOF or broken connection
 		}
-		if err := w.Flush(); err != nil {
-			return
+		buf := respPool.Get().([]byte)[:0]
+		out <- s.exec(line, buf)
+	}
+}
+
+// writeLoop drains the response queue into the connection, flushing once
+// per burst: responses are written back-to-back while more are queued and
+// the buffered writer is flushed only when the queue momentarily empties.
+func (s *Server) writeLoop(conn net.Conn, out <-chan []byte, wg *sync.WaitGroup) {
+	defer wg.Done()
+	w := bufio.NewWriterSize(conn, readBufSize)
+	broken := false
+	for buf := range out {
+		if !broken {
+			if _, err := w.Write(buf); err != nil {
+				broken = true
+				conn.Close() // unblock the reader; keep draining the queue
+			} else if len(out) == 0 {
+				if err := w.Flush(); err != nil {
+					broken = true
+					conn.Close()
+				}
+			}
+		}
+		respPool.Put(buf[:0])
+	}
+	if !broken {
+		w.Flush()
+	}
+}
+
+// errLineTooLong reports a request line exceeding maxLineLen.
+var errLineTooLong = fmt.Errorf("kvs: line longer than %d bytes", maxLineLen)
+
+// readLine returns the next newline-terminated line without its terminator.
+// Lines that fit the reader's buffer are returned as a view into it (valid
+// until the next read); longer ones are accumulated into *long up to
+// maxLineLen. An overlong line yields errLineTooLong with the stream
+// already advanced past its newline, so the caller resumes at the next
+// request boundary without discarding anything further.
+func readLine(r *bufio.Reader, long *[]byte) ([]byte, error) {
+	slice, err := r.ReadSlice('\n')
+	if err == nil {
+		return chompLine(slice), nil
+	}
+	if err != bufio.ErrBufferFull {
+		return nil, err
+	}
+	acc := (*long)[:0]
+	for {
+		acc = append(acc, slice...)
+		if len(acc) > maxLineLen {
+			*long = acc[:0]
+			return nil, drainLine(r)
+		}
+		slice, err = r.ReadSlice('\n')
+		if err == nil {
+			acc = append(acc, slice...)
+			// The final chunk can push a line past the cap even though
+			// every intermediate check passed.
+			if len(chompLine(acc)) > maxLineLen {
+				*long = acc[:0]
+				return nil, errLineTooLong
+			}
+			*long = acc
+			return chompLine(acc), nil
+		}
+		if err != bufio.ErrBufferFull {
+			return nil, err
 		}
 	}
 }
 
-// dispatch executes one request line and returns the full response
-// (newline-terminated, possibly multi-line).
-func (s *Server) dispatch(line string) string {
-	s.store.mets.Counter("kvs.requests").Inc()
-	//wdlint:ignore contextsync listener health is covered by the kvs.signal.* checkers; this capture exists for failure-report payloads
-	s.store.hook("kvs.listener", map[string]any{"last_command": line})
-	if err := s.store.inj.Fire(FaultListenerHandle); err != nil {
-		return "ERR " + err.Error() + "\n"
+// drainLine consumes input through the end of the current (oversized) line
+// and reports errLineTooLong, or the transport error that cut it short.
+func drainLine(r *bufio.Reader) error {
+	for {
+		_, err := r.ReadSlice('\n')
+		switch err {
+		case nil:
+			return errLineTooLong
+		case bufio.ErrBufferFull:
+			continue
+		default:
+			return err
+		}
 	}
-	cmd, rest, _ := strings.Cut(line, " ")
-	switch strings.ToUpper(cmd) {
-	case "PING":
-		return "PONG\n"
-	case "SET":
-		key, val, ok := strings.Cut(rest, " ")
-		if !ok || key == "" {
-			return "ERR usage: SET <key> <value>\n"
+}
+
+// chompLine strips the trailing \n and an optional \r.
+func chompLine(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		b = b[:n-1]
+	}
+	if n := len(b); n > 0 && b[n-1] == '\r' {
+		b = b[:n-1]
+	}
+	return b
+}
+
+
+// cutSpace splits b at the first space.
+func cutSpace(b []byte) (before, after []byte, found bool) {
+	if i := bytes.IndexByte(b, ' '); i >= 0 {
+		return b[:i], b[i+1:], true
+	}
+	return b, nil, false
+}
+
+// cmdIs reports whether tok equals the ASCII-uppercase command name want,
+// case-insensitively and without allocating.
+func cmdIs(tok []byte, want string) bool {
+	if len(tok) != len(want) {
+		return false
+	}
+	for i := 0; i < len(tok); i++ {
+		c := tok[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
 		}
-		if err := s.store.Set([]byte(key), []byte(val)); err != nil {
-			return "ERR " + err.Error() + "\n"
+		if c != want[i] {
+			return false
 		}
-		return "OK\n"
-	case "APPEND":
-		key, val, ok := strings.Cut(rest, " ")
-		if !ok || key == "" {
-			return "ERR usage: APPEND <key> <value>\n"
+	}
+	return true
+}
+
+// exec executes one request line and appends the full response (newline-
+// terminated, possibly multi-line) to dst. line may point into the read
+// buffer; exec never retains it past the call (the store copies what it
+// keeps).
+func (s *Server) exec(line []byte, dst []byte) []byte {
+	s.requestsC.Inc()
+	// Listener capture rides the shared sampled-hook path, so watchdog
+	// context sync costs nothing on the per-request path.
+	//wdlint:ignore contextsync listener health is covered by the kvs.signal.* checkers; this capture exists for failure-report payloads
+	s.store.sampledHook("kvs.listener", &s.store.listenerHookSeq, func() map[string]any {
+		return map[string]any{"last_command": string(line)}
+	})
+	if err := s.store.inj.Fire(FaultListenerHandle); err != nil {
+		return appendErr(dst, err.Error())
+	}
+	cmd, rest, _ := cutSpace(line)
+	switch {
+	case cmdIs(cmd, "GET"):
+		if len(rest) == 0 {
+			return append(dst, "ERR usage: GET <key>\n"...)
 		}
-		if err := s.store.Append([]byte(key), []byte(val)); err != nil {
-			return "ERR " + err.Error() + "\n"
-		}
-		return "OK\n"
-	case "GET":
-		if rest == "" {
-			return "ERR usage: GET <key>\n"
-		}
-		v, ok, err := s.store.Get([]byte(rest))
+		v, ok, err := s.store.Get(rest)
 		if err != nil {
-			return "ERR " + err.Error() + "\n"
+			return appendErr(dst, err.Error())
 		}
 		if !ok {
-			return "NOT_FOUND\n"
+			return append(dst, "NOT_FOUND\n"...)
 		}
-		return "VALUE " + string(v) + "\n"
-	case "DEL":
-		if rest == "" {
-			return "ERR usage: DEL <key>\n"
+		dst = append(dst, "VALUE "...)
+		dst = append(dst, v...)
+		return append(dst, '\n')
+	case cmdIs(cmd, "SET"):
+		key, val, ok := cutSpace(rest)
+		if !ok || len(key) == 0 {
+			return append(dst, "ERR usage: SET <key> <value>\n"...)
 		}
-		if err := s.store.Del([]byte(rest)); err != nil {
-			return "ERR " + err.Error() + "\n"
+		if err := s.store.Set(key, val); err != nil {
+			return appendErr(dst, err.Error())
 		}
-		return "OK\n"
-	case "SCAN":
-		fields := strings.Fields(rest)
-		if len(fields) != 3 {
-			return "ERR usage: SCAN <start|-> <end|-> <limit>\n"
+		return append(dst, "OK\n"...)
+	case cmdIs(cmd, "DEL"):
+		if len(rest) == 0 {
+			return append(dst, "ERR usage: DEL <key>\n"...)
 		}
-		var start, end []byte
-		if fields[0] != "-" {
-			start = []byte(fields[0])
+		if err := s.store.Del(rest); err != nil {
+			return appendErr(dst, err.Error())
 		}
-		if fields[1] != "-" {
-			end = []byte(fields[1])
+		return append(dst, "OK\n"...)
+	case cmdIs(cmd, "APPEND"):
+		key, val, ok := cutSpace(rest)
+		if !ok || len(key) == 0 {
+			return append(dst, "ERR usage: APPEND <key> <value>\n"...)
 		}
-		limit, err := strconv.Atoi(fields[2])
-		if err != nil || limit < 0 {
-			return "ERR bad limit\n"
+		if err := s.store.Append(key, val); err != nil {
+			return appendErr(dst, err.Error())
 		}
-		entries, err := s.store.Scan(start, end, limit)
-		if err != nil {
-			return "ERR " + err.Error() + "\n"
-		}
-		var b strings.Builder
-		fmt.Fprintf(&b, "COUNT %d\n", len(entries))
-		for _, e := range entries {
-			fmt.Fprintf(&b, "%s %s\n", e.Key, e.Value)
-		}
-		return b.String()
-	case "STATS":
-		snap := s.store.mets.Snapshot()
-		names := s.store.mets.Names()
-		var b strings.Builder
-		fmt.Fprintf(&b, "COUNT %d\n", len(names))
-		for _, n := range names {
-			fmt.Fprintf(&b, "%s %g\n", n, snap[n])
-		}
-		return b.String()
+		return append(dst, "OK\n"...)
+	case cmdIs(cmd, "PING"):
+		return append(dst, "PONG\n"...)
+	case cmdIs(cmd, "SCAN"):
+		return s.execScan(rest, dst)
+	case cmdIs(cmd, "STATS"):
+		return s.execStats(dst)
 	default:
-		return "ERR unknown command\n"
+		return append(dst, "ERR unknown command\n"...)
 	}
+}
+
+func appendErr(dst []byte, msg string) []byte {
+	dst = append(dst, "ERR "...)
+	dst = append(dst, msg...)
+	return append(dst, '\n')
+}
+
+func (s *Server) execScan(rest, dst []byte) []byte {
+	f0, tail, ok1 := cutSpace(rest)
+	f1, f2, ok2 := cutSpace(tail)
+	if !ok1 || !ok2 || len(f2) == 0 || bytes.IndexByte(f2, ' ') >= 0 {
+		return append(dst, "ERR usage: SCAN <start|-> <end|-> <limit>\n"...)
+	}
+	var start, end []byte
+	if !bytes.Equal(f0, []byte("-")) {
+		start = f0
+	}
+	if !bytes.Equal(f1, []byte("-")) {
+		end = f1
+	}
+	limit, err := strconv.Atoi(string(f2))
+	if err != nil || limit < 0 {
+		return append(dst, "ERR bad limit\n"...)
+	}
+	entries, err := s.store.Scan(start, end, limit)
+	if err != nil {
+		return appendErr(dst, err.Error())
+	}
+	dst = append(dst, "COUNT "...)
+	dst = strconv.AppendInt(dst, int64(len(entries)), 10)
+	dst = append(dst, '\n')
+	for _, e := range entries {
+		dst = append(dst, e.Key...)
+		dst = append(dst, ' ')
+		dst = append(dst, e.Value...)
+		dst = append(dst, '\n')
+	}
+	return dst
+}
+
+func (s *Server) execStats(dst []byte) []byte {
+	snap := s.store.mets.Snapshot()
+	names := s.store.mets.Names()
+	dst = append(dst, "COUNT "...)
+	dst = strconv.AppendInt(dst, int64(len(names)), 10)
+	dst = append(dst, '\n')
+	for _, n := range names {
+		dst = append(dst, n...)
+		dst = append(dst, ' ')
+		dst = strconv.AppendFloat(dst, snap[n], 'g', -1, 64)
+		dst = append(dst, '\n')
+	}
+	return dst
 }

@@ -27,6 +27,22 @@ const (
 	FaultSSTableRead    = "kvs.sstable.read"
 )
 
+// SyncPolicy selects WAL durability on the write path.
+type SyncPolicy int
+
+const (
+	// SyncGroup (the default) parks each mutation on its partition's group
+	// committer: concurrent appends coalesce into a single fsync and the
+	// memtable publish happens only after the covering sync completes, so
+	// acknowledged writes are durable and reads never see state a crash
+	// could lose.
+	SyncGroup SyncPolicy = iota
+	// SyncNone acknowledges after the buffered WAL append without waiting
+	// for a sync — the pre-group-commit behavior. Durability only at flush
+	// boundaries; fastest, for tests and expendable data.
+	SyncNone
+)
+
 // Config configures a Store.
 type Config struct {
 	// Dir is the data directory; ignored when InMemory is set.
@@ -34,6 +50,13 @@ type Config struct {
 	// InMemory disables the WAL and SSTables entirely (the configuration
 	// from §3.1 where a disk-flusher report would be spurious).
 	InMemory bool
+	// Sync selects the write-path durability policy (default SyncGroup).
+	Sync SyncPolicy
+	// GroupCommitBudget is how long a group-commit leader waits for
+	// concurrent writers to pile onto its batch before issuing the fsync.
+	// 0 (the default) syncs immediately, coalescing only writers that are
+	// already parked — no added latency, natural batching under load.
+	GroupCommitBudget time.Duration
 	// Partitions is the number of key-range partitions (default 4).
 	Partitions int
 	// FlushThresholdBytes triggers a memtable flush (default 1 MiB).
@@ -95,12 +118,17 @@ type Store struct {
 	parts []*partition
 	repl  *replicator
 
-	// Hot-path hook sampling: the indexer/WAL hooks fire on every mutation,
-	// so they capture state only every hookSampleEvery calls — recent-enough
-	// context for the checkers at negligible cost (§3.2: checking must not
-	// slow the main program).
-	indexerHookSeq atomic.Uint32
-	walHookSeq     atomic.Uint32
+	// Hot-path hook sampling: the indexer/WAL/listener hooks fire on every
+	// mutation or request, so they capture state only every hookSampleEvery
+	// calls — recent-enough context for the checkers at negligible cost
+	// (§3.2: checking must not slow the main program).
+	indexerHookSeq  atomic.Uint32
+	walHookSeq      atomic.Uint32
+	listenerHookSeq atomic.Uint32
+
+	// Mutation latency is likewise sampled: clock reads and the window's
+	// mutex would otherwise show up at saturating load.
+	latSeq atomic.Uint32
 
 	// Cached per-partition gauges keep fmt.Sprintf off the write path.
 	memBytesGauges []*gauge.Gauge
@@ -290,32 +318,42 @@ func (s *Store) ApplyReplicated(payload []byte) error {
 	return s.apply(rec, false)
 }
 
+// latSampleEvery is the mutation-latency observation sampling period.
+const latSampleEvery = 16
+
 // apply routes one mutation through WAL, indexer, and replication.
 func (s *Store) apply(rec record, replicate bool) error {
 	if len(rec.key) == 0 {
 		return ErrEmptyKey
 	}
-	start := s.clk.Now()
+	var start time.Time
+	timed := s.latSeq.Add(1)%latSampleEvery == 0
+	if timed {
+		start = s.clk.Now()
+	}
 	p := s.partitionFor(rec.key)
 
 	// Indexer hook (sampled): the mimic indexer checker replays a put/get
-	// with the same key shape as recent real traffic.
+	// with the same key shape as recent real traffic. The key is copied
+	// because callers (the pipelined server) may reuse its backing buffer.
 	s.sampledHook("kvs.indexer", &s.indexerHookSeq, func() map[string]any {
 		return map[string]any{
 			"partition": p.id,
-			"key":       rec.key,
+			"key":       append([]byte(nil), rec.key...),
 			"op":        int(rec.op),
 		}
 	})
 
-	// Mutations serialize against flushes on the partition lock, so a flush
-	// wedged inside its vulnerable disk write blocks this partition's writes
-	// — a partial failure — while reads and other partitions stay healthy.
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	// Mutations serialize against flushes on the partition's write gate, so
+	// a flush wedged inside its vulnerable disk write blocks this
+	// partition's writes — a partial failure — while reads and other
+	// partitions stay healthy.
+	p.writeGate.RLock()
+	defer p.writeGate.RUnlock()
 
+	var payload []byte
 	if p.log != nil {
-		payload := encodeRecord(rec)
+		payload = encodeRecord(rec)
 		s.sampledHook("kvs.wal", &s.walHookSeq, func() map[string]any {
 			return map[string]any{
 				"partition": p.id,
@@ -327,24 +365,50 @@ func (s *Store) apply(rec record, replicate bool) error {
 			s.errorsC.Inc()
 			return fmt.Errorf("wal append: %w", err)
 		}
-		if err := p.log.Append(payload); err != nil {
-			s.errorsC.Inc()
-			return err
-		}
 	}
 
+	// The indexer fault gates the memtable publish; it fires before the
+	// append because a group-committed record is published by the batch
+	// leader, past the point where this writer could abort it.
 	if err := s.inj.Fire(FaultIndexerPut); err != nil {
 		s.errorsC.Inc()
 		return fmt.Errorf("indexer: %w", err)
 	}
-	p.applyToMem(rec)
+
+	if p.log != nil && s.cfg.Sync == SyncGroup {
+		// Group commit: append, park for the coalesced fsync, publish after
+		// the sync completes (the leader publishes the batch in log order).
+		if err := p.appendCommit(rec, payload, s.cfg.GroupCommitBudget); err != nil {
+			s.errorsC.Inc()
+			return err
+		}
+	} else {
+		if p.log != nil {
+			if err := p.log.Append(payload); err != nil {
+				s.errorsC.Inc()
+				return err
+			}
+		}
+		p.mu.Lock()
+		p.applyToMem(rec)
+		p.mu.Unlock()
+	}
 	s.mutations.Inc()
-	s.memBytesGauges[p.id].Set(float64(p.mem.ApproxBytes()))
+	if timed {
+		// Observability gauge, sampled with the latency window: the extra
+		// partition-lock acquisition is off the per-mutation path.
+		s.memBytesGauges[p.id].Set(float64(p.memBytes()))
+	}
 
 	if replicate && s.repl != nil {
-		s.repl.enqueue(encodeRecord(rec))
+		if payload == nil {
+			payload = encodeRecord(rec)
+		}
+		s.repl.enqueue(payload)
 	}
-	s.mutLatency.Observe(float64(s.clk.Since(start)))
+	if timed {
+		s.mutLatency.Observe(float64(s.clk.Since(start)))
+	}
 	return nil
 }
 
@@ -372,7 +436,14 @@ func (s *Store) Get(key []byte) ([]byte, bool, error) {
 func (s *Store) Scan(start, end []byte, limit int) ([]memtable.Entry, error) {
 	var out []memtable.Entry
 	for _, p := range s.parts {
-		es, err := p.scan(start, end, 0)
+		// Partitions are sorted by key range, so the remaining limit pushes
+		// down: each partition's bounded merge stops after its share instead
+		// of materializing the whole range.
+		remaining := 0
+		if limit > 0 {
+			remaining = limit - len(out)
+		}
+		es, err := p.scan(start, end, remaining)
 		if err != nil {
 			return nil, err
 		}

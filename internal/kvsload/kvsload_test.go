@@ -1,0 +1,189 @@
+package kvsload
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"gowatchdog/internal/kvs"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("get=70,set=25,scan=5")
+	if err != nil || m != (Mix{Get: 70, Set: 25, Scan: 5}) {
+		t.Fatalf("ParseMix = %+v, %v", m, err)
+	}
+	m, err = ParseMix("set=100")
+	if err != nil || m != (Mix{Set: 100}) {
+		t.Fatalf("ParseMix set-only = %+v, %v", m, err)
+	}
+	for _, bad := range []string{"", "get", "get=x", "get=-1", "put=5"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+	if got := (Mix{Get: 1, Set: 2, Scan: 3}).String(); got != "get=1,set=2,scan=3" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h hist
+	for i := 1; i <= 1000; i++ {
+		h.observe(time.Duration(i) * time.Microsecond)
+	}
+	p50 := h.quantile(0.50)
+	p99 := h.quantile(0.99)
+	if p50 > p99 {
+		t.Fatalf("p50 %v > p99 %v", p50, p99)
+	}
+	// Geometric buckets promise ~5.5% relative error; allow 10%.
+	if ratio := float64(p50) / float64(500*time.Microsecond); ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("p50 %v, want ~500µs", p50)
+	}
+	if ratio := float64(p99) / float64(990*time.Microsecond); ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("p99 %v, want ~990µs", p99)
+	}
+	if h.max != 1000*time.Microsecond {
+		t.Fatalf("max = %v", h.max)
+	}
+
+	var other hist
+	other.observe(5 * time.Second)
+	h.merge(&other)
+	if h.n != 1001 || h.max != 5*time.Second {
+		t.Fatalf("after merge: n=%d max=%v", h.n, h.max)
+	}
+}
+
+// startTestServer boots a temp-dir kvs server for load tests.
+func startTestServer(t *testing.T) string {
+	t.Helper()
+	store, err := kvs.Open(kvs.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	srv, err := kvs.Serve("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr()
+}
+
+func TestRunClosedLoop(t *testing.T) {
+	addr := startTestServer(t)
+	res, err := Run(context.Background(), Config{
+		Addr:     addr,
+		Conns:    4,
+		Depth:    16,
+		Ops:      2000,
+		Mix:      Mix{Get: 70, Set: 25, Scan: 5},
+		KeySpace: 128,
+		Preload:  -1,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 2000 {
+		t.Fatalf("ops = %d, want 2000", res.Ops)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d request errors", res.Errors)
+	}
+	if res.Gets+res.Sets+res.Scans != res.Ops {
+		t.Fatalf("kind counts %d+%d+%d != %d", res.Gets, res.Sets, res.Scans, res.Ops)
+	}
+	// With the whole keyspace preloaded, a 70/25/5 mix over 2000 ops cannot
+	// degenerate to one kind.
+	if res.Gets == 0 || res.Sets == 0 || res.Scans == 0 {
+		t.Fatalf("degenerate mix: gets=%d sets=%d scans=%d", res.Gets, res.Sets, res.Scans)
+	}
+	if res.OpsPerSec <= 0 || res.P50 <= 0 || res.P99 < res.P50 {
+		t.Fatalf("bad stats: %+v", res)
+	}
+}
+
+// TestRunSeededCountsAreDeterministic replays the same seed and checks the
+// per-kind op counts match exactly — the property wdbench's paired arms
+// rely on to compare like against like.
+func TestRunSeededCountsAreDeterministic(t *testing.T) {
+	addr := startTestServer(t)
+	run := func() Result {
+		res, err := Run(context.Background(), Config{
+			Addr:     addr,
+			Conns:    3,
+			Depth:    8,
+			Ops:      1500,
+			KeySpace: 64,
+			Preload:  -1,
+			Seed:     42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Gets != b.Gets || a.Sets != b.Sets || a.Scans != b.Scans {
+		t.Fatalf("seeded runs diverged: %d/%d/%d vs %d/%d/%d",
+			a.Gets, a.Sets, a.Scans, b.Gets, b.Sets, b.Scans)
+	}
+}
+
+func TestRunOpenLoop(t *testing.T) {
+	addr := startTestServer(t)
+	res, err := Run(context.Background(), Config{
+		Addr:       addr,
+		Conns:      2,
+		Depth:      8,
+		Duration:   300 * time.Millisecond,
+		RatePerSec: 2000,
+		KeySpace:   64,
+		Preload:    -1,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("open loop issued no requests")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d request errors", res.Errors)
+	}
+	// 2000/sec over ~300ms: well under saturation, so the scheduler should
+	// have kept the count near the target, not pinned at the window limit.
+	if res.Ops > 1200 {
+		t.Fatalf("open loop overshot schedule: %d ops", res.Ops)
+	}
+}
+
+func TestRunCancel(t *testing.T) {
+	addr := startTestServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := Run(ctx, Config{
+		Addr:     addr,
+		Conns:    2,
+		Depth:    8,
+		Duration: 30 * time.Second,
+		KeySpace: 64,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancel did not stop the run promptly")
+	}
+	if res.Ops == 0 {
+		t.Fatal("no ops before cancel")
+	}
+}

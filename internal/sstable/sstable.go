@@ -271,6 +271,40 @@ func (b *byteReaderAt) ReadByte() (byte, error) {
 
 func (b *byteReaderAt) Read(p []byte) (int, error) { return b.r.Read(p) }
 
+// Iterator walks a table's entries in ascending key order from a Seek
+// position; the bounded scan merge advances one entry at a time so it can
+// stop as soon as the limit is reached instead of reading the whole table.
+type Iterator struct {
+	r   *Reader
+	pos int
+}
+
+// Seek returns an iterator positioned at the first entry with key >= start
+// (nil start means the table's first entry).
+func (r *Reader) Seek(start []byte) *Iterator {
+	pos := 0
+	if start != nil {
+		pos = sort.Search(len(r.index), func(i int) bool {
+			return bytes.Compare(r.index[i].key, start) >= 0
+		})
+	}
+	return &Iterator{r: r, pos: pos}
+}
+
+// Next returns the entry under the cursor and advances; ok is false when
+// the table is exhausted.
+func (it *Iterator) Next() (e memtable.Entry, ok bool, err error) {
+	if it.pos >= len(it.r.index) {
+		return memtable.Entry{}, false, nil
+	}
+	e, err = it.r.readEntry(int64(it.r.index[it.pos].off))
+	if err != nil {
+		return memtable.Entry{}, false, err
+	}
+	it.pos++
+	return e, true, nil
+}
+
 // Iterate calls fn on every entry in key order; returning false stops.
 func (r *Reader) Iterate(fn func(e memtable.Entry) bool) error {
 	for _, ie := range r.index {

@@ -26,11 +26,16 @@ const frameHeader = 8 // 4-byte length + 4-byte CRC
 
 // Log is an append-only write-ahead log. It is safe for concurrent use.
 type Log struct {
-	mu   sync.Mutex
-	f    *os.File
-	path string
-	size int64
-	recs int64
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	size   int64
+	recs   int64
+	synced int64 // offset covered by the last successful Sync
+	// syncHook, when set, runs inside Sync immediately before the fsync; a
+	// non-nil error aborts the sync. Tests use it to fail or count syncs
+	// (group-commit coalescing and crash-consistency fault injection).
+	syncHook func() error
 }
 
 // Open opens or creates the log at path and positions appends after the
@@ -56,6 +61,7 @@ func Open(path string) (*Log, error) {
 	}
 	l.size = good
 	l.recs = recs
+	l.synced = good // bytes that survived a reopen are on stable storage
 	return l, nil
 }
 
@@ -107,14 +113,58 @@ func (l *Log) Append(payload []byte) error {
 	return nil
 }
 
-// Sync flushes appended records to stable storage.
+// Sync flushes appended records to stable storage. On success every byte
+// appended before the call is durable and SyncedSize advances to cover it.
+//
+// The lock is released for the fsync itself so concurrent Appends proceed
+// while the disk flush is in flight — this is what lets the group committer
+// accumulate the next batch during the current sync instead of convoying
+// every writer behind the syscall. Durability is unaffected: target is
+// captured before the fsync, so it only covers bytes already written.
 func (l *Log) Sync() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.f == nil {
+		l.mu.Unlock()
 		return errors.New("wal: closed")
 	}
-	return l.f.Sync()
+	f := l.f
+	target := l.size
+	hook := l.syncHook
+	l.mu.Unlock()
+	if hook != nil {
+		if err := hook(); err != nil {
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	// Advance the watermark only if the log was not reset or truncated while
+	// the lock was released (callers exclude that, but stay safe).
+	if l.synced < target && target <= l.size {
+		l.synced = target
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// SyncedSize returns the log offset covered by the last successful Sync:
+// everything at or before it survives a crash, everything after it may not.
+func (l *Log) SyncedSize() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.synced
+}
+
+// SetSyncHook installs fn to run inside every Sync immediately before the
+// fsync; a non-nil error fails the sync without advancing SyncedSize. It is
+// test instrumentation for group-commit coalescing counts and sync-failure
+// crash consistency; pass nil to remove.
+func (l *Log) SetSyncHook(fn func() error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.syncHook = fn
 }
 
 // Size returns the log size in bytes.
@@ -223,6 +273,7 @@ func (l *Log) Reset() error {
 	}
 	l.size = 0
 	l.recs = 0
+	l.synced = 0
 	return l.f.Sync()
 }
 

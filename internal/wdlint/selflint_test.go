@@ -13,6 +13,7 @@ func TestSelfLint(t *testing.T) {
 		"../coord",
 		"../dfs",
 		"../kvs",
+		"../kvsload",
 		"../autowatchdog/genexample",
 		"../autowatchdog/testmine",
 		"../campaign",
