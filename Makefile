@@ -7,9 +7,9 @@ GO ?= go
 # paths (gauge registry, wdobs histograms/journal), the alarm-driven
 # recovery/campaign loop, the fault injector, the gossiping mesh, and the
 # lock-light CEP event ring.
-RACE_PKGS := ./internal/watchdog ./internal/coord ./internal/clock ./internal/gauge ./internal/wdobs ./internal/recovery ./internal/campaign ./internal/wdruntime ./internal/faultinject ./internal/wdmesh ./internal/wdcep ./internal/autowatchdog/testmine ./internal/supervise ./internal/sdnotify ./internal/kvs ./internal/kvsload
+RACE_PKGS := ./internal/watchdog ./internal/coord ./internal/clock ./internal/gauge ./internal/wdobs ./internal/recovery ./internal/campaign ./internal/campaign/meshscale ./internal/wdruntime ./internal/faultinject ./internal/wdmesh ./internal/wdmesh/wire ./internal/wdcep ./internal/autowatchdog/testmine ./internal/supervise ./internal/sdnotify ./internal/kvs ./internal/kvsload
 
-.PHONY: build test vet lint race smoke mesh-smoke cep-smoke super-smoke cep-bench kvs-bench gen-smoke ablation check golden
+.PHONY: build test vet lint race smoke mesh-smoke mesh-bench cep-smoke super-smoke cep-bench kvs-bench gen-smoke ablation check golden
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,16 @@ smoke:
 mesh-smoke:
 	$(GO) run ./cmd/wdchaos -substrate mesh -seed 7 -nodes 3 -quorum 2 \
 		-mesh-interval 25ms
+
+# mesh-bench regenerates the mesh-at-scale survival verdict (E17): 500
+# Step-mode nodes on a virtual clock, driven through seeded correlated
+# partition, churn, rejoin, and lossy-link faults. Gates: full convergence,
+# intrinsic detection on every observer, zero false positives, and per-round
+# message volume within the O(N·K) budget (vs the full mesh's O(N²)). The
+# verdict is bit-deterministic from the seed and committed as BENCH_mesh.json.
+mesh-bench:
+	$(GO) run ./cmd/wdchaos -substrate meshscale -seed 1 -nodes 500 \
+		-fanout 3 -quorum 2 -bench-out BENCH_mesh.json
 
 # cep-smoke runs the seeded temporal-rule campaign: a streak fault must fire
 # the consecutive-abnormal rule, a concurrent spread fault must fire the
@@ -110,4 +120,4 @@ golden:
 	$(GO) test ./internal/autowatchdog -run Golden -update
 	$(GO) test ./internal/autowatchdog/testmine -run Golden -update
 
-check: build vet lint test race smoke mesh-smoke cep-smoke super-smoke gen-smoke cep-bench kvs-bench
+check: build vet lint test race smoke mesh-smoke mesh-bench cep-smoke super-smoke gen-smoke cep-bench kvs-bench

@@ -10,6 +10,7 @@
 //	wdchaos -substrate kvs -dir /tmp/chaos -interval 20ms -storm 20
 //	wdchaos -substrate synth -seed 7 -breaker 3 -damp 30s -hang-budget 2
 //	wdchaos -substrate mesh -seed 7 -nodes 3 -quorum 2 -mesh-interval 20ms
+//	wdchaos -substrate meshscale -seed 1 -nodes 500 -fanout 3 -bench-out BENCH_mesh.json
 //	wdchaos -substrate kvs -checkers mined -min-detection-rate 0.01 -json
 //	wdchaos -substrate cep -seed 42 -json
 //	wdchaos -substrate super -seed 42 -outages 2 -json
@@ -25,7 +26,10 @@
 // seed. The kvs and dfs substrates exercise real stores on the real clock;
 // keep -interval small and the tick counts modest there. The mesh substrate
 // boots a seeded in-process cluster and scores remote gray-failure detection
-// and partition tolerance (see campaign.RunMesh). The super substrate runs a
+// and partition tolerance (see campaign.RunMesh). The meshscale substrate
+// steps hundreds of mesh nodes on a virtual clock through correlated
+// partition, churn, and lossy-link faults, and gates message volume at
+// O(N·K) (see campaign.RunMeshScale). The super substrate runs a
 // real crash-restart supervisor over re-executions of this binary and scores
 // time-to-restart, stuck detection, episode adoption, and the restart-storm
 // breaker (see campaign.RunSuper).
@@ -38,6 +42,7 @@ import (
 	"time"
 
 	"gowatchdog/internal/campaign"
+	"gowatchdog/internal/campaign/meshscale"
 	"gowatchdog/internal/clock"
 	"gowatchdog/internal/watchdog"
 	"gowatchdog/internal/wdruntime"
@@ -49,7 +54,7 @@ func main() {
 	campaign.MaybeSuperChild()
 
 	var (
-		substrate = flag.String("substrate", "synth", "system under campaign: synth|kvs|dfs|mesh|cep|super")
+		substrate = flag.String("substrate", "synth", "system under campaign: synth|kvs|dfs|mesh|meshscale|cep|super")
 		checkers  = flag.String("checkers", "", "ablation checker source for kvs/dfs: reduced|mined|both (empty = standard target)")
 		dir       = flag.String("dir", "", "scratch directory for disk-backed substrates (default: temp dir)")
 		seed      = flag.Int64("seed", 1, "schedule-generation seed")
@@ -71,9 +76,11 @@ func main() {
 		timeout = flag.Duration("wd-timeout", 0, "checker liveness timeout override (0 = substrate default)")
 		rawJSON = flag.Bool("json", false, "print the verdict as JSON instead of the human rendering")
 
-		nodes        = flag.Int("nodes", 3, "mesh substrate: cluster size")
-		quorum       = flag.Int("quorum", 2, "mesh substrate: cluster-verdict corroboration threshold")
-		meshInterval = flag.Duration("mesh-interval", 25*time.Millisecond, "mesh substrate: shared check + gossip period")
+		nodes        = flag.Int("nodes", 0, "mesh substrates: cluster size (0 = substrate default: 3 for mesh, 500 for meshscale)")
+		quorum       = flag.Int("quorum", 2, "mesh substrates: cluster-verdict corroboration threshold")
+		meshInterval = flag.Duration("mesh-interval", 0, "mesh substrates: gossip period (0 = substrate default)")
+		fanout       = flag.Int("fanout", 3, "meshscale substrate: peers sampled per gossip round")
+		benchOut     = flag.String("bench-out", "", "meshscale substrate: also write the JSON verdict to this file (BENCH_mesh.json)")
 
 		outages       = flag.Int("outages", 2, "super substrate: SIGKILL rounds before the hang/adoption/storm phases")
 		feedWindow    = flag.Duration("feed-window", 300*time.Millisecond, "super substrate: sd_notify watchdog window")
@@ -82,7 +89,18 @@ func main() {
 	flag.Parse()
 
 	if *substrate == "mesh" {
-		runMesh(*seed, *nodes, *quorum, *meshInterval, *rawJSON)
+		n, iv := *nodes, *meshInterval
+		if n == 0 {
+			n = 3
+		}
+		if iv == 0 {
+			iv = 25 * time.Millisecond
+		}
+		runMesh(*seed, n, *quorum, iv, *rawJSON)
+		return
+	}
+	if *substrate == "meshscale" {
+		runMeshScale(*seed, *nodes, *fanout, *quorum, *meshInterval, *benchOut, *rawJSON)
 		return
 	}
 	if *substrate == "cep" {
@@ -194,6 +212,40 @@ func runMesh(seed int64, nodes, quorum int, interval time.Duration, rawJSON bool
 		if err != nil {
 			fatal(err)
 		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Print(verdict.Render())
+	}
+	if !verdict.Pass {
+		os.Exit(1)
+	}
+}
+
+// runMeshScale scores the mesh-at-scale survival campaign: hundreds of
+// Step-mode nodes on a virtual clock under seeded correlated partitions,
+// churn, and lossy links (see campaign.RunMeshScale). The verdict is
+// deterministic in the seed; -bench-out commits it as BENCH_mesh.json.
+func runMeshScale(seed int64, nodes, fanout, quorum int, interval time.Duration, benchOut string, rawJSON bool) {
+	verdict, err := campaign.RunMeshScale(meshscale.Config{
+		Seed:     seed,
+		Nodes:    nodes,
+		Fanout:   fanout,
+		Quorum:   quorum,
+		Interval: interval,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	data, err := verdict.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	if benchOut != "" {
+		if err := os.WriteFile(benchOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if rawJSON {
 		fmt.Println(string(data))
 	} else {
 		fmt.Print(verdict.Render())

@@ -21,6 +21,7 @@ import (
 
 	"gowatchdog/internal/supervise/episode"
 	"gowatchdog/internal/wdcep"
+	"gowatchdog/internal/wdmesh"
 	"gowatchdog/internal/wdobs"
 )
 
@@ -128,6 +129,9 @@ func render(w io.Writer, addr string, snap *wdobs.Snapshot) {
 		})
 	}
 	printTable(w, rows)
+	if snap.Mesh != nil {
+		renderMesh(w, snap.Mesh)
+	}
 	if snap.CEP != nil {
 		renderCEP(w, snap.CEP)
 	}
@@ -138,6 +142,103 @@ func render(w io.Writer, addr string, snap *wdobs.Snapshot) {
 	if snap.Episodes != nil {
 		renderEpisodes(w, snap.Episodes)
 	}
+}
+
+// meshTopK bounds the mesh peer table: at cluster scale (hundreds to a
+// thousand peers) the operator needs the abnormal links, not a thousand
+// healthy rows.
+const meshTopK = 10
+
+// renderMesh prints the cluster health plane: a summary line, active cluster
+// verdicts, and a table of at most meshTopK abnormal peers (non-ok
+// observation, demoted link, or drops/failures on the link) ranked worst
+// first, with the healthy remainder summarized to one line.
+func renderMesh(w io.Writer, m *wdmesh.Snapshot) {
+	fmt.Fprintf(w, "\nmesh: self=%s quorum=%d fanout=%d  peers=%d (alive=%d suspect=%d demoted=%d)  sent=%d recv=%d deltas=%d fullsync=%d drops=%d\n",
+		m.Self, m.Quorum, m.Fanout, len(m.Peers), m.PeersAlive, m.PeersSuspect, m.PeersDemoted,
+		m.MessagesSent, m.MessagesReceived, m.DeltaEntries, m.FullSyncs, m.QueueDrops)
+	if t := m.Transport; t != nil {
+		fmt.Fprintf(w, "mesh transport: reconnects=%d protocol-errors=%d oversized=%d\n",
+			t.Reconnects, t.ProtocolErrors, t.OversizedFrames)
+	}
+	if len(m.Verdicts) > 0 {
+		rows := [][]string{{"VERDICT", "KIND", "VOTES", "WORST", "SINCE"}}
+		for _, v := range m.Verdicts {
+			rows = append(rows, []string{
+				v.Node, v.Kind, fmt.Sprint(v.Votes), v.Worst.String(), v.Since.Format("15:04:05"),
+			})
+		}
+		printTable(w, rows)
+	}
+
+	abnormal := make([]wdmesh.PeerSnapshot, 0, len(m.Peers))
+	for _, p := range m.Peers {
+		if meshSeverity(p) > 0 {
+			abnormal = append(abnormal, p)
+		}
+	}
+	healthy := len(m.Peers) - len(abnormal)
+	if len(abnormal) == 0 {
+		fmt.Fprintf(w, "all %d peers healthy\n", len(m.Peers))
+		return
+	}
+	sort.SliceStable(abnormal, func(i, j int) bool {
+		si, sj := meshSeverity(abnormal[i]), meshSeverity(abnormal[j])
+		if si != sj {
+			return si > sj
+		}
+		if abnormal[i].SendFailures != abnormal[j].SendFailures {
+			return abnormal[i].SendFailures > abnormal[j].SendFailures
+		}
+		if abnormal[i].QueueDrops != abnormal[j].QueueDrops {
+			return abnormal[i].QueueDrops > abnormal[j].QueueDrops
+		}
+		return abnormal[i].Node < abnormal[j].Node
+	})
+	shown := abnormal
+	if len(shown) > meshTopK {
+		shown = shown[:meshTopK]
+	}
+	rows := [][]string{{"PEER", "OBS", "WORST", "SEQ", "HEARD", "DROPS", "RETRIES", "FAILS", "LINK"}}
+	for _, p := range shown {
+		heard := "never"
+		if p.LastHeardNS >= 0 {
+			heard = shortDur(time.Duration(p.LastHeardNS))
+		}
+		link := "ok"
+		if p.Demoted {
+			link = fmt.Sprintf("demoted x%d", p.ConsecFailures)
+		} else if p.ConsecFailures > 0 {
+			link = fmt.Sprintf("failing x%d", p.ConsecFailures)
+		}
+		rows = append(rows, []string{
+			p.Node, p.Observation, p.Worst.String(), fmt.Sprint(p.Seq), heard,
+			fmt.Sprint(p.QueueDrops), fmt.Sprint(p.SendRetries), fmt.Sprint(p.SendFailures), link,
+		})
+	}
+	printTable(w, rows)
+	if rest := len(abnormal) - len(shown); rest > 0 {
+		fmt.Fprintf(w, "... and %d more abnormal peer(s)\n", rest)
+	}
+	if healthy > 0 {
+		fmt.Fprintf(w, "... and %d healthy peer(s)\n", healthy)
+	}
+}
+
+// meshSeverity ranks a peer link for the abnormal table: suspected
+// observations outrank link trouble, which outranks backpressure residue.
+func meshSeverity(p wdmesh.PeerSnapshot) int {
+	switch {
+	case p.Observation == wdmesh.ObsUnreachable:
+		return 4
+	case p.Observation == wdmesh.ObsAlarming:
+		return 3
+	case p.Demoted:
+		return 2
+	case p.QueueDrops > 0 || p.SendFailures > 0 || p.ConsecFailures > 0:
+		return 1
+	}
+	return 0
 }
 
 // renderEpisodes prints the supervision plane's outage history: the ledger

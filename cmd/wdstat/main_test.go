@@ -2,6 +2,7 @@ package main
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"gowatchdog/internal/supervise/episode"
 	"gowatchdog/internal/watchdog"
 	"gowatchdog/internal/wdcep"
+	"gowatchdog/internal/wdmesh"
 	"gowatchdog/internal/wdobs"
 )
 
@@ -123,5 +125,90 @@ func TestRenderGolden(t *testing.T) {
 	}, "\n")
 	if got != golden {
 		t.Errorf("render mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}
+
+// TestRenderMeshGolden pins the mesh section's degradation at cluster scale:
+// a 1000-peer snapshot renders as a summary line, the active verdicts, the
+// top-K abnormal peers ranked worst first, and one-line summaries for the
+// abnormal overflow and the healthy remainder — never a thousand rows.
+func TestRenderMeshGolden(t *testing.T) {
+	mesh := &wdmesh.Snapshot{
+		Self:             "n0000",
+		Quorum:           2,
+		Fanout:           3,
+		PeersAlive:       986,
+		PeersSuspect:     13,
+		PeersDemoted:     3,
+		MessagesSent:     48210,
+		MessagesReceived: 47955,
+		DeltaEntries:     291844,
+		FullSyncs:        620,
+		QueueDrops:       17,
+		Transport:        &wdmesh.TransportStats{Reconnects: 4, ProtocolErrors: 1, OversizedFrames: 1},
+		Verdicts: []wdmesh.Verdict{
+			{Node: "n0404", Kind: wdmesh.VerdictUnreachable, Votes: 3, Worst: watchdog.StatusStuck,
+				Since: time.Date(2026, 8, 5, 11, 59, 10, 0, time.UTC)},
+		},
+	}
+	// 999 peers: twelve unreachable (two also demoted), one alarming, one
+	// healthy-but-dropping, the rest clean.
+	for i := 1; i < 1000; i++ {
+		p := wdmesh.PeerSnapshot{
+			Node:        fmt.Sprintf("n%04d", i),
+			Observation: wdmesh.ObsOK,
+			LastHeardNS: int64(200 * time.Millisecond),
+			Seq:         900,
+		}
+		switch {
+		case i >= 400 && i < 412:
+			p.Observation = wdmesh.ObsUnreachable
+			p.LastHeardNS = int64(30 * time.Second)
+			p.SendFailures = int64(412 - i) // rank inside the tier
+			if i < 402 {
+				p.Demoted = true
+				p.ConsecFailures = int64(9 - (i - 400))
+			}
+		case i == 700:
+			p.Observation = wdmesh.ObsAlarming
+			p.Worst = watchdog.StatusSlow
+		case i == 800:
+			p.QueueDrops = 17
+			p.SendRetries = 21
+		}
+		mesh.Peers = append(mesh.Peers, p)
+	}
+
+	var b strings.Builder
+	render(&b, "test:9120", &wdobs.Snapshot{
+		Time: time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC), Healthy: true, Mesh: mesh,
+	})
+	got := b.String()
+
+	golden := strings.Join([]string{
+		"watchdog @ test:9120 — HEALTHY  (reports=0 alarms=0 journal=0)  12:00:00",
+		"CHECKER  STATUS  RUNS  ABN  CONSEC  TRANS  STUCK  BREAKER  FLAPS  P50  P99  CTX AGE  LAST",
+		"",
+		"mesh: self=n0000 quorum=2 fanout=3  peers=999 (alive=986 suspect=13 demoted=3)  sent=48210 recv=47955 deltas=291844 fullsync=620 drops=17",
+		"mesh transport: reconnects=4 protocol-errors=1 oversized=1",
+		"VERDICT  KIND         VOTES  WORST  SINCE",
+		"n0404    unreachable  3      stuck  11:59:10",
+		"PEER   OBS          WORST    SEQ  HEARD  DROPS  RETRIES  FAILS  LINK",
+		"n0400  unreachable  healthy  900  30.0s  0      0        12     demoted x9",
+		"n0401  unreachable  healthy  900  30.0s  0      0        11     demoted x8",
+		"n0402  unreachable  healthy  900  30.0s  0      0        10     ok",
+		"n0403  unreachable  healthy  900  30.0s  0      0        9      ok",
+		"n0404  unreachable  healthy  900  30.0s  0      0        8      ok",
+		"n0405  unreachable  healthy  900  30.0s  0      0        7      ok",
+		"n0406  unreachable  healthy  900  30.0s  0      0        6      ok",
+		"n0407  unreachable  healthy  900  30.0s  0      0        5      ok",
+		"n0408  unreachable  healthy  900  30.0s  0      0        4      ok",
+		"n0409  unreachable  healthy  900  30.0s  0      0        3      ok",
+		"... and 4 more abnormal peer(s)",
+		"... and 985 healthy peer(s)",
+		"",
+	}, "\n")
+	if got != golden {
+		t.Errorf("mesh render mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
 	}
 }

@@ -1,0 +1,14 @@
+package campaign
+
+import "gowatchdog/internal/campaign/meshscale"
+
+// RunMeshScale executes the mesh-at-scale survival campaign: hundreds of
+// Step-mode wdmesh nodes on a virtual clock under seeded correlated
+// partitions, churn, and lossy links, scored on convergence, verdict latency,
+// false positives, and O(N·K) message volume. It is a thin alias for
+// meshscale.Run so campaign callers see one surface; the implementation lives
+// in its own package because the stepped simulation shares nothing with the
+// real-clock targets here.
+func RunMeshScale(cfg meshscale.Config) (*meshscale.Verdict, error) {
+	return meshscale.Run(cfg)
+}

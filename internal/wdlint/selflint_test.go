@@ -17,8 +17,10 @@ func TestSelfLint(t *testing.T) {
 		"../autowatchdog/genexample",
 		"../autowatchdog/testmine",
 		"../campaign",
+		"../campaign/meshscale",
 		"../wdruntime",
 		"../wdmesh",
+		"../wdmesh/wire",
 		"../sdnotify",
 		"../supervise",
 	}, All())

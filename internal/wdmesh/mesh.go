@@ -19,17 +19,46 @@ type Config struct {
 	// address peers dial, so digests are attributable without a directory.
 	Self string
 	// Peers are the other nodes' identities (TCP: their listen addresses).
-	// Self is filtered out; duplicates are collapsed.
+	// Self is filtered out; duplicates are collapsed. Membership is fixed
+	// for the life of the process.
 	Peers []string
 	// Interval is the gossip period (default 1s).
 	Interval time.Duration
 	// SuspectAfter is how long without a fresh digest — direct or relayed —
-	// before a peer is observed unreachable (default 4×Interval).
+	// before a peer is observed unreachable. Default: 4×Interval for a full
+	// mesh; with fanout sampling, 4×Interval plus 2×⌈log2 N⌉ intervals of
+	// epidemic propagation slack, because a digest now reaches most nodes by
+	// relay in O(log N) rounds rather than one hop.
 	SuspectAfter time.Duration
 	// Quorum is how many observers (this node plus peers with fresh
 	// observations) must corroborate a suspicion before it becomes a
 	// cluster-level verdict (default 2; 1 degrades to plain heartbeating).
 	Quorum int
+	// Fanout is how many peers are sampled per gossip round (default 3).
+	// Values >= len(Peers) degrade to the classic full mesh, which is what
+	// small clusters get by default.
+	Fanout int
+	// MaxDelta caps the relayed digests piggybacked per frame (default 512).
+	// Entries are chosen least-gossiped first so new rumors spread before
+	// well-travelled ones.
+	MaxDelta int
+	// AntiEntropyEvery makes every Nth round push one sampled peer a Full
+	// frame carrying the complete digest table (default 8; 0 disables).
+	// This is the repair path for nodes rejoining after a partition or
+	// restart, whose stale acks would otherwise suppress the deltas they
+	// need.
+	AntiEntropyEvery int
+	// DemoteAfter is how many consecutive send failures demote a link out of
+	// the fanout sample set (default 3). Demoted links still get probe and
+	// anti-entropy traffic, and one success re-promotes them.
+	DemoteAfter int
+	// ProbeEvery makes every Nth round probe one demoted link so a healed
+	// peer is re-promoted promptly (default 4).
+	ProbeEvery int
+	// Epoch is this node's incarnation number, carried in every digest so
+	// peers detect restarts (default: clock now in nanoseconds at New).
+	// Deterministic campaigns set it explicitly.
+	Epoch int64
 	// QueueCap bounds each peer's outgoing queue; overflow drops the message
 	// and increments the peer's drop counter (default 8).
 	QueueCap int
@@ -42,14 +71,14 @@ type Config struct {
 	// RetryBase seeds the capped exponential retry backoff (default
 	// Interval/8; the cap is Interval).
 	RetryBase time.Duration
-	// JitterSeed seeds retry jitter (default 1).
+	// JitterSeed seeds retry jitter and fanout sampling (default 1).
 	JitterSeed int64
 	// Clock replaces the real clock (virtual in deterministic tests).
 	Clock clock.Clock
 	// Transport carries messages; required.
 	Transport Transport
 	// Source builds this node's health digest each gossip round; required.
-	// The mesh fills Node, Seq, and Time itself.
+	// The mesh fills Node, Epoch, Seq, and Time itself.
 	Source func() Digest
 	// OnVerdict, when set, is called on every cluster-verdict transition:
 	// raised=true when the verdict is reached, false when it clears (the
@@ -59,40 +88,78 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
+// ackRef is the freshest digest a peer has evidenced knowing for one node.
+type ackRef struct {
+	epoch int64
+	seq   uint64
+}
+
+// covers reports whether the acked reference already covers digest d, i.e.
+// sending d to that peer would tell it nothing new.
+func (a ackRef) covers(d Digest) bool {
+	if a.epoch != d.Epoch {
+		return a.epoch > d.Epoch
+	}
+	return a.seq >= d.Seq
+}
+
 // peer is the per-peer send side: a bounded queue drained by one sender
-// goroutine, with drop/retry/failure counters.
+// goroutine, drop/retry/failure counters, link health, and the ack table
+// driving delta suppression.
 type peer struct {
-	name     string
-	queue    chan Message
+	name  string
+	idx   int
+	queue chan Message
+
 	drops    atomic.Int64
 	retries  atomic.Int64
 	failures atomic.Int64
 	sent     atomic.Int64
+
+	// consecFail counts consecutive failed deliveries; DemoteAfter of them
+	// demote the link out of the fanout sample set until a probe succeeds.
+	consecFail atomic.Int64
+	demoted    atomic.Bool
+
+	// acked (guarded by Mesh.mu) holds, per node index, the freshest digest
+	// this peer has evidenced knowing — learned only from frames received
+	// FROM the peer, never from our own sends, so a lossy link cannot fake
+	// an ack. lastEpoch is the peer's own incarnation; when it increases the
+	// peer has restarted and the whole ack table is forgotten.
+	acked     []ackRef
+	lastEpoch int64
 }
 
-// obsRecord is one observer's most recent observation set.
+// obsRecord is one observer's most recent abnormal-observation set; an empty
+// set is still recorded (it clears the observer's previous suspicions).
 type obsRecord struct {
 	at    time.Time
-	kinds map[string]string // subject -> observation kind
+	kinds map[string]string // subject -> non-ok observation kind
 }
 
 // Mesh is one node's view of the cluster health plane.
 type Mesh struct {
-	cfg   Config
-	clk   clock.Clock
-	peers []*peer
+	cfg    Config
+	clk    clock.Clock
+	peers  []*peer
+	byName map[string]*peer
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
 	mu       sync.Mutex
 	seq      uint64
-	digests  map[string]Digest    // freshest known digest per node (never self)
-	heard    map[string]time.Time // when a fresh digest for the node last arrived
-	obs      map[string]obsRecord // per-observer relayed observations
-	verdicts map[string]Verdict   // current cluster verdicts by subject
+	round    uint64
+	digests  []Digest    // freshest known digest per peer index
+	present  []bool      // whether any digest has been seen for the index
+	heard    []time.Time // when a fresh digest for the index last arrived
+	obs      map[string]obsRecord
+	verdicts map[string]Verdict
+	scratch  []int // reused per-round candidate buffer
 
-	started  bool
+	begun    bool // handler installed, heard seeded (Start or first Step)
+	started  bool // goroutine mode (Start)
+	stepping bool // synchronous mode (Step)
 	stop     chan struct{}
 	wg       sync.WaitGroup
 	closeOne sync.Once
@@ -100,6 +167,8 @@ type Mesh struct {
 
 	sent            atomic.Int64
 	received        atomic.Int64
+	deltaEntries    atomic.Int64
+	fullSyncs       atomic.Int64
 	verdictsRaised  atomic.Int64
 	verdictsCleared atomic.Int64
 }
@@ -118,11 +187,25 @@ func New(cfg Config) (*Mesh, error) {
 	if cfg.Interval <= 0 {
 		cfg.Interval = time.Second
 	}
-	if cfg.SuspectAfter <= 0 {
-		cfg.SuspectAfter = 4 * cfg.Interval
-	}
 	if cfg.Quorum <= 0 {
 		cfg.Quorum = 2
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 3
+	}
+	if cfg.MaxDelta <= 0 {
+		cfg.MaxDelta = 512
+	}
+	if cfg.AntiEntropyEvery < 0 {
+		cfg.AntiEntropyEvery = 0
+	} else if cfg.AntiEntropyEvery == 0 {
+		cfg.AntiEntropyEvery = 8
+	}
+	if cfg.DemoteAfter <= 0 {
+		cfg.DemoteAfter = 3
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 4
 	}
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 8
@@ -150,13 +233,15 @@ func New(cfg Config) (*Mesh, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real()
 	}
+	if cfg.Epoch == 0 {
+		cfg.Epoch = cfg.Clock.Now().UnixNano()
+	}
 
 	m := &Mesh{
 		cfg:      cfg,
 		clk:      cfg.Clock,
 		rng:      rand.New(rand.NewSource(cfg.JitterSeed)),
-		digests:  make(map[string]Digest),
-		heard:    make(map[string]time.Time),
+		byName:   make(map[string]*peer),
 		obs:      make(map[string]obsRecord),
 		verdicts: make(map[string]Verdict),
 		stop:     make(chan struct{}),
@@ -167,12 +252,38 @@ func New(cfg Config) (*Mesh, error) {
 			continue
 		}
 		seen[name] = true
-		m.peers = append(m.peers, &peer{name: name, queue: make(chan Message, cfg.QueueCap)})
+		p := &peer{name: name, idx: len(m.peers), queue: make(chan Message, cfg.QueueCap)}
+		m.peers = append(m.peers, p)
+		m.byName[name] = p
 	}
 	if len(m.peers) == 0 {
 		return nil, errors.New("wdmesh: no peers besides self")
 	}
+	n := len(m.peers)
+	m.digests = make([]Digest, n)
+	m.present = make([]bool, n)
+	m.heard = make([]time.Time, n)
+	for _, p := range m.peers {
+		p.acked = make([]ackRef, n)
+	}
+	if m.cfg.SuspectAfter <= 0 {
+		m.cfg.SuspectAfter = 4 * m.cfg.Interval
+		if m.cfg.Fanout < n {
+			// Sampled gossip spreads a fresh digest epidemically in ~log2 N
+			// rounds; give suspicion that much propagation slack, doubled.
+			m.cfg.SuspectAfter += time.Duration(2*ceilLog2(n+1)) * m.cfg.Interval
+		}
+	}
 	return m, nil
+}
+
+// ceilLog2 returns ⌈log2 n⌉ for n >= 1.
+func ceilLog2(n int) int {
+	bits := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
 }
 
 // Self returns this node's mesh identity.
@@ -181,34 +292,70 @@ func (m *Mesh) Self() string { return m.cfg.Self }
 // Quorum returns the effective corroboration quorum.
 func (m *Mesh) Quorum() int { return m.cfg.Quorum }
 
-// Start registers the inbound handler and launches the gossip loop and one
-// sender goroutine per peer. It is not idempotent; call once.
+// SuspectAfter returns the effective suspicion window (after scale-aware
+// defaulting), so campaigns can budget detection phases against it.
+func (m *Mesh) SuspectAfter() time.Duration { return m.cfg.SuspectAfter }
+
+// begin installs the inbound handler and seeds every peer as just-heard: a
+// node is presumed alive at cold start and only becomes suspect after a full
+// SuspectAfter of real silence. Without this, simultaneously booting nodes
+// corroborate each other's "never heard yet" into a spurious cluster verdict.
+// Callers hold m.mu.
+func (m *Mesh) beginLocked() {
+	if m.begun {
+		return
+	}
+	m.begun = true
+	now := m.clk.Now()
+	for i := range m.heard {
+		m.heard[i] = now
+	}
+	m.cfg.Transport.SetHandler(m.receive)
+}
+
+// Start launches the gossip loop and one sender goroutine per peer. It is
+// not idempotent; call once. Meshes driven by Step must not call Start.
 func (m *Mesh) Start() {
 	m.mu.Lock()
-	if m.started {
+	if m.started || m.stepping {
 		m.mu.Unlock()
-		panic("wdmesh: Start called twice")
+		panic("wdmesh: Start after Start or Step")
 	}
 	m.started = true
-	// Seed every peer as just-heard: a node is presumed alive at cold start
-	// and only becomes suspect after a full SuspectAfter of real silence.
-	// Without this, simultaneously booting nodes corroborate each other's
-	// "never heard yet" into a spurious cluster verdict.
-	now := m.clk.Now()
-	for _, p := range m.peers {
-		m.heard[p.name] = now
-	}
+	m.beginLocked()
 	m.mu.Unlock()
 
-	m.cfg.Transport.SetHandler(m.receive)
 	for _, p := range m.peers {
 		m.wg.Add(1)
 		go m.sender(p)
 	}
 	m.wg.Add(1)
 	go m.gossipLoop()
-	m.logf("wdmesh: %s gossiping to %d peer(s) every %v (suspect-after %v, quorum %d)",
-		m.cfg.Self, len(m.peers), m.cfg.Interval, m.cfg.SuspectAfter, m.cfg.Quorum)
+	m.logf("wdmesh: %s gossiping to %d peer(s) every %v (fanout %d, suspect-after %v, quorum %d)",
+		m.cfg.Self, len(m.peers), m.cfg.Interval, m.cfg.Fanout, m.cfg.SuspectAfter, m.cfg.Quorum)
+}
+
+// Step runs one synchronous gossip round on the caller's schedule: sampling,
+// verdict evaluation, and inline delivery (no queues, no retries) in the
+// calling goroutine. Combined with a virtual clock and an in-process network
+// it makes thousand-node campaigns deterministic: same seeds and same step
+// order give bit-identical state. A stepped mesh must never call Start.
+func (m *Mesh) Step() {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		panic("wdmesh: Step after Start")
+	}
+	m.stepping = true
+	m.beginLocked()
+	m.mu.Unlock()
+
+	for _, f := range m.buildRound() {
+		ctx, cancel := context.WithTimeout(context.Background(), m.cfg.SendTimeout)
+		err := m.cfg.Transport.Send(ctx, f.p.name, &f.msg)
+		cancel()
+		m.noteSend(f.p, err)
+	}
 }
 
 // Close stops gossiping and releases the transport. It is bounded even when
@@ -224,7 +371,7 @@ func (m *Mesh) Close() error {
 	return m.closeErr
 }
 
-// gossipLoop emits one digest exchange per interval until Close.
+// gossipLoop emits one gossip round per interval until Close.
 func (m *Mesh) gossipLoop() {
 	defer m.wg.Done()
 	ticker := m.clk.NewTicker(m.cfg.Interval)
@@ -239,51 +386,177 @@ func (m *Mesh) gossipLoop() {
 	}
 }
 
-// tickOnce assembles this round's digest, re-evaluates suspicion and
-// verdicts, and enqueues the exchange to every peer.
+// outFrame pairs one assembled frame with its target peer.
+type outFrame struct {
+	p   *peer
+	msg Message
+}
+
+// tickOnce runs one asynchronous gossip round: build the frames, then hand
+// each to its peer's bounded queue (overflow drops, never blocks).
 func (m *Mesh) tickOnce() {
+	for _, f := range m.buildRound() {
+		select {
+		case f.p.queue <- f.msg:
+		default:
+			f.p.drops.Add(1)
+		}
+	}
+}
+
+// buildRound assembles this round's digest, re-evaluates suspicion and
+// verdicts, samples the fanout targets, and builds one delta frame per
+// target.
+func (m *Mesh) buildRound() []outFrame {
 	d := m.cfg.Source()
 	now := m.clk.Now()
 	d.Node = m.cfg.Self
+	d.Epoch = m.cfg.Epoch
 	d.Time = now
 	if len(d.Abnormal) > maxAbnormalNames {
 		d.Abnormal = d.Abnormal[:maxAbnormalNames]
 	}
 
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.seq++
+	m.round++
 	d.Seq = m.seq
-	msg := Message{From: m.cfg.Self, Self: d}
-	for _, known := range m.digests {
-		msg.Known = append(msg.Known, known)
-	}
-	sort.Slice(msg.Known, func(i, j int) bool { return msg.Known[i].Node < msg.Known[j].Node })
-	for _, p := range m.peers {
-		msg.Obs = append(msg.Obs, Observation{Node: p.name, Kind: m.observationLocked(p.name, now)})
-	}
 	m.evaluateVerdictsLocked(now)
-	m.mu.Unlock()
+	obs := m.localObsLocked(now)
+	targets := m.sampleLocked()
+	frames := make([]outFrame, 0, len(targets))
+	for _, t := range targets {
+		msg := Message{From: m.cfg.Self, Self: d, Obs: obs, Full: t.full}
+		msg.Known = m.deltaLocked(t.p, t.full)
+		if t.full {
+			m.fullSyncs.Add(1)
+		}
+		m.deltaEntries.Add(int64(len(msg.Known)))
+		frames = append(frames, outFrame{p: t.p, msg: msg})
+	}
+	return frames
+}
 
-	for _, p := range m.peers {
-		select {
-		case p.queue <- msg:
-		default:
-			p.drops.Add(1)
+// target is one sampled destination for this round.
+type target struct {
+	p    *peer
+	full bool
+}
+
+// sampleLocked picks this round's destinations: Fanout healthy links chosen
+// uniformly (seeded), one demoted link probed every ProbeEvery rounds, and —
+// every AntiEntropyEvery rounds — one peer flagged for a full-table
+// anti-entropy frame. Callers hold m.mu.
+func (m *Mesh) sampleLocked() []target {
+	eligible := m.scratch[:0]
+	var demoted []int
+	for i, p := range m.peers {
+		if p.demoted.Load() {
+			demoted = append(demoted, i)
+		} else {
+			eligible = append(eligible, i)
 		}
 	}
+	m.rngMu.Lock()
+	defer m.rngMu.Unlock()
+
+	k := m.cfg.Fanout
+	if k > len(eligible) {
+		k = len(eligible)
+	}
+	// Partial Fisher–Yates: the first k entries become the sample.
+	for i := 0; i < k; i++ {
+		j := i + m.rng.Intn(len(eligible)-i)
+		eligible[i], eligible[j] = eligible[j], eligible[i]
+	}
+	targets := make([]target, 0, k+2)
+	picked := make(map[int]int, k+2) // peer idx -> position in targets
+	for _, idx := range eligible[:k] {
+		picked[idx] = len(targets)
+		targets = append(targets, target{p: m.peers[idx]})
+	}
+	if len(demoted) > 0 && m.cfg.ProbeEvery > 0 && m.round%uint64(m.cfg.ProbeEvery) == 0 {
+		idx := demoted[m.rng.Intn(len(demoted))]
+		picked[idx] = len(targets)
+		targets = append(targets, target{p: m.peers[idx]})
+	}
+	if m.cfg.AntiEntropyEvery > 0 && m.round%uint64(m.cfg.AntiEntropyEvery) == 0 {
+		idx := m.rng.Intn(len(m.peers))
+		if pos, ok := picked[idx]; ok {
+			targets[pos].full = true
+		} else {
+			targets = append(targets, target{p: m.peers[idx], full: true})
+		}
+	}
+	m.scratch = eligible[:0]
+	return targets
+}
+
+// deltaLocked selects the relayed digests for one frame: everything the peer
+// has not evidenced knowing (or the complete table for a full frame), capped
+// at MaxDelta with least-gossiped entries first so fresh rumors win the
+// budget. Callers hold m.mu.
+func (m *Mesh) deltaLocked(p *peer, full bool) []Digest {
+	var cand []int
+	for i := range m.peers {
+		if !m.present[i] || i == p.idx {
+			continue
+		}
+		if !full && p.acked[i].covers(m.digests[i]) {
+			continue
+		}
+		cand = append(cand, i)
+	}
+	if !full && len(cand) > m.cfg.MaxDelta {
+		sort.Slice(cand, func(a, b int) bool {
+			ga, gb := m.digests[cand[a]].gossiped, m.digests[cand[b]].gossiped
+			if ga != gb {
+				return ga < gb
+			}
+			return cand[a] < cand[b]
+		})
+		cand = cand[:m.cfg.MaxDelta]
+	}
+	out := make([]Digest, 0, len(cand))
+	for _, i := range cand {
+		m.digests[i].gossiped++
+		out = append(out, m.digests[i])
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Node < out[b].Node })
+	return out
 }
 
 // maxAbnormalNames caps the abnormal-checker list carried per digest so a
 // pathological checker suite cannot bloat every gossip message.
 const maxAbnormalNames = 16
 
-// observationLocked classifies one peer right now. Callers hold m.mu.
-func (m *Mesh) observationLocked(node string, now time.Time) string {
-	heard, ok := m.heard[node]
-	if !ok || now.Sub(heard) > m.cfg.SuspectAfter {
+// maxObsPerFrame caps the abnormal observations carried per frame; the scan
+// start rotates each round so no subject is systematically starved when more
+// than this many peers look abnormal at once.
+const maxObsPerFrame = 64
+
+// localObsLocked collects this node's current non-ok observations (ObsOK is
+// implied by absence). Callers hold m.mu.
+func (m *Mesh) localObsLocked(now time.Time) []Observation {
+	n := len(m.peers)
+	var out []Observation
+	start := int(m.round) % n
+	for off := 0; off < n && len(out) < maxObsPerFrame; off++ {
+		i := (start + off) % n
+		if kind := m.observationLocked(i, now); kind != ObsOK {
+			out = append(out, Observation{Node: m.peers[i].name, Kind: kind})
+		}
+	}
+	return out
+}
+
+// observationLocked classifies one peer index right now. Callers hold m.mu.
+func (m *Mesh) observationLocked(i int, now time.Time) string {
+	if !m.begun || now.Sub(m.heard[i]) > m.cfg.SuspectAfter {
 		return ObsUnreachable
 	}
-	if d, ok := m.digests[node]; ok && !d.Healthy {
+	if m.present[i] && !m.digests[i].Healthy {
 		return ObsAlarming
 	}
 	return ObsOK
@@ -293,38 +566,128 @@ func (m *Mesh) observationLocked(node string, now time.Time) string {
 func (m *Mesh) Observation(node string) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.observationLocked(node, m.clk.Now())
+	p, ok := m.byName[node]
+	if !ok {
+		return ObsUnreachable
+	}
+	return m.observationLocked(p.idx, m.clk.Now())
+}
+
+// KnownDigest returns the freshest digest held for a node, if any.
+func (m *Mesh) KnownDigest(node string) (Digest, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.byName[node]
+	if !ok || !m.present[p.idx] {
+		return Digest{}, false
+	}
+	return m.digests[p.idx], true
+}
+
+// KnownCount returns how many peers this node holds a digest for — the
+// campaign's convergence measure (N-1 means full coverage).
+func (m *Mesh) KnownCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, ok := range m.present {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// voteTally accumulates corroboration for one suspect.
+type voteTally struct {
+	alarming    int
+	unreachable int
 }
 
 // evaluateVerdictsLocked recomputes cluster verdicts from local observations
-// plus fresh relayed ones, raising and clearing under the quorum gate.
-// Callers hold m.mu.
+// plus fresh relayed ones, raising and clearing under the quorum gate. It is
+// candidate-driven so a healthy thousand-node cluster pays O(N) per round,
+// not O(N·observers): only subjects someone currently complains about (or
+// that hold a standing verdict) are tallied. Callers hold m.mu.
 func (m *Mesh) evaluateVerdictsLocked(now time.Time) {
-	for _, p := range m.peers {
-		subject := p.name
-		votes := map[string]int{m.observationLocked(subject, now): 1}
-		for observer, rec := range m.obs {
-			if observer == subject {
+	// One pass over observer records tallies every remote complaint and
+	// prunes observers that have been silent for several suspicion windows.
+	votes := make(map[string]*voteTally)
+	for observer, rec := range m.obs {
+		age := now.Sub(rec.at)
+		if age > 4*m.cfg.SuspectAfter {
+			delete(m.obs, observer)
+			continue
+		}
+		if age > m.cfg.SuspectAfter {
+			continue // the observer itself has gone quiet; its view is stale
+		}
+		for subject, kind := range rec.kinds {
+			if subject == observer {
 				// A node's opinion of itself is its digest, which already
 				// drives the local observation; it is not corroboration.
 				continue
 			}
-			if now.Sub(rec.at) > m.cfg.SuspectAfter {
-				continue // the observer itself has gone quiet; its view is stale
+			v := votes[subject]
+			if v == nil {
+				v = &voteTally{}
+				votes[subject] = v
 			}
-			if kind, ok := rec.kinds[subject]; ok {
-				votes[kind]++
+			switch kind {
+			case ObsAlarming:
+				v.alarming++
+			case ObsUnreachable:
+				v.unreachable++
 			}
+		}
+	}
+
+	// Candidates: locally suspect peers, remotely complained-about peers,
+	// and standing verdicts (which must be re-checked to clear).
+	cands := make(map[string]bool)
+	for i, p := range m.peers {
+		if m.observationLocked(i, now) != ObsOK {
+			cands[p.name] = true
+		}
+	}
+	for subject := range votes {
+		if _, ok := m.byName[subject]; ok {
+			cands[subject] = true
+		}
+	}
+	for subject := range m.verdicts {
+		cands[subject] = true
+	}
+	ordered := make([]string, 0, len(cands))
+	for subject := range cands {
+		ordered = append(ordered, subject)
+	}
+	sort.Strings(ordered)
+
+	for _, subject := range ordered {
+		p := m.byName[subject]
+		if p == nil {
+			continue
+		}
+		tally := voteTally{}
+		if v := votes[subject]; v != nil {
+			tally = *v
+		}
+		switch m.observationLocked(p.idx, now) {
+		case ObsAlarming:
+			tally.alarming++
+		case ObsUnreachable:
+			tally.unreachable++
 		}
 
 		var next *Verdict
 		switch {
-		case votes[ObsAlarming] >= m.cfg.Quorum:
+		case tally.alarming >= m.cfg.Quorum:
 			next = &Verdict{Node: subject, Kind: VerdictIntrinsic,
-				Votes: votes[ObsAlarming], Worst: m.digests[subject].Worst}
-		case votes[ObsUnreachable] >= m.cfg.Quorum:
+				Votes: tally.alarming, Worst: m.digests[p.idx].Worst}
+		case tally.unreachable >= m.cfg.Quorum:
 			next = &Verdict{Node: subject, Kind: VerdictUnreachable,
-				Votes: votes[ObsUnreachable]}
+				Votes: tally.unreachable}
 		}
 
 		cur, have := m.verdicts[subject]
@@ -381,8 +744,8 @@ func (m *Mesh) Verdicts() []Verdict {
 	return out
 }
 
-// receive merges one inbound exchange: the sender's digest, everything it
-// relayed, and its observation set.
+// receive merges one inbound frame: ack evidence for the sender, the
+// sender's digest, everything it relayed, and its observation set.
 func (m *Mesh) receive(msg *Message) {
 	if msg == nil || msg.From == m.cfg.Self {
 		return
@@ -390,6 +753,12 @@ func (m *Mesh) receive(msg *Message) {
 	m.received.Add(1)
 	now := m.clk.Now()
 	m.mu.Lock()
+	if p := m.byName[msg.From]; p != nil {
+		m.ackLocked(p, msg.Self)
+		for _, d := range msg.Known {
+			m.ackLocked(p, d)
+		}
+	}
 	m.mergeLocked(msg.Self, now)
 	for _, d := range msg.Known {
 		m.mergeLocked(d, now)
@@ -397,7 +766,7 @@ func (m *Mesh) receive(msg *Message) {
 	if msg.From != "" {
 		rec := obsRecord{at: now, kinds: make(map[string]string, len(msg.Obs))}
 		for _, o := range msg.Obs {
-			if o.Node == m.cfg.Self || o.Node == "" {
+			if o.Node == m.cfg.Self || o.Node == "" || o.Kind == ObsOK {
 				continue
 			}
 			rec.kinds[o.Node] = o.Kind
@@ -407,17 +776,46 @@ func (m *Mesh) receive(msg *Message) {
 	m.mu.Unlock()
 }
 
+// ackLocked records evidence that peer p knows digest d, and resets the
+// whole ack table when p's own digest shows a newer incarnation (a restarted
+// peer forgot everything our stale acks claim it knows). Callers hold m.mu.
+func (m *Mesh) ackLocked(p *peer, d Digest) {
+	if d.Node == p.name && d.Epoch > p.lastEpoch {
+		if p.lastEpoch != 0 {
+			for i := range p.acked {
+				p.acked[i] = ackRef{}
+			}
+		}
+		p.lastEpoch = d.Epoch
+	}
+	t := m.byName[d.Node]
+	if t == nil {
+		return
+	}
+	a := &p.acked[t.idx]
+	if d.Epoch > a.epoch || (d.Epoch == a.epoch && d.Seq > a.seq) {
+		*a = ackRef{epoch: d.Epoch, seq: d.Seq}
+	}
+}
+
 // mergeLocked keeps the freshest digest per node; replays and duplicates are
-// rejected by sequence number. Callers hold m.mu.
+// rejected by (epoch, seq). Digests for nodes outside the fixed membership
+// are ignored. Callers hold m.mu.
 func (m *Mesh) mergeLocked(d Digest, now time.Time) {
 	if d.Node == "" || d.Node == m.cfg.Self {
 		return
 	}
-	if cur, ok := m.digests[d.Node]; ok && d.Seq <= cur.Seq {
+	p, ok := m.byName[d.Node]
+	if !ok {
 		return
 	}
-	m.digests[d.Node] = d
-	m.heard[d.Node] = now
+	if m.present[p.idx] && !FresherDigest(d, m.digests[p.idx]) {
+		return
+	}
+	d.gossiped = 0
+	m.digests[p.idx] = d
+	m.present[p.idx] = true
+	m.heard[p.idx] = now
 }
 
 // sender drains one peer's queue, applying the per-attempt deadline and the
@@ -442,13 +840,8 @@ func (m *Mesh) deliver(p *peer, msg Message) {
 		ctx, cancel := context.WithTimeout(context.Background(), m.cfg.SendTimeout)
 		err := m.cfg.Transport.Send(ctx, p.name, &msg)
 		cancel()
-		if err == nil {
-			p.sent.Add(1)
-			m.sent.Add(1)
-			return
-		}
-		if attempt >= m.cfg.Retries {
-			p.failures.Add(1)
+		if err == nil || attempt >= m.cfg.Retries {
+			m.noteSend(p, err)
 			return
 		}
 		p.retries.Add(1)
@@ -465,6 +858,27 @@ func (m *Mesh) deliver(p *peer, msg Message) {
 		case <-t.C():
 		}
 		backoff *= 2
+	}
+}
+
+// noteSend folds one delivery outcome into the counters and the link health
+// score: DemoteAfter consecutive failures demote the link out of the fanout
+// sample set; a single success re-promotes it.
+func (m *Mesh) noteSend(p *peer, err error) {
+	if err == nil {
+		p.sent.Add(1)
+		m.sent.Add(1)
+		p.consecFail.Store(0)
+		if p.demoted.CompareAndSwap(true, false) {
+			m.logf("wdmesh: %s re-promoted link to %s", m.cfg.Self, p.name)
+		}
+		return
+	}
+	p.failures.Add(1)
+	if p.consecFail.Add(1) >= int64(m.cfg.DemoteAfter) {
+		if p.demoted.CompareAndSwap(false, true) {
+			m.logf("wdmesh: %s demoted flapping link to %s (%v)", m.cfg.Self, p.name, err)
+		}
 	}
 }
 

@@ -296,10 +296,7 @@ func TestDuplicateDelivery(t *testing.T) {
 		}
 	}
 	// Freshest-seq wins: the tracked seq never exceeds what b actually sent.
-	a.mu.Lock()
-	seq := a.digests["b"].Seq
-	a.mu.Unlock()
-	if seq == 0 {
+	if d, ok := a.KnownDigest("b"); !ok || d.Seq == 0 {
 		t.Fatal("no digest merged from b")
 	}
 }
@@ -317,6 +314,7 @@ func TestQueueDropsAndRetries(t *testing.T) {
 		Retries:     1,
 		RetryBase:   25 * time.Millisecond, // keep the sender busy past several ticks so the queue overflows
 		QueueCap:    1,
+		DemoteAfter: 1 << 20, // keep the dead link in the sample set; demotion has its own test
 		Transport:   net.Node("a"),
 		Source:      healthySource(),
 	})

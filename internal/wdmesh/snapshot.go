@@ -21,7 +21,7 @@ type PeerSnapshot struct {
 	// Worst is the peer's self-reported worst checker status.
 	Worst watchdog.Status `json:"worst,omitempty"`
 	// QueueDrops counts messages dropped because the peer's bounded outgoing
-	// queue was full.
+	// queue was full — the backpressure signal.
 	QueueDrops int64 `json:"queue_drops"`
 	// SendRetries counts retried send attempts to the peer.
 	SendRetries int64 `json:"send_retries"`
@@ -29,6 +29,11 @@ type PeerSnapshot struct {
 	SendFailures int64 `json:"send_failures"`
 	// Sent counts messages successfully handed to the transport.
 	Sent int64 `json:"sent"`
+	// ConsecFailures is the link's current consecutive-failure streak.
+	ConsecFailures int64 `json:"consec_failures,omitempty"`
+	// Demoted marks a flapping link currently excluded from the fanout
+	// sample set (it still receives probe and anti-entropy traffic).
+	Demoted bool `json:"demoted,omitempty"`
 }
 
 // Snapshot is a point-in-time view of the mesh, exported via wdobs.
@@ -37,6 +42,8 @@ type Snapshot struct {
 	Self string `json:"self"`
 	// Quorum is the corroboration threshold for cluster verdicts.
 	Quorum int `json:"quorum"`
+	// Fanout is how many peers are sampled per gossip round.
+	Fanout int `json:"fanout"`
 	// IntervalNS and SuspectAfterNS echo the effective timing config.
 	IntervalNS     int64 `json:"interval_ns"`
 	SuspectAfterNS int64 `json:"suspect_after_ns"`
@@ -44,9 +51,15 @@ type Snapshot struct {
 	// (alive = ObsOK; suspect = ObsUnreachable or ObsAlarming).
 	PeersAlive   int `json:"peers_alive"`
 	PeersSuspect int `json:"peers_suspect"`
+	// PeersDemoted counts links currently demoted for flapping.
+	PeersDemoted int `json:"peers_demoted"`
 	// MessagesSent and MessagesReceived are process-lifetime totals.
 	MessagesSent     int64 `json:"messages_sent"`
 	MessagesReceived int64 `json:"messages_received"`
+	// DeltaEntries totals the relayed digests piggybacked into frames;
+	// FullSyncs counts anti-entropy full-table frames sent.
+	DeltaEntries int64 `json:"delta_entries"`
+	FullSyncs    int64 `json:"full_syncs"`
 	// QueueDrops, SendRetries, SendFailures are totals across peers.
 	QueueDrops   int64 `json:"queue_drops"`
 	SendRetries  int64 `json:"send_retries"`
@@ -54,6 +67,9 @@ type Snapshot struct {
 	// VerdictsRaised and VerdictsCleared count cluster-verdict transitions.
 	VerdictsRaised  int64 `json:"verdicts_raised"`
 	VerdictsCleared int64 `json:"verdicts_cleared"`
+	// Transport carries wire-level counters when the transport exposes them
+	// (persistent-connection reconnects, protocol errors, oversized frames).
+	Transport *TransportStats `json:"transport,omitempty"`
 	// Peers describes each peer link, sorted by node.
 	Peers []PeerSnapshot `json:"peers"`
 	// Verdicts are the current cluster verdicts, sorted by subject.
@@ -67,36 +83,48 @@ func (m *Mesh) Snapshot() *Snapshot {
 	s := &Snapshot{
 		Self:             m.cfg.Self,
 		Quorum:           m.cfg.Quorum,
+		Fanout:           m.cfg.Fanout,
 		IntervalNS:       int64(m.cfg.Interval),
 		SuspectAfterNS:   int64(m.cfg.SuspectAfter),
 		MessagesSent:     m.sent.Load(),
 		MessagesReceived: m.received.Load(),
+		DeltaEntries:     m.deltaEntries.Load(),
+		FullSyncs:        m.fullSyncs.Load(),
 		VerdictsRaised:   m.verdictsRaised.Load(),
 		VerdictsCleared:  m.verdictsCleared.Load(),
 	}
+	if src, ok := m.cfg.Transport.(StatsSource); ok {
+		stats := src.Stats()
+		s.Transport = &stats
+	}
 
 	m.mu.Lock()
-	for _, p := range m.peers {
+	for i, p := range m.peers {
 		ps := PeerSnapshot{
-			Node:         p.name,
-			Observation:  m.observationLocked(p.name, now),
-			LastHeardNS:  -1,
-			QueueDrops:   p.drops.Load(),
-			SendRetries:  p.retries.Load(),
-			SendFailures: p.failures.Load(),
-			Sent:         p.sent.Load(),
+			Node:           p.name,
+			Observation:    m.observationLocked(i, now),
+			LastHeardNS:    -1,
+			QueueDrops:     p.drops.Load(),
+			SendRetries:    p.retries.Load(),
+			SendFailures:   p.failures.Load(),
+			Sent:           p.sent.Load(),
+			ConsecFailures: p.consecFail.Load(),
+			Demoted:        p.demoted.Load(),
 		}
-		if heard, ok := m.heard[p.name]; ok {
-			ps.LastHeardNS = int64(now.Sub(heard))
+		if m.begun {
+			ps.LastHeardNS = int64(now.Sub(m.heard[i]))
 		}
-		if d, ok := m.digests[p.name]; ok {
-			ps.Seq = d.Seq
-			ps.Worst = d.Worst
+		if m.present[i] {
+			ps.Seq = m.digests[i].Seq
+			ps.Worst = m.digests[i].Worst
 		}
 		if ps.Observation == ObsOK {
 			s.PeersAlive++
 		} else {
 			s.PeersSuspect++
+		}
+		if ps.Demoted {
+			s.PeersDemoted++
 		}
 		s.QueueDrops += ps.QueueDrops
 		s.SendRetries += ps.SendRetries

@@ -6,8 +6,8 @@
 // fail-slow kvsd still looks healthy to every peer that only measures
 // reachability. wdmesh piggybacks a compact health Digest (worst checker
 // status, abnormal checker names, alarm count) onto periodic peer exchanges,
-// relays the freshest digest it knows for every other node (rumor spreading),
-// and distinguishes two kinds of suspicion:
+// relays the freshest digests it knows (rumor spreading), and distinguishes
+// two kinds of suspicion:
 //
 //	unreachable  no fresh digest — direct or relayed — within SuspectAfter:
 //	             the classic extrinsic signal (crash, full partition).
@@ -21,10 +21,22 @@
 // the quorum gate keeps a single confused observer from convicting a healthy
 // peer.
 //
+// Dissemination scales to ~1000 nodes by sampling instead of broadcasting:
+// each round the node picks Fanout peers (seeded, demoted links excluded) and
+// sends each exactly one frame carrying its own digest plus a delta of
+// relayed digests the peer has not evidenced knowing, least-gossiped first.
+// Per-round message count is O(N·K) cluster-wide instead of the full mesh's
+// O(N²). Acks are evidence-based (learned only from frames received from the
+// peer, so lossy links cannot fake them), epochs detect restarts and reset
+// stale acks, and a periodic anti-entropy round pushes one peer the complete
+// table so rejoining nodes are repaired even when deltas would skip them.
+// See DESIGN.md §12 for the suspicion-at-scale state machine.
+//
 // The mesh is built to share fate with nothing: per-peer bounded outgoing
 // queues (overflow increments a drop counter instead of blocking the gossip
 // loop), per-attempt send deadlines, capped exponential retry with seeded
-// jitter, and a Close that is bounded even when every link is black-holed. A
+// jitter, per-peer link health that demotes flapping links out of the sample
+// set, and a Close that is bounded even when every link is black-holed. A
 // full mesh outage degrades the cluster to node-local detection; it never
 // wedges the watchdog driver or the runtime's Drain/Close ordering.
 package wdmesh
@@ -40,8 +52,14 @@ import (
 type Digest struct {
 	// Node is the producing node's mesh identity.
 	Node string `json:"node"`
-	// Seq is the producer's monotonic digest sequence number; receivers keep
-	// only the freshest digest per node and deduplicate replays with it.
+	// Epoch is the producer's incarnation: it increases across process
+	// restarts (default: boot time in nanoseconds) so a rebooted node's
+	// seq-1 digest outranks its pre-crash seq-10000 one, and so peers can
+	// detect the restart and reset their delta-suppression acks for it.
+	Epoch int64 `json:"epoch,omitempty"`
+	// Seq is the producer's monotonic digest sequence number within Epoch;
+	// receivers keep only the freshest digest per node and deduplicate
+	// replays with it.
 	Seq uint64 `json:"seq"`
 	// Time is the producer's clock when the digest was assembled.
 	Time time.Time `json:"time"`
@@ -53,6 +71,12 @@ type Digest struct {
 	Abnormal []string `json:"abnormal,omitempty"`
 	// Alarms is the producer's process-lifetime alarm count.
 	Alarms int64 `json:"alarms"`
+
+	// gossiped counts how many frames this stored copy has been piggybacked
+	// into since it was last refreshed; the delta builder spends its MaxDelta
+	// budget on least-gossiped entries first so new rumors outrun old ones.
+	// Receiver-local bookkeeping, never serialized.
+	gossiped uint32
 }
 
 // Observation kinds: how one node currently classifies a peer.
@@ -74,16 +98,34 @@ type Observation struct {
 	Kind string `json:"kind"`
 }
 
-// Message is one gossip exchange: the sender's own digest, the freshest
-// digest it knows for every other node, and its current peer observations.
+// Message is one gossip frame: the sender's own digest, a delta of relayed
+// digests the receiver has not yet acknowledged, and the sender's current
+// non-ok observations. One frame is sent per sampled peer per round.
 type Message struct {
 	From string `json:"from"`
 	Self Digest `json:"self"`
 	// Known relays third-party digests so one-way partitions do not blind
-	// the cut-off side.
+	// the cut-off side. In fanout gossip it is a delta: only digests the
+	// receiver has not evidenced knowing (capped, least-gossiped first),
+	// unless Full is set.
 	Known []Digest `json:"known,omitempty"`
-	// Obs carries the sender's observations for quorum corroboration.
+	// Obs carries the sender's abnormal observations for quorum
+	// corroboration. ObsOK is implied by absence, so a healthy cluster
+	// gossips no observations at all.
 	Obs []Observation `json:"obs,omitempty"`
+	// Full marks an anti-entropy frame: Known is the sender's complete
+	// digest table, repairing receivers that rejoined after a partition or
+	// restart with empty (or stale) state.
+	Full bool `json:"full,omitempty"`
+}
+
+// FresherDigest reports whether a should replace b: a later incarnation
+// always wins; within an incarnation the higher sequence number wins.
+func FresherDigest(a, b Digest) bool {
+	if a.Epoch != b.Epoch {
+		return a.Epoch > b.Epoch
+	}
+	return a.Seq > b.Seq
 }
 
 // Verdict kinds.

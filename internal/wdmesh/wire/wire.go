@@ -1,0 +1,111 @@
+// Package wire is the framing layer for the mesh's persistent-connection
+// transport: length-prefixed frames with a one-byte type, built so a single
+// bad frame never costs more than itself. The three failure classes a
+// long-lived gossip connection meets are kept distinct:
+//
+//   - oversized frame: the header is intact but the payload exceeds the cap.
+//     Read consumes and discards the payload, so the stream stays in sync and
+//     the caller can answer with a TypeError frame and keep the connection —
+//     mirroring the kvs wire protocol's "ERR line too long" resync.
+//   - malformed payload: framing is intact, the bytes inside are not what the
+//     caller expected (e.g. bad JSON). That is the caller's problem; the next
+//     Read starts at a frame boundary regardless.
+//   - torn frame: the stream ends mid-header or mid-payload. That connection
+//     is unusable; Read returns ErrTorn and the caller must drop it (the
+//     dialer reconnects with backoff).
+//
+// A frame is:
+//
+//	1 byte  type (TypeData or TypeError)
+//	4 bytes big-endian payload length
+//	n bytes payload
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame types.
+const (
+	// TypeData carries an encoded gossip message.
+	TypeData byte = 0
+	// TypeError carries a protocol-error answer (UTF-8 text payload): the
+	// receiver rejected the previous frame but kept the connection.
+	TypeError byte = 1
+)
+
+// MaxFrame is the default payload cap. A 1000-node full-sync frame of ~150
+// byte digests is ~150 KiB, so 1 MiB leaves generous headroom while still
+// bounding what one peer can make us buffer.
+const MaxFrame = 1 << 20
+
+// headerSize is the fixed frame header length (type byte + length word).
+const headerSize = 5
+
+var (
+	// ErrTooLarge reports an oversized frame. The payload has already been
+	// consumed and discarded: the stream is still frame-aligned and the
+	// caller may answer with a TypeError frame and continue reading.
+	ErrTooLarge = errors.New("wire: frame exceeds size cap")
+	// ErrTorn reports a frame truncated by the stream ending mid-header or
+	// mid-payload. The connection is out of sync and must be dropped.
+	ErrTorn = errors.New("wire: torn frame")
+	// ErrBadType reports an unknown frame type byte. The payload has been
+	// consumed (the length word is trusted), so the stream stays aligned.
+	ErrBadType = errors.New("wire: unknown frame type")
+)
+
+// Write emits one frame. Callers own any buffering and flushing on w.
+func Write(w io.Writer, typ byte, payload []byte) error {
+	var hdr [headerSize]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Read consumes one frame and returns its type and payload. max bounds the
+// accepted payload size (<=0 means MaxFrame). Error contract:
+//
+//   - io.EOF: the stream ended cleanly between frames.
+//   - ErrTorn: the stream ended inside a frame; drop the connection.
+//   - ErrTooLarge, ErrBadType: the offending frame was consumed in full and
+//     the stream is still aligned; the caller may keep reading.
+func Read(r io.Reader, max int) (byte, []byte, error) {
+	if max <= 0 {
+		max = MaxFrame
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF // clean boundary
+		}
+		return 0, nil, fmt.Errorf("%w: %v", ErrTorn, err)
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrTorn, err)
+	}
+	typ := hdr[0]
+	n := int(binary.BigEndian.Uint32(hdr[1:]))
+	if n > max {
+		// Discard the payload so the next Read starts at a frame boundary.
+		if _, err := io.CopyN(io.Discard, r, int64(n)); err != nil {
+			return typ, nil, fmt.Errorf("%w: %v", ErrTorn, err)
+		}
+		return typ, nil, fmt.Errorf("%w: %d bytes > %d cap", ErrTooLarge, n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return typ, nil, fmt.Errorf("%w: %v", ErrTorn, err)
+	}
+	if typ != TypeData && typ != TypeError {
+		return typ, payload, fmt.Errorf("%w: 0x%02x", ErrBadType, typ)
+	}
+	return typ, payload, nil
+}

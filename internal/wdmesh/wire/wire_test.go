@@ -1,0 +1,143 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRoundTrip drives several frames of both types through one buffer and
+// checks each comes back intact and in order.
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []struct {
+		typ     byte
+		payload string
+	}{
+		{TypeData, `{"from":"a","self":{"node":"a","seq":1}}`},
+		{TypeError, "frame too large"},
+		{TypeData, ""},
+		{TypeData, strings.Repeat("x", 4096)},
+	}
+	for _, f := range frames {
+		if err := Write(&buf, f.typ, []byte(f.payload)); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	for i, f := range frames {
+		typ, payload, err := Read(&buf, 0)
+		if err != nil {
+			t.Fatalf("frame %d: Read: %v", i, err)
+		}
+		if typ != f.typ || string(payload) != f.payload {
+			t.Fatalf("frame %d: got (%d, %q), want (%d, %q)", i, typ, payload, f.typ, f.payload)
+		}
+	}
+	if _, _, err := Read(&buf, 0); err != io.EOF {
+		t.Fatalf("after last frame: got %v, want io.EOF", err)
+	}
+}
+
+// TestTornFrames checks every truncation point inside a frame is reported as
+// ErrTorn (connection must be dropped), while a cut exactly between frames is
+// a clean io.EOF.
+func TestTornFrames(t *testing.T) {
+	var full bytes.Buffer
+	if err := Write(&full, TypeData, []byte("hello mesh")); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		_, _, err := Read(bytes.NewReader(raw[:cut]), 0)
+		if !errors.Is(err, ErrTorn) {
+			t.Fatalf("cut at %d/%d bytes: got %v, want ErrTorn", cut, len(raw), err)
+		}
+	}
+	// A complete frame followed by a torn one: the first must still decode.
+	var buf bytes.Buffer
+	buf.Write(raw)
+	buf.Write(raw[:3]) // torn tail
+	typ, payload, err := Read(&buf, 0)
+	if err != nil || typ != TypeData || string(payload) != "hello mesh" {
+		t.Fatalf("intact frame before torn tail: (%d, %q, %v)", typ, payload, err)
+	}
+	if _, _, err := Read(&buf, 0); !errors.Is(err, ErrTorn) {
+		t.Fatalf("torn tail: got %v, want ErrTorn", err)
+	}
+}
+
+// TestOversizedFrameResync checks the overlong-frame contract: the oversized
+// payload is consumed, ErrTooLarge is returned, and the NEXT frame on the same
+// stream decodes normally — the stream stays aligned so the connection
+// survives (the caller answers with a TypeError frame).
+func TestOversizedFrameResync(t *testing.T) {
+	const cap = 64
+	var buf bytes.Buffer
+	if err := Write(&buf, TypeData, bytes.Repeat([]byte("z"), cap+1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&buf, TypeData, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Read(&buf, cap)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized frame: got %v, want ErrTooLarge", err)
+	}
+	typ, payload, err := Read(&buf, cap)
+	if err != nil || typ != TypeData || string(payload) != "after" {
+		t.Fatalf("frame after oversized: (%d, %q, %v), want clean decode", typ, payload, err)
+	}
+}
+
+// TestOversizedTornTail: an oversized frame whose announced payload is itself
+// truncated cannot be resynced — that is a torn connection, not a recoverable
+// protocol error.
+func TestOversizedTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, TypeData, bytes.Repeat([]byte("z"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:40] // header promises 100 bytes, stream ends early
+	if _, _, err := Read(bytes.NewReader(raw), 16); !errors.Is(err, ErrTorn) {
+		t.Fatalf("oversized+torn: got %v, want ErrTorn", err)
+	}
+}
+
+// TestBadTypeKeepsAlignment: an unknown type byte is rejected but its payload
+// is consumed using the trusted length word, so the next frame still decodes.
+func TestBadTypeKeepsAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, 9, []byte("future frame kind")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&buf, TypeData, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Read(&buf, 0); !errors.Is(err, ErrBadType) {
+		t.Fatalf("unknown type: got %v, want ErrBadType", err)
+	}
+	typ, payload, err := Read(&buf, 0)
+	if err != nil || typ != TypeData || string(payload) != "ok" {
+		t.Fatalf("frame after bad type: (%d, %q, %v)", typ, payload, err)
+	}
+}
+
+// TestDefaultCap: max<=0 falls back to MaxFrame.
+func TestDefaultCap(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, TypeData, make([]byte, MaxFrame)); err != nil {
+		t.Fatal(err)
+	}
+	if _, payload, err := Read(&buf, 0); err != nil || len(payload) != MaxFrame {
+		t.Fatalf("payload at exactly MaxFrame: len=%d err=%v", len(payload), err)
+	}
+	buf.Reset()
+	if err := Write(&buf, TypeData, make([]byte, MaxFrame+1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Read(&buf, 0); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("payload over MaxFrame: got %v, want ErrTooLarge", err)
+	}
+}

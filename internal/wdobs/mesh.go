@@ -48,6 +48,15 @@ func writeMeshMetrics(w io.Writer, m *wdmesh.Snapshot) {
 	fmt.Fprintf(w, "# HELP wdmesh_queue_drops_total Messages dropped on full per-peer queues.\n")
 	fmt.Fprintf(w, "# TYPE wdmesh_queue_drops_total counter\n")
 	fmt.Fprintf(w, "wdmesh_queue_drops_total %d\n", m.QueueDrops)
+	fmt.Fprintf(w, "# HELP wdmesh_delta_entries_total Relayed digests piggybacked into gossip frames.\n")
+	fmt.Fprintf(w, "# TYPE wdmesh_delta_entries_total counter\n")
+	fmt.Fprintf(w, "wdmesh_delta_entries_total %d\n", m.DeltaEntries)
+	fmt.Fprintf(w, "# HELP wdmesh_full_syncs_total Anti-entropy full-table frames sent.\n")
+	fmt.Fprintf(w, "# TYPE wdmesh_full_syncs_total counter\n")
+	fmt.Fprintf(w, "wdmesh_full_syncs_total %d\n", m.FullSyncs)
+	fmt.Fprintf(w, "# HELP wdmesh_peers_demoted Links currently demoted for flapping.\n")
+	fmt.Fprintf(w, "# TYPE wdmesh_peers_demoted gauge\n")
+	fmt.Fprintf(w, "wdmesh_peers_demoted %d\n", m.PeersDemoted)
 	fmt.Fprintf(w, "# HELP wdmesh_send_retries_total Retried send attempts.\n")
 	fmt.Fprintf(w, "# TYPE wdmesh_send_retries_total counter\n")
 	fmt.Fprintf(w, "wdmesh_send_retries_total %d\n", m.SendRetries)
@@ -60,6 +69,17 @@ func writeMeshMetrics(w io.Writer, m *wdmesh.Snapshot) {
 	fmt.Fprintf(w, "# HELP wdmesh_verdicts_cleared_total Cluster verdicts cleared.\n")
 	fmt.Fprintf(w, "# TYPE wdmesh_verdicts_cleared_total counter\n")
 	fmt.Fprintf(w, "wdmesh_verdicts_cleared_total %d\n", m.VerdictsCleared)
+	if m.Transport != nil {
+		fmt.Fprintf(w, "# HELP wdmesh_transport_reconnects_total Outbound connections re-established after a drop.\n")
+		fmt.Fprintf(w, "# TYPE wdmesh_transport_reconnects_total counter\n")
+		fmt.Fprintf(w, "wdmesh_transport_reconnects_total %d\n", m.Transport.Reconnects)
+		fmt.Fprintf(w, "# HELP wdmesh_transport_protocol_errors_total Malformed frames survived in place.\n")
+		fmt.Fprintf(w, "# TYPE wdmesh_transport_protocol_errors_total counter\n")
+		fmt.Fprintf(w, "wdmesh_transport_protocol_errors_total %d\n", m.Transport.ProtocolErrors)
+		fmt.Fprintf(w, "# HELP wdmesh_transport_oversized_frames_total Inbound frames rejected by the size cap.\n")
+		fmt.Fprintf(w, "# TYPE wdmesh_transport_oversized_frames_total counter\n")
+		fmt.Fprintf(w, "wdmesh_transport_oversized_frames_total %d\n", m.Transport.OversizedFrames)
+	}
 	fmt.Fprintf(w, "# HELP wdmesh_peer_observation Per-peer observation (0 ok, 1 unreachable, 2 wd-alarm).\n")
 	fmt.Fprintf(w, "# TYPE wdmesh_peer_observation gauge\n")
 	for _, p := range m.Peers {
@@ -71,6 +91,21 @@ func writeMeshMetrics(w io.Writer, m *wdmesh.Snapshot) {
 			code = 2
 		}
 		fmt.Fprintf(w, "wdmesh_peer_observation{peer=%q} %d\n", escapeLabel(p.Node), code)
+	}
+	// Per-peer drop counters carry the backpressure signal; only peers that
+	// have dropped at least once get a series, so cardinality stays bounded
+	// by misbehaving links rather than cluster size.
+	var dropped bool
+	for _, p := range m.Peers {
+		if p.QueueDrops == 0 {
+			continue
+		}
+		if !dropped {
+			fmt.Fprintf(w, "# HELP wdmesh_peer_dropped_total Messages dropped on this peer's full send queue.\n")
+			fmt.Fprintf(w, "# TYPE wdmesh_peer_dropped_total counter\n")
+			dropped = true
+		}
+		fmt.Fprintf(w, "wdmesh_peer_dropped_total{peer=%q} %d\n", escapeLabel(p.Node), p.QueueDrops)
 	}
 	if len(m.Verdicts) > 0 {
 		fmt.Fprintf(w, "# HELP wdmesh_cluster_verdict Active quorum-corroborated verdicts (value = corroborating votes).\n")

@@ -1,0 +1,63 @@
+package wdobs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gowatchdog/internal/wdmesh"
+)
+
+// TestMeshMetrics exercises the /metrics mesh section against a synthetic
+// snapshot: aggregate series, transport counters, and the per-peer dropped
+// counter that only appears for peers that have actually dropped.
+func TestMeshMetrics(t *testing.T) {
+	o := New()
+	driveObs(t, o, 1)
+	o.SetMesh(func() *wdmesh.Snapshot {
+		return &wdmesh.Snapshot{
+			Self:         "n000",
+			Fanout:       3,
+			PeersAlive:   2,
+			PeersSuspect: 1,
+			PeersDemoted: 1,
+			DeltaEntries: 42,
+			FullSyncs:    5,
+			QueueDrops:   9,
+			Transport:    &wdmesh.TransportStats{Reconnects: 2, ProtocolErrors: 1, OversizedFrames: 1},
+			Peers: []wdmesh.PeerSnapshot{
+				{Node: "n001", Observation: wdmesh.ObsOK},
+				{Node: "n002", Observation: wdmesh.ObsUnreachable, QueueDrops: 9, Demoted: true},
+			},
+		}
+	})
+
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+	_, body := get(t, srv, "/metrics")
+	for _, want := range []string{
+		"wdmesh_peers_demoted 1",
+		"wdmesh_delta_entries_total 42",
+		"wdmesh_full_syncs_total 5",
+		"wdmesh_transport_reconnects_total 2",
+		"wdmesh_transport_protocol_errors_total 1",
+		"wdmesh_transport_oversized_frames_total 1",
+		`wdmesh_peer_dropped_total{peer="n002"} 9`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// The healthy peer never dropped, so it must not get a dropped series.
+	if strings.Contains(body, `wdmesh_peer_dropped_total{peer="n001"}`) {
+		t.Errorf("/metrics has a dropped series for a peer with zero drops")
+	}
+
+	// The /watchdog JSON view carries the same mesh section.
+	_, body = get(t, srv, "/watchdog")
+	for _, want := range []string{`"full_syncs": 5`, `"peers_demoted": 1`, `"reconnects": 2`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/watchdog missing %s", want)
+		}
+	}
+}

@@ -29,12 +29,13 @@ type Flags struct {
 	MeshInterval time.Duration
 	SuspectAfter time.Duration
 	Quorum       int
+	Fanout       int
 }
 
 // BindFlags registers the canonical -wd-interval/-wd-timeout/-wd-breaker/
 // -wd-damp/-wd-hang-budget/-wd-drain-budget/-obs-addr/-journal/-wd-rules
 // flags plus the mesh flag set (-wd-mesh-addr/-wd-peers/-wd-mesh-interval/-wd-suspect-after/
-// -wd-quorum) on fs and returns the struct their parsed values land in. Call
+// -wd-quorum/-wd-fanout) on fs and returns the struct their parsed values land in. Call
 // fs.Parse (or flag.Parse for the command line) before Options.
 func BindFlags(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
@@ -54,6 +55,7 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	fs.DurationVar(&f.MeshInterval, "wd-mesh-interval", time.Second, "mesh gossip interval")
 	fs.DurationVar(&f.SuspectAfter, "wd-suspect-after", 0, "silence before a peer is suspected unreachable (0 = 4x mesh interval)")
 	fs.IntVar(&f.Quorum, "wd-quorum", 2, "observers that must corroborate a suspicion before it becomes a cluster verdict")
+	fs.IntVar(&f.Fanout, "wd-fanout", 0, "peers sampled per gossip round (0 = wdmesh default; below the cluster size dissemination is epidemic)")
 	return f
 }
 
@@ -105,6 +107,9 @@ func (f *Flags) Options() []Option {
 		)
 		if f.SuspectAfter > 0 {
 			opts = append(opts, WithMeshSuspectAfter(f.SuspectAfter))
+		}
+		if f.Fanout > 0 {
+			opts = append(opts, WithMeshFanout(f.Fanout))
 		}
 	}
 	return opts

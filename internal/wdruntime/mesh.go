@@ -31,6 +31,8 @@ func (rt *Runtime) startMesh() error {
 		Interval:     rt.cfg.MeshInterval,
 		SuspectAfter: rt.cfg.MeshSuspectAfter,
 		Quorum:       rt.cfg.MeshQuorum,
+		Fanout:       rt.cfg.MeshFanout,
+		JitterSeed:   rt.cfg.JitterSeed,
 		Clock:        rt.cfg.Clock,
 		Transport:    tr,
 		Source:       rt.meshDigest,

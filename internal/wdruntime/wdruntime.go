@@ -95,6 +95,10 @@ type Config struct {
 	// MeshQuorum is the corroboration threshold for cluster verdicts
 	// (default 2).
 	MeshQuorum int
+	// MeshFanout caps how many peers each gossip round samples (0 = the
+	// wdmesh default). Below the cluster size, dissemination becomes
+	// epidemic: O(N·K) messages per round instead of O(N²).
+	MeshFanout int
 	// MeshTransport overrides the TCP transport (campaigns and tests pass an
 	// in-process wdmesh.MemNetwork endpoint).
 	MeshTransport wdmesh.Transport
@@ -203,6 +207,9 @@ func WithMeshSuspectAfter(d time.Duration) Option {
 
 // WithMeshQuorum sets the corroboration threshold for cluster verdicts.
 func WithMeshQuorum(k int) Option { return func(c *Config) { c.MeshQuorum = k } }
+
+// WithMeshFanout caps how many peers each gossip round samples.
+func WithMeshFanout(k int) Option { return func(c *Config) { c.MeshFanout = k } }
 
 // WithMeshTransport replaces the TCP transport with a caller-provided one.
 func WithMeshTransport(tr wdmesh.Transport) Option {
